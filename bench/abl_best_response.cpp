@@ -1,0 +1,61 @@
+// Ablation — LP-HTA vs decentralized best-response dynamics (the
+// congestion-game family of [8]/[13]). Measures the price of decentralized
+// selfishness: energy close-ish, deadline behaviour much worse, since the
+// players never see deadlines.
+#include <iostream>
+
+#include "assign/best_response.h"
+#include "assign/evaluator.h"
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "bench/bench_common.h"
+#include "metrics/series.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Ablation", "LP-HTA vs best-response dynamics (BRD)",
+                      "tasks 100..400, 50 devices, 5 stations; BRD = selfish "
+                      "players on a congestion game, Nash equilibrium");
+
+  metrics::SeriesCollector series(
+      "tasks", {"LP-HTA-energy", "BRD-energy", "LP-HTA-unsat", "BRD-unsat",
+                "BRD-rounds"});
+
+  bool always_converged = true;
+  for (double x = 100; x <= 400; x += 100) {
+    for (std::uint64_t rep = 1; rep <= bench::kRepetitions; ++rep) {
+      workload::ScenarioConfig cfg;
+      cfg.num_devices = bench::kDevices;
+      cfg.num_base_stations = bench::kStations;
+      cfg.num_tasks = static_cast<std::size_t>(x);
+      cfg.seed = rep * 271 + static_cast<std::uint64_t>(x);
+      const auto s = workload::make_scenario(cfg);
+      const assign::HtaInstance inst(s.topology, s.tasks);
+
+      const auto lp = assign::evaluate(inst, assign::LpHta().assign(inst));
+      assign::BestResponseReport rep_brd;
+      const auto brd = assign::evaluate(
+          inst, assign::BestResponse().assign_with_report(inst, rep_brd));
+      always_converged = always_converged && rep_brd.converged;
+
+      series.add(x, "LP-HTA-energy", lp.total_energy_j);
+      series.add(x, "BRD-energy", brd.total_energy_j);
+      series.add(x, "LP-HTA-unsat", lp.unsatisfied_rate());
+      series.add(x, "BRD-unsat", brd.unsatisfied_rate());
+      series.add(x, "BRD-rounds", static_cast<double>(rep_brd.rounds));
+    }
+  }
+
+  bench::print_table(series, 3);
+  bench::maybe_write_csv(series, "abl_best_response");
+
+  bench::ShapeChecker check;
+  const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+  check.expect(always_converged, "BRD reached a Nash equilibrium every run");
+  check.expect(at(400, "LP-HTA-unsat") < at(400, "BRD-unsat"),
+               "LP-HTA beats the equilibrium on deadlines");
+  check.expect(at(400, "BRD-energy") < 2.5 * at(400, "LP-HTA-energy"),
+               "equilibrium energy is within the same order of magnitude");
+  return check.exit_code();
+}

@@ -1,0 +1,67 @@
+// Ablation — the price of integrality: LP-HTA's binary device/edge/cloud
+// decisions vs the fluid partial-offloading lower bound ([25]/[26] family),
+// per-task latency averaged over the workload.
+#include <iostream>
+
+#include "assign/evaluator.h"
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "assign/partial.h"
+#include "bench/bench_common.h"
+#include "metrics/series.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Ablation", "binary LP-HTA vs fluid partial offloading",
+                      "input 1000..5000 kB, 100 tasks; fluid = per-task "
+                      "latency-optimal split, no capacity coupling");
+
+  metrics::SeriesCollector series(
+      "max input (kB)",
+      {"LP-HTA-latency", "fluid-latency", "binary/fluid", "mean-theta"});
+
+  for (double kb = 1000; kb <= 5000; kb += 1000) {
+    for (std::uint64_t rep = 1; rep <= bench::kRepetitions; ++rep) {
+      workload::ScenarioConfig cfg;
+      cfg.num_devices = bench::kDevices;
+      cfg.num_base_stations = bench::kStations;
+      cfg.num_tasks = 100;
+      cfg.max_input_kb = kb;
+      cfg.seed = rep * 829 + static_cast<std::uint64_t>(kb);
+      const auto s = workload::make_scenario(cfg);
+      const assign::HtaInstance inst(s.topology, s.tasks);
+
+      const auto lp = assign::evaluate(inst, assign::LpHta().assign(inst));
+      const assign::PartialOffloadResult fluid = assign::run_partial(inst);
+
+      double theta_sum = 0.0;
+      for (const auto& d : fluid.decisions) theta_sum += d.theta;
+      series.add(kb, "LP-HTA-latency", lp.mean_latency_s);
+      series.add(kb, "fluid-latency", fluid.mean_latency_s);
+      series.add(kb, "binary/fluid",
+                 lp.mean_latency_s / std::max(fluid.mean_latency_s, 1e-12));
+      series.add(kb, "mean-theta",
+                 theta_sum / static_cast<double>(fluid.decisions.size()));
+    }
+  }
+
+  bench::print_table(series, 3);
+  bench::maybe_write_csv(series, "abl_partial_offloading");
+
+  bench::ShapeChecker check;
+  const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+  bool fluid_never_slower = true;
+  for (double kb : series.xs()) {
+    fluid_never_slower =
+        fluid_never_slower &&
+        at(kb, "fluid-latency") <= at(kb, "LP-HTA-latency") + 1e-9;
+  }
+  check.expect(fluid_never_slower,
+               "the fluid bound is never slower than binary decisions");
+  check.expect(at(5000, "binary/fluid") < 3.0,
+               "integrality costs less than 3x latency");
+  check.expect(at(1000, "mean-theta") > 0.2,
+               "devices keep a meaningful share of the work");
+  return check.exit_code();
+}

@@ -1,0 +1,75 @@
+// Ablation — empirical approximation ratio of LP-HTA against the exact ILP
+// optimum (Theorem 2 / Corollary 1). Small instances so branch-and-bound
+// can prove optimality; reports the measured ratio next to the
+// instance-specific bound 3 + Δ/E_LP.
+#include <iostream>
+
+#include "assign/evaluator.h"
+#include "assign/exact.h"
+#include "assign/lp_hta.h"
+#include "bench/bench_common.h"
+#include "metrics/series.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Ablation", "LP-HTA empirical ratio vs exact optimum",
+                      "8 devices, 2 stations, tasks 8..24, 5 seeds/cell; "
+                      "ratio = LP-HTA energy / ILP optimum");
+
+  metrics::SeriesCollector series(
+      "tasks", {"empirical-ratio", "theorem2-bound", "lemma1-rounded-ratio"});
+
+  std::size_t comparable = 0, skipped = 0;
+  for (double x = 8; x <= 24; x += 4) {
+    for (std::uint64_t rep = 1; rep <= 5; ++rep) {
+      workload::ScenarioConfig cfg;
+      cfg.num_devices = 8;
+      cfg.num_base_stations = 2;
+      cfg.num_tasks = static_cast<std::size_t>(x);
+      cfg.seed = rep * 997 + static_cast<std::uint64_t>(x);
+      const auto s = workload::make_scenario(cfg);
+      const assign::HtaInstance inst(s.topology, s.tasks);
+
+      assign::LpHtaReport report;
+      const auto a = assign::LpHta().assign_with_report(inst, report);
+      const auto opt = assign::ExactHta().solve(inst);
+      if (!opt.proven_optimal ||
+          a.cancelled() != opt.assignment.cancelled() || opt.energy <= 0.0) {
+        ++skipped;
+        continue;  // only compare like against like
+      }
+      ++comparable;
+      const double lp_energy = assign::evaluate(inst, a).total_energy_j;
+      series.add(x, "empirical-ratio", lp_energy / opt.energy);
+      series.add(x, "theorem2-bound", report.theorem2_bound());
+      series.add(x, "lemma1-rounded-ratio",
+                 report.rounded_energy / report.lp_objective);
+    }
+  }
+
+  bench::print_table(series, 4);
+  bench::maybe_write_csv(series, "abl_ratio_bound");
+  std::cout << "comparable instances: " << comparable
+            << ", skipped (cancellation mismatch / unproven): " << skipped
+            << "\n";
+
+  bench::ShapeChecker check;
+  bool all_within = true, all_lemma = true, any = false;
+  for (double x : series.xs()) {
+    const double ratio = series.mean(x, "empirical-ratio");
+    const double bound = series.mean(x, "theorem2-bound");
+    const double lemma = series.mean(x, "lemma1-rounded-ratio");
+    if (ratio != ratio) continue;  // NaN: no comparable instance at x
+    any = true;
+    all_within = all_within && ratio <= bound + 1e-9;
+    all_within = all_within && ratio >= 1.0 - 1e-9;
+    all_lemma = all_lemma && lemma <= 3.0 + 1e-9;
+  }
+  check.expect(any, "at least one comparable instance existed");
+  check.expect(all_within,
+               "measured ratio within [1, 3 + delta/E_LP] (Theorem 2)");
+  check.expect(all_lemma, "rounded energy within 3x of the LP optimum "
+                          "(Lemma 1)");
+  return check.exit_code();
+}

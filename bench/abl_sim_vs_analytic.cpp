@@ -1,0 +1,79 @@
+// Ablation — analytic Sec. II model vs discrete-event simulation.
+//
+// Without contention the simulator must reproduce the analytic mean
+// latency and total energy exactly (relative drift ~1e-12). With FIFO
+// contention on radios/CPUs, latency inflates — a measure of how
+// optimistic the paper's queue-free model is on loaded systems.
+#include <cmath>
+#include <iostream>
+
+#include "assign/evaluator.h"
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "bench/bench_common.h"
+#include "metrics/series.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Ablation", "analytic model vs discrete-event sim",
+                      "LP-HTA plans, tasks 50..250, 50 devices, 5 stations; "
+                      "latency means in seconds");
+
+  metrics::SeriesCollector series(
+      "tasks", {"analytic", "sim-ideal", "sim-contention", "energy-drift"});
+
+  for (double x = 50; x <= 250; x += 50) {
+    for (std::uint64_t rep = 1; rep <= bench::kRepetitions; ++rep) {
+      workload::ScenarioConfig cfg;
+      cfg.num_devices = bench::kDevices;
+      cfg.num_base_stations = bench::kStations;
+      cfg.num_tasks = static_cast<std::size_t>(x);
+      cfg.seed = rep * 131 + static_cast<std::uint64_t>(x);
+      const auto s = workload::make_scenario(cfg);
+      const assign::HtaInstance inst(s.topology, s.tasks);
+      const auto plan = assign::LpHta().assign(inst);
+
+      const assign::Metrics analytic = assign::evaluate(inst, plan);
+      const sim::SimResult ideal = sim::simulate(inst, plan);
+      sim::SimOptions contention;
+      contention.model_contention = true;
+      const sim::SimResult loaded = sim::simulate(inst, plan, contention);
+
+      double ideal_latency = 0.0, loaded_latency = 0.0;
+      std::size_t placed = 0;
+      for (std::size_t t = 0; t < inst.num_tasks(); ++t) {
+        if (!ideal.timelines[t].placed) continue;
+        ideal_latency += ideal.timelines[t].latency_s();
+        loaded_latency += loaded.timelines[t].latency_s();
+        ++placed;
+      }
+      if (placed == 0) continue;
+      series.add(x, "analytic", analytic.mean_latency_s);
+      series.add(x, "sim-ideal", ideal_latency / static_cast<double>(placed));
+      series.add(x, "sim-contention",
+                 loaded_latency / static_cast<double>(placed));
+      series.add(x, "energy-drift",
+                 std::fabs(ideal.total_energy_j - analytic.total_energy_j) /
+                     (1.0 + analytic.total_energy_j));
+    }
+  }
+
+  bench::print_table(series, 4);
+  bench::maybe_write_csv(series, "abl_sim_vs_analytic");
+
+  bench::ShapeChecker check;
+  bool exact = true, inflated = true;
+  for (double x : series.xs()) {
+    const double a = series.mean(x, "analytic");
+    const double i = series.mean(x, "sim-ideal");
+    const double c = series.mean(x, "sim-contention");
+    exact = exact && std::fabs(a - i) <= 1e-9 * (1.0 + a);
+    inflated = inflated && c >= i - 1e-9;
+    exact = exact && series.mean(x, "energy-drift") <= 1e-9;
+  }
+  check.expect(exact, "queue-free simulation reproduces the analytic model");
+  check.expect(inflated, "contention only ever inflates latency");
+  return check.exit_code();
+}

@@ -1,0 +1,66 @@
+// Shared scaffolding for the figure-reproduction binaries.
+//
+// Each binary regenerates one table/figure of the paper's Sec. V: it
+// sweeps the figure's x-axis, runs every algorithm the figure compares
+// (averaging over a few seeds), prints the series as a fixed-width table,
+// and appends the qualitative "shape" the paper reports so the output is
+// self-checking.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "metrics/series.h"
+
+namespace mecsched::bench {
+
+// Default experiment scale mirroring Sec. V.A: 50 devices, 5 base
+// stations; 3 seeds per cell for smoothing.
+inline constexpr std::size_t kDevices = 50;
+inline constexpr std::size_t kStations = 5;
+inline constexpr std::size_t kRepetitions = 3;
+
+inline void print_header(const std::string& figure, const std::string& title,
+                         const std::string& setup) {
+  std::cout << "==============================================================\n"
+            << figure << " — " << title << "\n"
+            << "setup: " << setup << "\n"
+            << "==============================================================\n";
+}
+
+inline void print_table(const metrics::SeriesCollector& series,
+                        int precision = 3) {
+  std::cout << series.to_table(precision) << std::flush;
+}
+
+// When MECSCHED_CSV_DIR is set, also dump the series as
+// $MECSCHED_CSV_DIR/<figure>.csv so the plots can be regenerated
+// externally; otherwise a no-op.
+inline void maybe_write_csv(const metrics::SeriesCollector& series,
+                            const std::string& figure) {
+  const char* dir = std::getenv("MECSCHED_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = std::string(dir) + "/" + figure + ".csv";
+  series.write_csv(path);
+  std::cout << "csv: " << path << '\n';
+}
+
+// Prints a PASS/FAIL line for one expected qualitative relationship. The
+// binaries exit non-zero if any expectation fails, so `for b in
+// build/bench/*; do $b; done` doubles as a reproduction check.
+class ShapeChecker {
+ public:
+  void expect(bool condition, const std::string& description) {
+    std::cout << (condition ? "  [shape OK]   " : "  [shape FAIL] ")
+              << description << '\n';
+    ok_ = ok_ && condition;
+  }
+
+  int exit_code() const { return ok_ ? EXIT_SUCCESS : EXIT_FAILURE; }
+
+ private:
+  bool ok_ = true;
+};
+
+}  // namespace mecsched::bench

@@ -1,0 +1,59 @@
+// Fig. 2(a) — total energy cost vs number of tasks (100 → 450), max input
+// 3000 kB. Series: LP-HTA, HGOS, AllToC, AllOffload.
+//
+// Paper's reported shape: AllToC consumes the most, then AllOffload;
+// LP-HTA is the lowest, slightly below HGOS, and grows slowly with the
+// task count.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/holistic_sweep.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Fig. 2(a)", "energy cost vs number of tasks",
+                      "tasks 100..450, max input 3000 kB, 50 devices, "
+                      "5 stations, 3 seeds/cell");
+
+  const auto algorithms = bench::standard_algorithms();
+  metrics::SeriesCollector series("tasks",
+                                  bench::algorithm_names(algorithms));
+  std::vector<double> xs;
+  for (double t = 100; t <= 450; t += 50) xs.push_back(t);
+
+  bench::run_holistic_sweep(
+      xs,
+      [](double x, std::uint64_t seed) {
+        workload::ScenarioConfig cfg;
+        cfg.num_devices = bench::kDevices;
+        cfg.num_base_stations = bench::kStations;
+        cfg.num_tasks = static_cast<std::size_t>(x);
+        cfg.max_input_kb = 3000.0;
+        cfg.seed = seed * 1000 + static_cast<std::uint64_t>(x);
+        return cfg;
+      },
+      algorithms,
+      [](const assign::Metrics& m) { return m.total_energy_j; }, series);
+
+  std::cout << "total energy (J):\n";
+  bench::print_table(series, 1);
+  bench::maybe_write_csv(series, "fig2a_energy_vs_tasks");
+
+  bench::ShapeChecker check;
+  const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+  check.expect(at(450, "AllToC") > at(450, "AllOffload"),
+               "AllToC costs more than AllOffload");
+  check.expect(at(450, "AllOffload") > at(450, "LP-HTA"),
+               "AllOffload costs more than LP-HTA");
+  check.expect(at(450, "LP-HTA") <= at(450, "HGOS") * 1.05,
+               "LP-HTA at or below HGOS");
+  check.expect(at(450, "LP-HTA") > at(100, "LP-HTA"),
+               "LP-HTA energy grows with task count");
+  check.expect(at(450, "LP-HTA") - at(100, "LP-HTA") <
+                   at(450, "AllToC") - at(100, "AllToC"),
+               "LP-HTA's energy grows more slowly than AllToC's");
+  check.expect(at(450, "LP-HTA") - at(100, "LP-HTA") <
+                   at(450, "AllOffload") - at(100, "AllOffload"),
+               "LP-HTA's energy grows more slowly than AllOffload's");
+  return check.exit_code();
+}

@@ -1,0 +1,52 @@
+// Fig. 2(b) — total energy cost vs maximum input data size (1000 → 5000
+// kB), 100 tasks. Series: LP-HTA, HGOS, AllToC, AllOffload.
+//
+// Paper's reported shape: LP-HTA stays the smallest as data volume grows
+// (it suits data-intensive tasks); ordering as in Fig. 2(a).
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/holistic_sweep.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Fig. 2(b)", "energy cost vs max input data size",
+                      "input 1000..5000 kB, 100 tasks, 50 devices, "
+                      "5 stations, 3 seeds/cell");
+
+  const auto algorithms = bench::standard_algorithms();
+  metrics::SeriesCollector series("max input (kB)",
+                                  bench::algorithm_names(algorithms));
+  std::vector<double> xs;
+  for (double kb = 1000; kb <= 5000; kb += 1000) xs.push_back(kb);
+
+  bench::run_holistic_sweep(
+      xs,
+      [](double x, std::uint64_t seed) {
+        workload::ScenarioConfig cfg;
+        cfg.num_devices = bench::kDevices;
+        cfg.num_base_stations = bench::kStations;
+        cfg.num_tasks = 100;
+        cfg.max_input_kb = x;
+        cfg.seed = seed * 1000 + static_cast<std::uint64_t>(x);
+        return cfg;
+      },
+      algorithms,
+      [](const assign::Metrics& m) { return m.total_energy_j; }, series);
+
+  std::cout << "total energy (J):\n";
+  bench::print_table(series, 1);
+  bench::maybe_write_csv(series, "fig2b_energy_vs_datasize");
+
+  bench::ShapeChecker check;
+  const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+  check.expect(at(5000, "AllToC") > at(5000, "AllOffload"),
+               "AllToC costs more than AllOffload at 5000 kB");
+  check.expect(at(5000, "LP-HTA") < at(5000, "AllOffload"),
+               "LP-HTA remains below AllOffload at 5000 kB");
+  check.expect(at(5000, "LP-HTA") <= at(5000, "HGOS") * 1.05,
+               "LP-HTA at or below HGOS at 5000 kB");
+  check.expect(at(5000, "LP-HTA") > at(1000, "LP-HTA"),
+               "energy grows with data volume");
+  return check.exit_code();
+}

@@ -1,0 +1,54 @@
+// Fig. 3 — unsatisfied task rate vs number of tasks (100 → 450). Series:
+// LP-HTA, HGOS, AllOffload (the paper omits AllToC here because its rate
+// is uniformly terrible; we print it anyway as a reference column).
+//
+// Paper's reported shape: LP-HTA's rate is far below HGOS and AllOffload;
+// HGOS's energy may rival LP-HTA (Fig. 2) but its deadline behaviour does
+// not.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/holistic_sweep.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Fig. 3", "unsatisfied task rate vs number of tasks",
+                      "tasks 100..450, max input 3000 kB, 50 devices, "
+                      "5 stations, 3 seeds/cell");
+
+  const auto algorithms = bench::standard_algorithms();
+  metrics::SeriesCollector series("tasks",
+                                  bench::algorithm_names(algorithms));
+  std::vector<double> xs;
+  for (double t = 100; t <= 450; t += 50) xs.push_back(t);
+
+  bench::run_holistic_sweep(
+      xs,
+      [](double x, std::uint64_t seed) {
+        workload::ScenarioConfig cfg;
+        cfg.num_devices = bench::kDevices;
+        cfg.num_base_stations = bench::kStations;
+        cfg.num_tasks = static_cast<std::size_t>(x);
+        cfg.max_input_kb = 3000.0;
+        cfg.seed = seed * 1000 + static_cast<std::uint64_t>(x);
+        return cfg;
+      },
+      algorithms,
+      [](const assign::Metrics& m) { return m.unsatisfied_rate(); }, series);
+
+  std::cout << "unsatisfied task rate (fraction of tasks):\n";
+  bench::print_table(series, 4);
+  bench::maybe_write_csv(series, "fig3_unsatisfied_rate");
+
+  bench::ShapeChecker check;
+  const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+  check.expect(at(450, "LP-HTA") < at(450, "HGOS"),
+               "LP-HTA misses fewer deadlines than HGOS");
+  check.expect(at(450, "LP-HTA") < at(450, "AllOffload"),
+               "LP-HTA misses fewer deadlines than AllOffload");
+  check.expect(at(450, "LP-HTA") < 0.15,
+               "LP-HTA's unsatisfied rate stays small");
+  check.expect(at(250, "HGOS") > 2.0 * at(250, "LP-HTA"),
+               "HGOS's rate is a multiple of LP-HTA's");
+  return check.exit_code();
+}

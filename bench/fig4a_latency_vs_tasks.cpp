@@ -1,0 +1,50 @@
+// Fig. 4(a) — average latency vs number of tasks (100 → 450), max input
+// 3000 kB. Series: LP-HTA, HGOS, AllToC, AllOffload.
+//
+// Paper's reported shape: AllToC's latency dwarfs everything (250 ms WAN
+// per task plus slow pipes); LP-HTA is the lowest, below HGOS.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "bench/holistic_sweep.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Fig. 4(a)", "average latency vs number of tasks",
+                      "tasks 100..450, max input 3000 kB, 50 devices, "
+                      "5 stations, 3 seeds/cell");
+
+  const auto algorithms = bench::standard_algorithms();
+  metrics::SeriesCollector series("tasks",
+                                  bench::algorithm_names(algorithms));
+  std::vector<double> xs;
+  for (double t = 100; t <= 450; t += 50) xs.push_back(t);
+
+  bench::run_holistic_sweep(
+      xs,
+      [](double x, std::uint64_t seed) {
+        workload::ScenarioConfig cfg;
+        cfg.num_devices = bench::kDevices;
+        cfg.num_base_stations = bench::kStations;
+        cfg.num_tasks = static_cast<std::size_t>(x);
+        cfg.max_input_kb = 3000.0;
+        cfg.seed = seed * 1000 + static_cast<std::uint64_t>(x);
+        return cfg;
+      },
+      algorithms,
+      [](const assign::Metrics& m) { return m.mean_latency_s; }, series);
+
+  std::cout << "average latency (s):\n";
+  bench::print_table(series, 3);
+  bench::maybe_write_csv(series, "fig4a_latency_vs_tasks");
+
+  bench::ShapeChecker check;
+  const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+  check.expect(at(450, "AllToC") > at(450, "LP-HTA"),
+               "AllToC latency above LP-HTA");
+  check.expect(at(450, "AllOffload") > at(450, "LP-HTA"),
+               "AllOffload latency above LP-HTA");
+  check.expect(at(450, "LP-HTA") <= at(450, "HGOS") + 1e-9,
+               "LP-HTA latency at or below HGOS");
+  return check.exit_code();
+}

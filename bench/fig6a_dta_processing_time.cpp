@@ -1,0 +1,59 @@
+// Fig. 6(a) — processing time of DTA-Workload vs DTA-Number while the
+// maximum input size grows from 1200 to 2000 kB; 200 tasks.
+//
+// Paper's reported shape: DTA-Workload's processing time is clearly
+// smaller — balanced shares shorten the parallel makespan.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "dta/pipeline.h"
+#include "metrics/series.h"
+#include "workload/shared_data.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Fig. 6(a)", "processing time (DTA-Workload vs Number)",
+                      "input 1200..2000 kB, 200 tasks, 50 devices, "
+                      "5 stations, 3 seeds/cell");
+
+  metrics::SeriesCollector series("max input (kB)",
+                                  {"DTA-Workload", "DTA-Number"});
+
+  for (double kb = 1200; kb <= 2000; kb += 200) {
+    for (std::uint64_t rep = 1; rep <= bench::kRepetitions; ++rep) {
+      workload::SharedDataConfig cfg;
+      cfg.num_devices = bench::kDevices;
+      cfg.num_base_stations = bench::kStations;
+      cfg.num_tasks = 200;
+      cfg.num_items = 600;
+      cfg.max_extra_owners = 5;
+      cfg.max_input_kb = kb;
+      cfg.seed = rep * 1000 + static_cast<std::uint64_t>(kb);
+      const auto scenario = workload::make_shared_scenario(cfg);
+
+      dta::DtaOptions opts;
+      opts.scheduler = dta::PartialScheduler::kLocalGreedy;
+      opts.strategy = dta::DtaStrategy::kWorkload;
+      series.add(kb, "DTA-Workload",
+                 dta::run_dta(scenario, opts).processing_time_s);
+      opts.strategy = dta::DtaStrategy::kNumber;
+      series.add(kb, "DTA-Number",
+                 dta::run_dta(scenario, opts).processing_time_s);
+    }
+  }
+
+  std::cout << "processing time (s):\n";
+  bench::print_table(series, 3);
+  bench::maybe_write_csv(series, "fig6a_dta_processing_time");
+
+  bench::ShapeChecker check;
+  const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+  for (double kb = 1200; kb <= 2000; kb += 200) {
+    check.expect(at(kb, "DTA-Workload") < at(kb, "DTA-Number"),
+                 "workload-balanced division is faster at " +
+                     Table::num(kb, 0) + " kB");
+  }
+  check.expect(at(2000, "DTA-Workload") > at(1200, "DTA-Workload"),
+               "processing time grows with input size");
+  return check.exit_code();
+}

@@ -1,0 +1,60 @@
+// Fig. 6(b) — number of involved mobile devices, DTA-Workload vs
+// DTA-Number, tasks 100 → 900, max input 2000 kB.
+//
+// Paper's reported shape: DTA-Number involves clearly fewer devices
+// (that's its objective), saving energy for the majority of devices.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "dta/pipeline.h"
+#include "metrics/series.h"
+#include "workload/shared_data.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Fig. 6(b)", "involved devices (DTA-Workload vs Number)",
+                      "tasks 100..900, max input 2000 kB, 50 devices, "
+                      "5 stations, 3 seeds/cell");
+
+  metrics::SeriesCollector series("tasks", {"DTA-Workload", "DTA-Number"});
+
+  for (double t = 100; t <= 900; t += 200) {
+    for (std::uint64_t rep = 1; rep <= bench::kRepetitions; ++rep) {
+      workload::SharedDataConfig cfg;
+      cfg.num_devices = bench::kDevices;
+      cfg.num_base_stations = bench::kStations;
+      cfg.num_tasks = static_cast<std::size_t>(t);
+      cfg.num_items = 600;
+      // Heavy replication (overlapping monitoring regions) gives the
+      // set-cover strategy room to concentrate work on few devices.
+      cfg.max_extra_owners = 9;
+      cfg.max_input_kb = 2000.0;
+      cfg.seed = rep * 1000 + static_cast<std::uint64_t>(t);
+      const auto scenario = workload::make_shared_scenario(cfg);
+
+      dta::DtaOptions opts;
+      opts.scheduler = dta::PartialScheduler::kLocalGreedy;
+      opts.strategy = dta::DtaStrategy::kWorkload;
+      series.add(t, "DTA-Workload",
+                 static_cast<double>(
+                     dta::run_dta(scenario, opts).involved_devices));
+      opts.strategy = dta::DtaStrategy::kNumber;
+      series.add(t, "DTA-Number",
+                 static_cast<double>(
+                     dta::run_dta(scenario, opts).involved_devices));
+    }
+  }
+
+  std::cout << "involved mobile devices:\n";
+  bench::print_table(series, 1);
+  bench::maybe_write_csv(series, "fig6b_dta_involved_devices");
+
+  bench::ShapeChecker check;
+  const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+  for (double t = 100; t <= 900; t += 200) {
+    check.expect(at(t, "DTA-Number") < at(t, "DTA-Workload"),
+                 "set-cover division involves fewer devices at " +
+                     Table::num(t, 0) + " tasks");
+  }
+  return check.exit_code();
+}

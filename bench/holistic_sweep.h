@@ -1,0 +1,62 @@
+// Shared sweep driver for the holistic-task figures (Figs. 2-4): runs a
+// list of assigners over scenario configs produced per sweep point,
+// averaging a chosen metric over seeds into a SeriesCollector.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "assign/assigner.h"
+#include "assign/baselines.h"
+#include "assign/evaluator.h"
+#include "assign/hgos.h"
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "bench/bench_common.h"
+#include "metrics/series.h"
+#include "workload/scenario.h"
+
+namespace mecsched::bench {
+
+inline std::vector<std::unique_ptr<assign::Assigner>> standard_algorithms() {
+  std::vector<std::unique_ptr<assign::Assigner>> out;
+  out.push_back(std::make_unique<assign::LpHta>());
+  out.push_back(std::make_unique<assign::Hgos>());
+  out.push_back(std::make_unique<assign::AllToCloud>());
+  out.push_back(std::make_unique<assign::AllOffload>());
+  return out;
+}
+
+inline std::vector<std::string> algorithm_names(
+    const std::vector<std::unique_ptr<assign::Assigner>>& algorithms) {
+  std::vector<std::string> names;
+  names.reserve(algorithms.size());
+  for (const auto& a : algorithms) names.push_back(a->name());
+  return names;
+}
+
+// For each x in `xs`, builds `kRepetitions` scenarios via `config_at(x,
+// seed)`, runs every algorithm, and stores `metric(metrics)` under the
+// algorithm's name.
+inline void run_holistic_sweep(
+    const std::vector<double>& xs,
+    const std::function<workload::ScenarioConfig(double x, std::uint64_t seed)>&
+        config_at,
+    const std::vector<std::unique_ptr<assign::Assigner>>& algorithms,
+    const std::function<double(const assign::Metrics&)>& metric,
+    metrics::SeriesCollector& out) {
+  for (double x : xs) {
+    for (std::uint64_t rep = 0; rep < kRepetitions; ++rep) {
+      const workload::Scenario scenario =
+          workload::make_scenario(config_at(x, rep + 1));
+      const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+      for (const auto& algorithm : algorithms) {
+        const assign::Assignment a = algorithm->assign(instance);
+        out.add(x, algorithm->name(), metric(assign::evaluate(instance, a)));
+      }
+    }
+  }
+}
+
+}  // namespace mecsched::bench

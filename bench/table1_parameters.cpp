@@ -1,0 +1,58 @@
+// Table I — parameters of the simulated wireless networks, plus the other
+// Sec. V.A constants the experiments use. Pure reporting: verifies the
+// built-in defaults match the paper's numbers.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "mec/parameters.h"
+
+int main() {
+  using namespace mecsched;
+  bench::print_header("Table I", "parameters of wireless networks",
+                      "paper values, as compiled into mec::SystemParameters");
+
+  Table radio({"NetWork", "Download speed", "Upload speed", "P^T", "P^R"});
+  auto mbps = [](double bps) { return Table::num(bps / 1e6, 2) + " Mbps"; };
+  auto watts = [](double w) { return Table::num(w, 2) + " W"; };
+  radio.add_row({"4G", mbps(mec::k4G.download_bps), mbps(mec::k4G.upload_bps),
+                 watts(mec::k4G.tx_power_w), watts(mec::k4G.rx_power_w)});
+  radio.add_row({"Wi-Fi", mbps(mec::kWiFi.download_bps),
+                 mbps(mec::kWiFi.upload_bps), watts(mec::kWiFi.tx_power_w),
+                 watts(mec::kWiFi.rx_power_w)});
+  std::cout << radio;
+
+  const mec::SystemParameters p;
+  Table consts({"constant", "value", "source"});
+  consts.add_row({"kappa", "1e-27 J*s^2/cycle^3", "[22] via Sec. V.A"});
+  consts.add_row({"lambda", Table::num(p.cycles_per_byte, 0) + " cycles/byte",
+                  "[22] via Sec. V.A"});
+  consts.add_row({"eta", Table::num(p.result_ratio, 2), "[22] via Sec. V.A"});
+  consts.add_row({"device CPU",
+                  Table::num(p.device_min_hz / 1e9, 1) + "-" +
+                      Table::num(p.device_max_hz / 1e9, 1) + " GHz",
+                  "Sec. V.A"});
+  consts.add_row({"base station CPU",
+                  Table::num(p.base_station_hz / 1e9, 1) + " GHz", "Sec. V.A"});
+  consts.add_row({"cloud CPU", Table::num(p.cloud_hz / 1e9, 1) + " GHz",
+                  "Amazon T2.nano [16]"});
+  consts.add_row({"BS<->BS delay",
+                  Table::num(p.bs_to_bs_latency_s * 1e3, 0) + " ms", "[15]"});
+  consts.add_row({"BS<->cloud delay",
+                  Table::num(p.bs_to_cloud_latency_s * 1e3, 0) + " ms",
+                  "[16]"});
+  std::cout << consts;
+
+  bench::ShapeChecker check;
+  check.expect(mec::k4G.download_bps == units::mbps(13.76) &&
+                   mec::k4G.upload_bps == units::mbps(5.85),
+               "4G rates match Table I");
+  check.expect(mec::kWiFi.download_bps == units::mbps(54.97) &&
+                   mec::kWiFi.upload_bps == units::mbps(12.88),
+               "Wi-Fi rates match Table I");
+  check.expect(p.kappa == 1e-27 && p.cycles_per_byte == 330.0 &&
+                   p.result_ratio == 0.2,
+               "kappa/lambda/eta match Sec. V.A");
+  return check.exit_code();
+}

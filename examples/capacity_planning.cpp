@@ -1,0 +1,78 @@
+// Capacity planning — a what-if study a MEC operator would run before
+// provisioning base stations: how much edge compute capacity (max_S) is
+// enough for a given task load?
+//
+// Sweeps the station capacity, re-assigns the same workload with LP-HTA at
+// each level, and reports where cancellations stop and where extra
+// capacity stops paying. Also validates each plan against the exact ILP
+// optimum while instances are small enough, demonstrating the ExactHta /
+// LpHtaReport diagnostics APIs.
+//
+//   $ ./build/examples/capacity_planning
+#include <iostream>
+
+#include "assign/evaluator.h"
+#include "assign/exact.h"
+#include "assign/lp_hta.h"
+#include "common/table.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace mecsched;
+
+  workload::ScenarioConfig base;
+  base.num_devices = 10;
+  base.num_base_stations = 2;
+  base.num_tasks = 30;
+  base.max_input_kb = 2500.0;
+  base.seed = 99;
+
+  std::cout << "capacity planning: " << base.num_tasks << " tasks on "
+            << base.num_devices << " devices / " << base.num_base_stations
+            << " stations; sweeping station capacity\n\n";
+
+  Table table({"max_S / device", "energy (J)", "cancelled", "edge share",
+               "gap to ILP opt", "ratio bound"});
+
+  double previous_energy = -1.0;
+  bool monotone = true;
+  for (double cap : {1.0, 2.0, 4.0, 6.0, 10.0, 16.0}) {
+    workload::ScenarioConfig cfg = base;
+    cfg.station_capacity_per_device = cap;
+    const workload::Scenario s = workload::make_scenario(cfg);
+    const assign::HtaInstance instance(s.topology, s.tasks);
+
+    assign::LpHtaReport report;
+    const assign::Assignment plan =
+        assign::LpHta().assign_with_report(instance, report);
+    const assign::Metrics m = assign::evaluate(instance, plan);
+
+    const assign::ExactResult opt = assign::ExactHta().solve(instance);
+    std::string gap = "-";
+    if (opt.proven_optimal && opt.energy > 0.0 &&
+        plan.cancelled() == opt.assignment.cancelled()) {
+      gap = Table::num((m.total_energy_j / opt.energy - 1.0) * 100.0, 2) + "%";
+    }
+
+    table.add_row({Table::num(cap, 0), Table::num(m.total_energy_j, 1),
+                   std::to_string(m.cancelled),
+                   Table::num(m.num_tasks == 0
+                                  ? 0.0
+                                  : static_cast<double>(m.on_edge) /
+                                        static_cast<double>(m.num_tasks),
+                              2),
+                   gap, Table::num(report.ratio_bound(), 3)});
+    if (previous_energy >= 0.0 && m.cancelled == 0) {
+      // once nothing is cancelled, more capacity should never cost energy
+      monotone = monotone && m.total_energy_j <= previous_energy + 1e-6;
+    }
+    if (m.cancelled == 0) previous_energy = m.total_energy_j;
+  }
+
+  std::cout << table << '\n'
+            << "reading: capacity below the knee forces cancellations (the "
+               "energy column is misleading there — cancelled tasks cost "
+               "nothing); at the knee every task fits, and beyond it extra "
+               "capacity changes nothing once the edge share saturates.\n";
+  return monotone ? 0 : 1;
+}

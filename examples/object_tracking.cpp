@@ -1,0 +1,90 @@
+// Object tracking — the paper's motivating *holistic* workload (Sec. I):
+// "a mobile device is required to return the whole trajectory of the
+// monitored object, while it only has partial trajectory information."
+//
+// Trajectory stitching needs every observation in one place (it is not an
+// aggregation), so these are holistic tasks: the tracker device holds its
+// own sightings (LD) and must pull the missing segment (ED) from whichever
+// camera phone recorded it — possibly in another cell. Deadlines are tight
+// because the object is moving.
+//
+// Compares all four assignment algorithms of Sec. V.B on this workload and
+// cross-checks the winning plan in the discrete-event simulator.
+//
+//   $ ./build/examples/object_tracking
+#include <iostream>
+#include <memory>
+
+#include "assign/baselines.h"
+#include "assign/evaluator.h"
+#include "assign/hgos.h"
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "common/table.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+int main() {
+  using namespace mecsched;
+
+  // 40 phones across 4 cells; 120 tracking requests. Trajectory blobs are
+  // mid-sized (<= 1500 kB) but deadlines are tight (the object moves), and
+  // the missing segment often lives in the *next* cell along the object's
+  // path (high cross-cluster probability).
+  workload::ScenarioConfig cfg;
+  cfg.num_devices = 40;
+  cfg.num_base_stations = 4;
+  cfg.num_tasks = 120;
+  cfg.max_input_kb = 1500.0;
+  cfg.external_ratio_max = 0.5;   // the missing segment can be large
+  cfg.cross_cluster_prob = 0.6;   // the object crossed cells
+  cfg.deadline_slack_min = 1.1;   // tight: respond while it's relevant
+  cfg.deadline_slack_max = 1.8;
+  cfg.seed = 7;
+  const workload::Scenario scenario = workload::make_scenario(cfg);
+  const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+
+  std::cout << "tracking workload: " << instance.num_tasks()
+            << " trajectory requests over "
+            << scenario.topology.num_devices() << " devices\n\n";
+
+  Table table({"algorithm", "energy (J)", "mean latency (s)",
+               "unsatisfied rate", "local/edge/cloud"});
+  std::vector<std::unique_ptr<assign::Assigner>> algorithms;
+  algorithms.push_back(std::make_unique<assign::LpHta>());
+  algorithms.push_back(std::make_unique<assign::Hgos>());
+  algorithms.push_back(std::make_unique<assign::AllToCloud>());
+  algorithms.push_back(std::make_unique<assign::AllOffload>());
+
+  double lp_unsat = 1.0, hgos_unsat = 0.0;
+  for (const auto& algorithm : algorithms) {
+    const assign::Assignment plan = algorithm->assign(instance);
+    const assign::Metrics m = assign::evaluate(instance, plan);
+    table.add_row({algorithm->name(), Table::num(m.total_energy_j, 1),
+                   Table::num(m.mean_latency_s, 3),
+                   Table::num(m.unsatisfied_rate(), 3),
+                   std::to_string(m.on_local) + "/" +
+                       std::to_string(m.on_edge) + "/" +
+                       std::to_string(m.on_cloud)});
+    if (algorithm->name() == "LP-HTA") lp_unsat = m.unsatisfied_rate();
+    if (algorithm->name() == "HGOS") hgos_unsat = m.unsatisfied_rate();
+  }
+  std::cout << table << '\n';
+
+  // Replay LP-HTA's plan with radio/CPU contention to see how the analytic
+  // numbers degrade when every request fires at once.
+  const assign::Assignment plan = assign::LpHta().assign(instance);
+  const sim::SimResult ideal = sim::simulate(instance, plan);
+  sim::SimOptions crowd;
+  crowd.model_contention = true;
+  const sim::SimResult rush = sim::simulate(instance, plan, crowd);
+  std::cout << "LP-HTA plan under simultaneous release: makespan "
+            << Table::num(ideal.makespan_s, 2) << " s (isolated) vs "
+            << Table::num(rush.makespan_s, 2)
+            << " s (shared radios/CPUs queue up)\n";
+  std::cout << "=> deadline-aware assignment matters for tracking: LP-HTA "
+               "leaves "
+            << Table::num(lp_unsat * 100, 1) << "% unsatisfied vs "
+            << Table::num(hgos_unsat * 100, 1) << "% for HGOS\n";
+  return lp_unsat <= hgos_unsat ? 0 : 1;
+}

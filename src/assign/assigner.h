@@ -1,0 +1,22 @@
+// Common interface for all task-assignment algorithms, so benchmarks and
+// examples can sweep over {LP-HTA, HGOS, AllToC, AllOffload, ...}
+// uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "assign/assignment.h"
+#include "assign/hta_instance.h"
+
+namespace mecsched::assign {
+
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+
+  virtual Assignment assign(const HtaInstance& instance) const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mecsched::assign

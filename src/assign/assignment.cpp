@@ -1,0 +1,38 @@
+#include "assign/assignment.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mecsched::assign {
+
+std::string to_string(Decision d) {
+  switch (d) {
+    case Decision::kLocal:
+      return "local";
+    case Decision::kEdge:
+      return "edge";
+    case Decision::kCloud:
+      return "cloud";
+    case Decision::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+mec::Placement to_placement(Decision d) {
+  MECSCHED_REQUIRE(d != Decision::kCancelled,
+                   "cancelled tasks have no placement");
+  return static_cast<mec::Placement>(static_cast<int>(d));
+}
+
+Decision to_decision(mec::Placement p) {
+  return static_cast<Decision>(static_cast<int>(p));
+}
+
+std::size_t Assignment::count(Decision d) const {
+  return static_cast<std::size_t>(
+      std::count(decisions.begin(), decisions.end(), d));
+}
+
+}  // namespace mecsched::assign

@@ -1,0 +1,31 @@
+// Assignment result types shared by all task-assignment algorithms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mec/cost_model.h"
+
+namespace mecsched::assign {
+
+// Where one task ends up. kCancelled corresponds to the paper's "cancel the
+// task and inform the user" escape hatch in Steps 4–6 of LP-HTA.
+enum class Decision : int { kLocal = 0, kEdge = 1, kCloud = 2, kCancelled = 3 };
+
+std::string to_string(Decision d);
+
+// Converts a (non-cancelled) decision to the cost-model placement.
+mec::Placement to_placement(Decision d);
+Decision to_decision(mec::Placement p);
+
+struct Assignment {
+  // One decision per task, indexed like HtaInstance::tasks.
+  std::vector<Decision> decisions;
+
+  std::size_t size() const { return decisions.size(); }
+  std::size_t count(Decision d) const;
+  std::size_t cancelled() const { return count(Decision::kCancelled); }
+};
+
+}  // namespace mecsched::assign

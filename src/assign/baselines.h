@@ -1,0 +1,47 @@
+// Baseline assigners from the paper's evaluation plus two extra heuristics
+// used by the ablation benchmarks.
+//
+//   AllToC      — every task goes to the remote cloud (Sec. V.B).
+//   AllOffload  — every task is offloaded off the device: to the base
+//                 station while its capacity lasts (cheapest-energy tasks
+//                 first), the rest to the cloud (Sec. V.B).
+//   RandomAssign— uniform random placement (capacity-aware); ablation-only.
+//   LocalFirst  — greedy local > edge > cloud respecting deadline and
+//                 capacity; ablation-only.
+#pragma once
+
+#include <cstdint>
+
+#include "assign/assigner.h"
+
+namespace mecsched::assign {
+
+class AllToCloud : public Assigner {
+ public:
+  Assignment assign(const HtaInstance& instance) const override;
+  std::string name() const override { return "AllToC"; }
+};
+
+class AllOffload : public Assigner {
+ public:
+  Assignment assign(const HtaInstance& instance) const override;
+  std::string name() const override { return "AllOffload"; }
+};
+
+class RandomAssign : public Assigner {
+ public:
+  explicit RandomAssign(std::uint64_t seed = 1) : seed_(seed) {}
+  Assignment assign(const HtaInstance& instance) const override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class LocalFirst : public Assigner {
+ public:
+  Assignment assign(const HtaInstance& instance) const override;
+  std::string name() const override { return "LocalFirst"; }
+};
+
+}  // namespace mecsched::assign

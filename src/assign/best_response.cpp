@@ -1,0 +1,163 @@
+#include "assign/best_response.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace mecsched::assign {
+
+using mec::Placement;
+
+namespace {
+
+// Mutable congestion state: how many tasks sit on each shared resource.
+struct Load {
+  std::vector<int> device_tasks;       // local tasks per device
+  std::vector<int> station_tasks;      // edge tasks per station
+  std::vector<int> cloud_tasks;        // cloud tasks per cluster (WAN share)
+  std::vector<double> device_res;      // resource units used locally
+  std::vector<double> station_res;     // resource units used at stations
+};
+
+// Congested latency of task t under `d`, *assuming t already counted* in
+// the load tallies (so a lone task sees multiplier 1).
+double congested_latency(const HtaInstance& inst, const Load& load,
+                         std::size_t t, Placement p) {
+  const mec::Task& task = inst.task(t);
+  const std::size_t dev = task.id.user;
+  const std::size_t bs = inst.topology().device(dev).base_station;
+  const mec::CostEntry& base = inst.costs(t).at(p);
+  switch (p) {
+    case Placement::kLocal:
+      return base.compute_s * std::max(1, load.device_tasks[dev]) +
+             base.transfer_s;
+    case Placement::kEdge:
+      return base.compute_s * std::max(1, load.station_tasks[bs]) +
+             base.transfer_s;
+    case Placement::kCloud:
+      // WAN transfer shared by this cluster's cloud-bound tasks.
+      return base.compute_s +
+             base.transfer_s * std::max(1, load.cloud_tasks[bs]);
+  }
+  return base.latency_s();
+}
+
+}  // namespace
+
+Assignment BestResponse::assign(const HtaInstance& instance) const {
+  BestResponseReport unused;
+  return assign_with_report(instance, unused);
+}
+
+Assignment BestResponse::assign_with_report(const HtaInstance& instance,
+                                            BestResponseReport& report) const {
+  report = BestResponseReport{};
+  const mec::Topology& topo = instance.topology();
+
+  Load load;
+  load.device_tasks.assign(topo.num_devices(), 0);
+  load.station_tasks.assign(topo.num_base_stations(), 0);
+  load.cloud_tasks.assign(topo.num_base_stations(), 0);
+  load.device_res.assign(topo.num_devices(), 0.0);
+  load.station_res.assign(topo.num_base_stations(), 0.0);
+
+  // Everyone starts on the cloud (always admissible).
+  Assignment out;
+  out.decisions.assign(instance.num_tasks(), Decision::kCloud);
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    const std::size_t bs =
+        topo.device(instance.task(t).id.user).base_station;
+    ++load.cloud_tasks[bs];
+  }
+
+  auto remove_from = [&](std::size_t t, Placement p) {
+    const mec::Task& task = instance.task(t);
+    const std::size_t dev = task.id.user;
+    const std::size_t bs = topo.device(dev).base_station;
+    switch (p) {
+      case Placement::kLocal:
+        --load.device_tasks[dev];
+        load.device_res[dev] -= task.resource;
+        break;
+      case Placement::kEdge:
+        --load.station_tasks[bs];
+        load.station_res[bs] -= task.resource;
+        break;
+      case Placement::kCloud:
+        --load.cloud_tasks[bs];
+        break;
+    }
+  };
+  auto add_to = [&](std::size_t t, Placement p) {
+    const mec::Task& task = instance.task(t);
+    const std::size_t dev = task.id.user;
+    const std::size_t bs = topo.device(dev).base_station;
+    switch (p) {
+      case Placement::kLocal:
+        ++load.device_tasks[dev];
+        load.device_res[dev] += task.resource;
+        break;
+      case Placement::kEdge:
+        ++load.station_tasks[bs];
+        load.station_res[bs] += task.resource;
+        break;
+      case Placement::kCloud:
+        ++load.cloud_tasks[bs];
+        break;
+    }
+  };
+
+  for (report.rounds = 0; report.rounds < options_.max_rounds;
+       ++report.rounds) {
+    bool anyone_moved = false;
+    for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+      const Placement current = to_placement(out.decisions[t]);
+      const mec::Task& task = instance.task(t);
+      const std::size_t dev = task.id.user;
+      const std::size_t bs = topo.device(dev).base_station;
+
+      // Evaluate the player's options with itself removed from the load.
+      remove_from(t, current);
+      Placement best = current;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (Placement p : mec::kAllPlacements) {
+        // capacity admissibility (the player re-adds its own demand)
+        if (p == Placement::kLocal &&
+            load.device_res[dev] + task.resource >
+                topo.device(dev).max_resource) {
+          continue;
+        }
+        if (p == Placement::kEdge &&
+            load.station_res[bs] + task.resource >
+                topo.base_station(bs).max_resource) {
+          continue;
+        }
+        // count the player into the congestion it would experience
+        add_to(t, p);
+        const double cost = instance.energy(t, p) +
+                            options_.delay_weight *
+                                congested_latency(instance, load, t, p);
+        remove_from(t, p);
+        // strict improvement avoids oscillating between ties
+        if (cost < best_cost - 1e-12) {
+          best_cost = cost;
+          best = p;
+        }
+      }
+      add_to(t, best);
+      if (best != current) {
+        out.decisions[t] = to_decision(best);
+        ++report.moves;
+        anyone_moved = true;
+      }
+    }
+    if (!anyone_moved) {
+      report.converged = true;
+      ++report.rounds;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mecsched::assign

@@ -1,0 +1,48 @@
+// Best-response decentralized offloading (BRD) — a congestion-game
+// baseline in the spirit of the decentralized mechanisms the paper cites
+// ([8] Chen, [13] Tang & He): every task is a selfish player that
+// repeatedly moves to the subsystem minimizing its *own* cost given what
+// everyone else chose, until no task wants to move (a Nash equilibrium) or
+// a round cap is hit.
+//
+// Congestion model (what makes the game non-trivial):
+//   * a device's CPU is processor-shared by its local tasks,
+//   * a base station's CPU is processor-shared by the tasks it hosts,
+//   * the cluster's WAN uplink is shared by its cloud-bound tasks.
+// A player's cost is energy + delay_weight × congested latency. Capacity
+// limits (C2)/(C3) restrict the strategy space; deadlines are NOT part of
+// the cost — exactly the blind spot the paper attributes to this family,
+// which the ablation benchmark quantifies against LP-HTA.
+#pragma once
+
+#include "assign/assigner.h"
+
+namespace mecsched::assign {
+
+struct BestResponseOptions {
+  double delay_weight = 10.0;   // J per second: latency's exchange rate
+  std::size_t max_rounds = 100;
+};
+
+struct BestResponseReport {
+  bool converged = false;   // a pure Nash equilibrium was reached
+  std::size_t rounds = 0;   // full passes over the task set
+  std::size_t moves = 0;    // total strategy changes
+};
+
+class BestResponse : public Assigner {
+ public:
+  explicit BestResponse(BestResponseOptions options = {})
+      : options_(options) {}
+
+  Assignment assign(const HtaInstance& instance) const override;
+  Assignment assign_with_report(const HtaInstance& instance,
+                                BestResponseReport& report) const;
+
+  std::string name() const override { return "BRD"; }
+
+ private:
+  BestResponseOptions options_;
+};
+
+}  // namespace mecsched::assign

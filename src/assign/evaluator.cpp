@@ -1,0 +1,100 @@
+#include "assign/evaluator.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mecsched::assign {
+
+Metrics evaluate(const HtaInstance& instance, const Assignment& assignment) {
+  MECSCHED_REQUIRE(assignment.size() == instance.num_tasks(),
+                   "assignment size mismatch");
+  Metrics m;
+  m.num_tasks = instance.num_tasks();
+  double latency_sum = 0.0;
+  std::size_t placed = 0;
+
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    const Decision d = assignment.decisions[t];
+    if (d == Decision::kCancelled) {
+      ++m.cancelled;
+      continue;
+    }
+    const mec::Placement p = to_placement(d);
+    switch (d) {
+      case Decision::kLocal:
+        ++m.on_local;
+        break;
+      case Decision::kEdge:
+        ++m.on_edge;
+        break;
+      case Decision::kCloud:
+        ++m.on_cloud;
+        break;
+      case Decision::kCancelled:
+        break;
+    }
+    const double latency = instance.latency(t, p);
+    m.total_energy_j += instance.energy(t, p);
+    latency_sum += latency;
+    m.max_latency_s = std::max(m.max_latency_s, latency);
+    if (!instance.meets_deadline(t, p)) ++m.deadline_violations;
+    ++placed;
+  }
+  m.mean_latency_s = placed == 0 ? 0.0 : latency_sum / static_cast<double>(placed);
+  return m;
+}
+
+FeasibilityReport check_feasibility(const HtaInstance& instance,
+                                    const Assignment& assignment) {
+  MECSCHED_REQUIRE(assignment.size() == instance.num_tasks(),
+                   "assignment size mismatch");
+  FeasibilityReport report;
+  const mec::Topology& topo = instance.topology();
+
+  std::vector<double> device_load(topo.num_devices(), 0.0);
+  std::vector<double> station_load(topo.num_base_stations(), 0.0);
+
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    const Decision d = assignment.decisions[t];
+    if (d == Decision::kCancelled) continue;
+    const mec::Task& task = instance.task(t);
+    const mec::Placement p = to_placement(d);
+
+    if (!instance.meets_deadline(t, p)) {  // (C1)
+      std::ostringstream os;
+      os << mec::to_string(task.id) << " on " << mec::to_string(p)
+         << " misses deadline: " << instance.latency(t, p) << "s > "
+         << task.deadline_s << "s";
+      report.problems.push_back(os.str());
+    }
+    if (d == Decision::kLocal) {
+      device_load[task.id.user] += task.resource;
+    } else if (d == Decision::kEdge) {
+      station_load[topo.device(task.id.user).base_station] += task.resource;
+    }
+  }
+
+  for (std::size_t i = 0; i < topo.num_devices(); ++i) {  // (C2)
+    if (device_load[i] > topo.device(i).max_resource + 1e-9) {
+      std::ostringstream os;
+      os << "device " << i << " over capacity: " << device_load[i] << " > "
+         << topo.device(i).max_resource;
+      report.problems.push_back(os.str());
+    }
+  }
+  for (std::size_t b = 0; b < topo.num_base_stations(); ++b) {  // (C3)
+    if (station_load[b] > topo.base_station(b).max_resource + 1e-9) {
+      std::ostringstream os;
+      os << "station " << b << " over capacity: " << station_load[b] << " > "
+         << topo.base_station(b).max_resource;
+      report.problems.push_back(os.str());
+    }
+  }
+
+  report.ok = report.problems.empty();
+  return report;
+}
+
+}  // namespace mecsched::assign

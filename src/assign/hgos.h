@@ -1,0 +1,27 @@
+// HGOS — Heuristic Greedy Offloading Scheme, the paper's main comparator
+// (Guo, Liu, Zhang: "Computation offloading for multi-access mobile edge
+// computing in ultra-dense networks", IEEE Comm. Mag. 2018, [12]).
+//
+// [12] is closed-source, so this is a faithful re-implementation from the
+// paper's characterization of it: a greedy, energy-driven offloading scheme
+// that (a) does not consider per-task delay constraints and (b) does not
+// account for the data distribution (it prices every task as if all input
+// were local). Each task is placed, most-demanding first, on the subsystem
+// with the lowest *perceived* energy whose capacity still has room.
+//
+// The reproduction target (Sec. V.B/Fig. 2–4): HGOS's energy lands close to
+// LP-HTA, but its unsatisfied-task rate is far higher because deadlines are
+// never consulted.
+#pragma once
+
+#include "assign/assigner.h"
+
+namespace mecsched::assign {
+
+class Hgos : public Assigner {
+ public:
+  Assignment assign(const HtaInstance& instance) const override;
+  std::string name() const override { return "HGOS"; }
+};
+
+}  // namespace mecsched::assign

@@ -1,0 +1,34 @@
+#include "assign/hta_instance.h"
+
+#include "common/error.h"
+
+namespace mecsched::assign {
+
+HtaInstance::HtaInstance(const mec::Topology& topology,
+                         std::vector<mec::Task> tasks)
+    : topology_(&topology), tasks_(std::move(tasks)) {
+  const mec::CostModel model(topology);
+  costs_.reserve(tasks_.size());
+  tasks_by_cluster_.resize(topology.num_base_stations());
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    const mec::Task& task = tasks_[t];
+    MECSCHED_REQUIRE(task.id.user < topology.num_devices(),
+                     "task issued by unknown device");
+    MECSCHED_REQUIRE(task.external_owner < topology.num_devices(),
+                     "external data owned by unknown device");
+    MECSCHED_REQUIRE(task.local_bytes >= 0.0 && task.external_bytes >= 0.0,
+                     "negative data size");
+    MECSCHED_REQUIRE(task.resource >= 0.0, "negative resource occupation");
+    costs_.push_back(model.evaluate(task));
+    tasks_by_cluster_[topology.device(task.id.user).base_station].push_back(t);
+  }
+}
+
+bool HtaInstance::schedulable(std::size_t t) const {
+  for (mec::Placement p : mec::kAllPlacements) {
+    if (meets_deadline(t, p)) return true;
+  }
+  return false;
+}
+
+}  // namespace mecsched::assign

@@ -1,0 +1,277 @@
+#include "assign/lp_hta.h"
+
+#include "assign/cluster_lp.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <future>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "lp/interior_point.h"
+#include "lp/presolve.h"
+#include "lp/problem.h"
+#include "lp/scaling.h"
+#include "lp/simplex.h"
+
+namespace mecsched::assign {
+namespace {
+
+using mec::Placement;
+
+constexpr std::array<Placement, 3> kPlacements = mec::kAllPlacements;
+
+// Column index of task-slot `idx` with placement `l` in the cluster LP.
+// Each task owns 4 consecutive columns: local, edge, cloud, cancel-slack.
+std::size_t column(std::size_t idx, std::size_t l) { return idx * 4 + l; }
+
+lp::Solution solve_exact(const lp::Problem& p, LpEngine engine) {
+  if (engine == LpEngine::kInteriorPoint) {
+    const lp::Solution s = lp::InteriorPointSolver().solve(p);
+    if (s.optimal()) return s;
+    // The IPM certifies optimality but cannot always prove feasibility
+    // issues; the simplex solver is the fallback arbiter.
+  }
+  const lp::Solution s = lp::SimplexSolver().solve(p);
+  if (!s.optimal()) {
+    throw SolverError("LP-HTA: cluster relaxation not optimal (" +
+                      lp::to_string(s.status) + ")");
+  }
+  return s;
+}
+
+lp::Solution solve_relaxation(const lp::Problem& p,
+                              const LpHtaOptions& options) {
+  // Optional hygiene layers; both are objective-preserving transforms.
+  if (options.presolve) {
+    const lp::Presolved pre = lp::presolve(p);
+    if (pre.infeasible()) {
+      throw SolverError("LP-HTA: presolve proved the relaxation infeasible");
+    }
+    if (options.equilibrate) {
+      const lp::ScaledProblem sp = lp::equilibrate(pre.reduced());
+      return pre.restore(sp.unscale(solve_exact(sp.problem(), options.engine),
+                                    pre.reduced()));
+    }
+    return pre.restore(solve_exact(pre.reduced(), options.engine));
+  }
+  if (options.equilibrate) {
+    const lp::ScaledProblem sp = lp::equilibrate(p);
+    return sp.unscale(solve_exact(sp.problem(), options.engine), p);
+  }
+  return solve_exact(p, options.engine);
+}
+
+// Everything one cluster contributes: its tasks' decisions plus its share
+// of the Theorem-2 diagnostics. Clusters are independent (Sec. III.A), so
+// these can be computed in parallel and merged.
+struct ClusterOutcome {
+  std::vector<std::pair<std::size_t, Decision>> decisions;
+  double lp_objective = 0.0;
+  double rounded_energy = 0.0;
+  std::size_t cancelled_infeasible = 0;
+  std::size_t cancelled_capacity = 0;
+  std::size_t lp_iterations = 0;
+};
+
+ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
+                             const LpHtaOptions& options) {
+  const mec::Topology& topo = instance.topology();
+  ClusterOutcome out;
+
+  // Local decision buffer for the cluster's tasks.
+  std::map<std::size_t, Decision> decide;
+
+  // ---- Pre-Step + Step 1: the LP relaxation P2 for this cluster (see
+  // cluster_lp.h). Tasks with no deadline-feasible placement are cancelled
+  // eagerly (the paper's Step-4 "cancel and inform users"); each remaining
+  // task gets a cancel-slack column (a documented deviation from the
+  // literal P2 that keeps the LP feasible under deadline-capacity
+  // interactions; with no cancellation pressure the relaxation is exactly
+  // P2).
+  const ClusterLp cluster = build_cluster_lp(instance, b);
+  for (std::size_t t : cluster.unschedulable) {
+    decide[t] = Decision::kCancelled;
+    ++out.cancelled_infeasible;
+  }
+  const std::vector<std::size_t>& active = cluster.active;
+  if (active.empty()) {
+    for (const auto& [t, d] : decide) out.decisions.emplace_back(t, d);
+    return out;
+  }
+  const lp::Problem& p = cluster.problem;
+
+  const lp::Solution relax = solve_relaxation(p, options);
+  out.lp_iterations = relax.iterations;
+  // E_LP^(OPT) over the *real* placement columns (the cancel slack's
+  // penalty is an artifact, not energy).
+  for (std::size_t idx = 0; idx < active.size(); ++idx) {
+    for (std::size_t l = 0; l < 3; ++l) {
+      out.lp_objective += p.cost(column(idx, l)) * relax.x[column(idx, l)];
+    }
+  }
+
+  // ---- Steps 2+3: round each task to argmax_l X[i,j,l] (the cancel slack
+  // competes too; tasks rounding to it are cancelled).
+  for (std::size_t idx = 0; idx < active.size(); ++idx) {
+    const std::size_t t = active[idx];
+    std::size_t q = 0;
+    for (std::size_t l = 1; l < 4; ++l) {
+      if (relax.x[column(idx, l)] > relax.x[column(idx, q)]) q = l;
+    }
+    if (q == 3) {
+      decide[t] = Decision::kCancelled;
+      ++out.cancelled_capacity;
+      continue;
+    }
+    out.rounded_energy += instance.energy(t, kPlacements[q]);
+
+    // ---- Step 4: deadline repair. If the rounded placement misses the
+    // deadline, take the deadline-feasible placement with the largest
+    // fractional mass (guaranteed to exist after the pre-step).
+    if (!instance.meets_deadline(t, kPlacements[q])) {
+      std::size_t best = 3;
+      for (std::size_t l = 0; l < 3; ++l) {
+        if (!instance.meets_deadline(t, kPlacements[l])) continue;
+        if (best == 3 ||
+            relax.x[column(idx, l)] > relax.x[column(idx, best)]) {
+          best = l;
+        }
+      }
+      q = best;  // best < 3 by schedulability
+    }
+    decide[t] = to_decision(kPlacements[q]);
+  }
+
+  // ---- Step 5: per-device capacity repair.
+  for (const std::size_t device : cluster.device_ids) {
+    std::vector<std::size_t> local;  // tasks of this device placed locally
+    double load = 0.0;
+    for (std::size_t t : active) {
+      if (instance.task(t).id.user == device &&
+          decide[t] == Decision::kLocal) {
+        local.push_back(t);
+        load += instance.task(t).resource;
+      }
+    }
+    const double cap = topo.device(device).max_resource;
+    // Largest resource first, per the paper's greedy selection.
+    std::sort(local.begin(), local.end(), [&](std::size_t a, std::size_t c) {
+      return instance.task(a).resource > instance.task(c).resource;
+    });
+    // Pass 1: migrate to the base station when its latency fits.
+    for (std::size_t t : local) {
+      if (load <= cap) break;
+      if (instance.meets_deadline(t, Placement::kEdge)) {
+        decide[t] = Decision::kEdge;
+        load -= instance.task(t).resource;
+      }
+    }
+    // Pass 2: still over — cancel greedily by resource occupation.
+    for (std::size_t t : local) {
+      if (load <= cap) break;
+      if (decide[t] == Decision::kLocal) {
+        decide[t] = Decision::kCancelled;
+        ++out.cancelled_capacity;
+        load -= instance.task(t).resource;
+      }
+    }
+  }
+
+  // ---- Step 6: station capacity repair.
+  {
+    std::vector<std::size_t> on_edge;
+    double load = 0.0;
+    for (std::size_t t : active) {
+      if (decide[t] == Decision::kEdge) {
+        on_edge.push_back(t);
+        load += instance.task(t).resource;
+      }
+    }
+    const double cap = topo.base_station(b).max_resource;
+    std::sort(on_edge.begin(), on_edge.end(),
+              [&](std::size_t a, std::size_t c) {
+                return instance.task(a).resource > instance.task(c).resource;
+              });
+    for (std::size_t t : on_edge) {
+      if (load <= cap) break;
+      if (instance.meets_deadline(t, Placement::kCloud)) {
+        decide[t] = Decision::kCloud;
+        load -= instance.task(t).resource;
+      }
+    }
+    for (std::size_t t : on_edge) {
+      if (load <= cap) break;
+      if (decide[t] == Decision::kEdge) {
+        decide[t] = Decision::kCancelled;
+        ++out.cancelled_capacity;
+        load -= instance.task(t).resource;
+      }
+    }
+  }
+
+  out.decisions.reserve(decide.size());
+  for (const auto& [t, d] : decide) out.decisions.emplace_back(t, d);
+  return out;
+}
+
+}  // namespace
+
+Assignment LpHta::assign(const HtaInstance& instance) const {
+  LpHtaReport unused;
+  return assign_with_report(instance, unused);
+}
+
+Assignment LpHta::assign_with_report(const HtaInstance& instance,
+                                     LpHtaReport& report) const {
+  report = LpHtaReport{};
+  Assignment out;
+  out.decisions.assign(instance.num_tasks(), Decision::kCancelled);
+  const std::size_t clusters = instance.topology().num_base_stations();
+
+  std::vector<ClusterOutcome> outcomes(clusters);
+  if (options_.parallel_clusters && clusters > 1) {
+    std::vector<std::future<ClusterOutcome>> futures;
+    futures.reserve(clusters);
+    for (std::size_t b = 0; b < clusters; ++b) {
+      futures.push_back(std::async(std::launch::async, [&, b] {
+        return solve_cluster(instance, b, options_);
+      }));
+    }
+    for (std::size_t b = 0; b < clusters; ++b) outcomes[b] = futures[b].get();
+  } else {
+    for (std::size_t b = 0; b < clusters; ++b) {
+      outcomes[b] = solve_cluster(instance, b, options_);
+    }
+  }
+
+  for (const ClusterOutcome& c : outcomes) {
+    for (const auto& [t, d] : c.decisions) out.decisions[t] = d;
+    report.lp_objective += c.lp_objective;
+    report.rounded_energy += c.rounded_energy;
+    report.cancelled_infeasible += c.cancelled_infeasible;
+    report.cancelled_capacity += c.cancelled_capacity;
+    report.lp_iterations += c.lp_iterations;
+  }
+
+  // Final energy for the Theorem-2 diagnostics, plus Corollary 1's
+  // max E_ij3 / min E_ij1 alternative bound.
+  double max_e3 = 0.0;
+  double min_e1 = std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    max_e3 = std::max(max_e3, instance.energy(t, Placement::kCloud));
+    min_e1 = std::min(min_e1, instance.energy(t, Placement::kLocal));
+    if (out.decisions[t] == Decision::kCancelled) continue;
+    report.final_energy += instance.energy(t, to_placement(out.decisions[t]));
+  }
+  if (instance.num_tasks() > 0 && min_e1 > 0.0 &&
+      std::isfinite(min_e1)) {
+    report.corollary1_bound = max_e3 / min_e1;
+  }
+  return out;
+}
+
+}  // namespace mecsched::assign

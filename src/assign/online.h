@@ -1,0 +1,61 @@
+// Online task arrival — an extension beyond the paper's quasi-static
+// setting (its Sec. II assumes all tasks are known up front; real MEC
+// systems see a stream).
+//
+// The scheduler batches arrivals into fixed epochs. At each epoch boundary
+// it (a) releases the resources of tasks that finished, (b) shrinks every
+// pending task's deadline by the time it already waited, and (c) runs
+// LP-HTA on the batch against the *residual* capacities. Tasks whose
+// remaining slack is gone are cancelled, like LP-HTA's own escape hatch.
+//
+// This turns the paper's one-shot algorithm into a rolling-horizon policy
+// and lets the ablation benchmark measure the price of not knowing the
+// future (online vs clairvoyant-offline LP-HTA on the same task set).
+#pragma once
+
+#include <vector>
+
+#include "assign/assignment.h"
+#include "assign/lp_hta.h"
+#include "mec/task.h"
+#include "mec/topology.h"
+
+namespace mecsched::assign {
+
+struct TimedTask {
+  mec::Task task;       // deadline_s is *relative* to the release time
+  double release_s = 0.0;
+};
+
+struct OnlineOptions {
+  double epoch_s = 0.5;  // batching window
+  LpHtaOptions lp{};
+};
+
+struct OnlineTaskOutcome {
+  Decision decision = Decision::kCancelled;
+  double start_s = 0.0;   // epoch boundary where it was scheduled
+  double finish_s = 0.0;  // start + latency (0 when cancelled)
+};
+
+struct OnlineResult {
+  std::vector<OnlineTaskOutcome> outcomes;  // aligned with the input order
+  double total_energy_j = 0.0;
+  double mean_response_s = 0.0;  // finish - release over placed tasks
+  double makespan_s = 0.0;
+  std::size_t cancelled = 0;
+  std::size_t epochs = 0;
+};
+
+class OnlineScheduler {
+ public:
+  explicit OnlineScheduler(OnlineOptions options = {}) : options_(options) {}
+
+  OnlineResult run(const mec::Topology& topology,
+                   const std::vector<TimedTask>& tasks) const;
+
+ private:
+  OnlineOptions options_;
+};
+
+}  // namespace mecsched::assign

@@ -1,0 +1,104 @@
+#include "assign/partial.h"
+
+#include <algorithm>
+
+#include "mec/cost_model.h"
+
+namespace mecsched::assign {
+
+PartialDecision optimal_split(const HtaInstance& instance, std::size_t t) {
+  const mec::Topology& topo = instance.topology();
+  const mec::CostModel cost(topo);
+  const mec::Task& task = instance.task(t);
+  const mec::Device& dev = topo.device(task.id.user);
+  const mec::BaseStation& bs = topo.base_station(dev.base_station);
+  const mec::SystemParameters& params = topo.params();
+
+  const double alpha = task.local_bytes;
+  const double beta = task.external_bytes;
+  const double lambda = task.cycles_per_byte;
+  const double result = task.result_bytes();
+
+  const bool fetch_needed = beta > 0.0 && task.external_owner != task.id.user;
+  double fetch_s = 0.0;
+  double fetch_energy = 0.0;
+  if (fetch_needed) {
+    fetch_s = cost.upload_seconds(task.external_owner, beta);
+    fetch_energy = cost.upload_energy(task.external_owner, beta);
+    if (!topo.same_cluster(task.external_owner, task.id.user)) {
+      fetch_s += cost.bs_to_bs_seconds(beta);
+      fetch_energy += cost.bs_to_bs_energy(beta);
+    }
+  }
+  const double down_s = cost.download_seconds(task.id.user, result);
+  const double down_energy = cost.download_energy(task.id.user, result);
+
+  const auto device_side = [&](double theta) {
+    return theta * alpha * lambda / dev.cpu_hz;
+  };
+  const auto edge_side = [&](double theta) {
+    const double offloaded = (1.0 - theta) * alpha;
+    if (offloaded <= 0.0 && beta <= 0.0) {
+      return 0.0;  // nothing runs at the edge: no compute, no result leg
+    }
+    const double up_s =
+        offloaded > 0.0 ? cost.upload_seconds(task.id.user, offloaded) : 0.0;
+    return std::max(up_s, fetch_s) +
+           (offloaded + beta) * lambda / bs.cpu_hz + down_s;
+  };
+  const auto objective = [&](double theta) {
+    return std::max(device_side(theta), edge_side(theta));
+  };
+
+  // device_side grows with θ, edge_side shrinks (with a jump to 0 at θ = 1
+  // when β = 0); the interior minimum of the max is where they cross.
+  // Evaluate that crossing plus both corners and keep the best.
+  double theta = 1.0;
+  if (device_side(1.0) > edge_side(1.0)) {
+    double lo = 0.0, hi = 1.0;  // device_side(lo) <= edge_side(lo)
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (device_side(mid) <= edge_side(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    theta = 0.5 * (lo + hi);
+  }
+  for (double corner : {0.0, 1.0}) {
+    if (objective(corner) < objective(theta)) theta = corner;
+  }
+
+  PartialDecision out;
+  out.theta = theta;
+  out.latency_s = objective(theta);
+  const double offloaded = (1.0 - theta) * alpha;
+  out.energy_j =
+      params.kappa * theta * alpha * lambda * dev.cpu_hz * dev.cpu_hz +
+      (offloaded > 0.0 ? cost.upload_energy(task.id.user, offloaded) : 0.0);
+  if (offloaded > 0.0 || beta > 0.0) {
+    // Only when the edge actually runs something does its result (and the
+    // external fetch) cross the radio.
+    out.energy_j += fetch_energy + down_energy;
+  }
+  return out;
+}
+
+PartialOffloadResult run_partial(const HtaInstance& instance) {
+  PartialOffloadResult out;
+  out.decisions.reserve(instance.num_tasks());
+  double latency_sum = 0.0;
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    out.decisions.push_back(optimal_split(instance, t));
+    latency_sum += out.decisions.back().latency_s;
+    out.total_energy_j += out.decisions.back().energy_j;
+  }
+  out.mean_latency_s = instance.num_tasks() == 0
+                           ? 0.0
+                           : latency_sum / static_cast<double>(
+                                               instance.num_tasks());
+  return out;
+}
+
+}  // namespace mecsched::assign

@@ -1,0 +1,44 @@
+// Partial offloading — an extension implementing the related-work family
+// the paper contrasts against (Hermes [25], DVS-based partial offloading
+// [26]): instead of the binary device/edge/cloud choice of HTA, a task may
+// split its computation, processing a fraction θ of its local data on the
+// device while the base station handles the rest plus the external data.
+//
+// Model (consistent with Sec. II):
+//   device side   t_dev(θ)  = θ·α·λ / f_i                    (increasing)
+//   edge side     t_edge(θ) = max{ up((1-θ)α), fetch(β) }
+//                             + ((1-θ)α + β)·λ / f_s + down(η)  (decreasing)
+//   task latency  max{ t_dev, t_edge }  — the two sides run in parallel.
+//
+// The latency-optimal θ* is where the increasing and decreasing sides
+// cross (or a corner), found by bisection. Capacities are ignored — this
+// is the *fluid lower bound* the ablation benchmark compares LP-HTA's
+// binary decisions against; it answers "how much latency does integrality
+// cost?".
+#pragma once
+
+#include <vector>
+
+#include "assign/hta_instance.h"
+
+namespace mecsched::assign {
+
+struct PartialDecision {
+  double theta = 0.0;      // fraction of α processed on the device
+  double latency_s = 0.0;  // max of the two parallel sides at θ*
+  double energy_j = 0.0;
+};
+
+// Latency-optimal split of task `t`.
+PartialDecision optimal_split(const HtaInstance& instance, std::size_t t);
+
+struct PartialOffloadResult {
+  std::vector<PartialDecision> decisions;
+  double mean_latency_s = 0.0;
+  double total_energy_j = 0.0;
+};
+
+// Splits every task independently (no capacity coupling).
+PartialOffloadResult run_partial(const HtaInstance& instance);
+
+}  // namespace mecsched::assign

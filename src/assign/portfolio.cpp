@@ -1,0 +1,68 @@
+#include "assign/portfolio.h"
+
+#include <limits>
+
+#include "assign/baselines.h"
+#include "assign/evaluator.h"
+#include "assign/hgos.h"
+#include "assign/lp_hta.h"
+#include "common/error.h"
+
+namespace mecsched::assign {
+
+Portfolio::Portfolio(std::vector<std::shared_ptr<Assigner>> candidates)
+    : candidates_(std::move(candidates)) {
+  MECSCHED_REQUIRE(!candidates_.empty(), "portfolio needs candidates");
+}
+
+Portfolio Portfolio::standard() {
+  std::vector<std::shared_ptr<Assigner>> c;
+  c.push_back(std::make_shared<LpHta>());
+  c.push_back(std::make_shared<Hgos>());
+  c.push_back(std::make_shared<LocalFirst>());
+  c.push_back(std::make_shared<AllOffload>());
+  return Portfolio(std::move(c));
+}
+
+Assignment Portfolio::assign(const HtaInstance& instance) const {
+  PortfolioReport unused;
+  return assign_with_report(instance, unused);
+}
+
+Assignment Portfolio::assign_with_report(const HtaInstance& instance,
+                                         PortfolioReport& report) const {
+  report = PortfolioReport{};
+
+  struct Score {
+    std::size_t unsatisfied = std::numeric_limits<std::size_t>::max();
+    bool infeasible = true;
+    double energy = std::numeric_limits<double>::infinity();
+
+    bool better_than(const Score& o) const {
+      if (unsatisfied != o.unsatisfied) return unsatisfied < o.unsatisfied;
+      if (infeasible != o.infeasible) return !infeasible;
+      return energy < o.energy;
+    }
+  };
+
+  Assignment best;
+  Score best_score;
+  for (const auto& candidate : candidates_) {
+    Assignment plan = candidate->assign(instance);
+    const Metrics m = evaluate(instance, plan);
+    Score score;
+    score.unsatisfied = m.cancelled + m.deadline_violations;
+    score.infeasible = !check_feasibility(instance, plan).ok;
+    score.energy = m.total_energy_j;
+    ++report.candidates_tried;
+    if (score.better_than(best_score)) {
+      best_score = score;
+      best = std::move(plan);
+      report.winner = candidate->name();
+      report.winner_energy_j = m.total_energy_j;
+    }
+  }
+  return best;
+}
+
+}  // namespace mecsched::assign

@@ -1,0 +1,40 @@
+// Portfolio meta-assigner: run several algorithms on the instance, score
+// each plan, keep the best. Scoring is lexicographic:
+//   1. fewest unsatisfied tasks (cancelled + deadline violations),
+//   2. full constraint feasibility (C2/C3 respected),
+//   3. lowest total energy.
+// Useful when the workload regime is unknown up front — LP-HTA wins on
+// constrained instances, cheaper heuristics tie it on slack ones.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "assign/assigner.h"
+
+namespace mecsched::assign {
+
+struct PortfolioReport {
+  std::string winner;
+  double winner_energy_j = 0.0;
+  std::size_t candidates_tried = 0;
+};
+
+class Portfolio : public Assigner {
+ public:
+  explicit Portfolio(std::vector<std::shared_ptr<Assigner>> candidates);
+
+  // The standard portfolio: LP-HTA, HGOS, LocalFirst, AllOffload.
+  static Portfolio standard();
+
+  Assignment assign(const HtaInstance& instance) const override;
+  Assignment assign_with_report(const HtaInstance& instance,
+                                PortfolioReport& report) const;
+
+  std::string name() const override { return "Portfolio"; }
+
+ private:
+  std::vector<std::shared_ptr<Assigner>> candidates_;
+};
+
+}  // namespace mecsched::assign

@@ -1,0 +1,33 @@
+#include "assign/recovery.h"
+
+#include "common/error.h"
+
+namespace mecsched::assign {
+
+RecoveryResult replan_after_device_failure(const HtaInstance& instance,
+                                           const Assignment& original,
+                                           std::size_t failed_device) {
+  MECSCHED_REQUIRE(original.size() == instance.num_tasks(),
+                   "assignment size mismatch");
+  MECSCHED_REQUIRE(failed_device < instance.topology().num_devices(),
+                   "unknown device");
+  RecoveryResult out;
+  out.assignment = original;
+
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    if (out.assignment.decisions[t] == Decision::kCancelled) continue;
+    const mec::Task& task = instance.task(t);
+    if (task.id.user == failed_device) {
+      out.assignment.decisions[t] = Decision::kCancelled;
+      ++out.lost_issued;
+      continue;
+    }
+    if (task.external_bytes > 0.0 && task.external_owner == failed_device) {
+      out.assignment.decisions[t] = Decision::kCancelled;
+      ++out.lost_data;
+    }
+  }
+  return out;
+}
+
+}  // namespace mecsched::assign

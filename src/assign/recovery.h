@@ -1,0 +1,34 @@
+// Failure recovery: repair an assignment after a mobile device dies.
+//
+// When device `failed` goes down:
+//   * tasks it *issued* are lost — there is no radio left to upload their
+//     local data or receive their results;
+//   * tasks whose *external data owner* it was are lost too — their β is
+//     gone (the paper's model has a single owner per task);
+//   * tasks that merely *executed* on it (kLocal) but were issued by other
+//     devices do not exist in this model (a task only runs locally on its
+//     own issuer), so every other task keeps its placement.
+//
+// The lost tasks are marked cancelled; the survivors are re-checked for
+// capacity (removing a device never frees station capacity, so they stay
+// feasible). The repaired plan can then be replayed on the simulator with
+// the same failure injected to verify no surviving task touches the dead
+// hardware.
+#pragma once
+
+#include "assign/assignment.h"
+#include "assign/hta_instance.h"
+
+namespace mecsched::assign {
+
+struct RecoveryResult {
+  Assignment assignment;
+  std::size_t lost_issued = 0;  // tasks issued by the failed device
+  std::size_t lost_data = 0;    // tasks whose external owner failed
+};
+
+RecoveryResult replan_after_device_failure(const HtaInstance& instance,
+                                           const Assignment& original,
+                                           std::size_t failed_device);
+
+}  // namespace mecsched::assign

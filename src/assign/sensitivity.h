@@ -1,0 +1,29 @@
+// Capacity sensitivity analysis — what is a unit of edge capacity worth?
+//
+// Solves each cluster's LP relaxation (the same LP as LP-HTA Step 1) and
+// reads the dual values of the resource rows (C2)/(C3). For a minimization
+// with "<=" rows the duals are non-positive; their negation is the *shadow
+// price*: the marginal decrease in LP-optimal energy per extra unit of
+// max_i / max_S. Zero means the capacity is slack; large values tell an
+// operator which device or base station to upgrade first.
+//
+// Shadow prices are exact for the LP relaxation (locally, while the basis
+// stays optimal) and a good guide for the integral problem; the test suite
+// validates them against finite differences of the LP optimum.
+#pragma once
+
+#include <vector>
+
+#include "assign/hta_instance.h"
+
+namespace mecsched::assign {
+
+struct ShadowPrices {
+  // J saved per extra resource unit, >= 0. Indexed by device/station id.
+  std::vector<double> device;
+  std::vector<double> station;
+};
+
+ShadowPrices capacity_shadow_prices(const HtaInstance& instance);
+
+}  // namespace mecsched::assign

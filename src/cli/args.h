@@ -1,0 +1,39 @@
+// Tiny command-line argument parser for the mecsched tool.
+//
+//   mecsched <command> [--flag value]... [--switch]...
+//
+// Flags are declared up front so typos fail fast with a helpful message
+// instead of being ignored.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mecsched::cli {
+
+class ArgParser {
+ public:
+  // `allowed_flags` take a value; `allowed_switches` are boolean.
+  ArgParser(std::set<std::string> allowed_flags,
+            std::set<std::string> allowed_switches);
+
+  // Parses argv-style tokens (excluding the program/command names).
+  // Throws ModelError on unknown flags or missing values.
+  void parse(const std::vector<std::string>& tokens);
+
+  bool has(const std::string& flag) const;
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  double get_num(const std::string& flag, double fallback) const;
+  bool get_switch(const std::string& name) const;
+
+ private:
+  std::set<std::string> allowed_flags_;
+  std::set<std::string> allowed_switches_;
+  std::map<std::string, std::string> values_;
+  std::set<std::string> switches_;
+};
+
+}  // namespace mecsched::cli

@@ -1,0 +1,441 @@
+#include "cli/commands.h"
+
+#include <exception>
+#include <memory>
+
+#include "assign/baselines.h"
+#include "assign/best_response.h"
+#include "assign/evaluator.h"
+#include "assign/exact.h"
+#include "assign/hgos.h"
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "assign/portfolio.h"
+#include "assign/recovery.h"
+#include "assign/sensitivity.h"
+#include "cli/args.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "dta/pipeline.h"
+#include "io/codec.h"
+#include "mec/cost_breakdown.h"
+#include "io/shared_codec.h"
+#include "io/trace_codec.h"
+#include "sim/simulator.h"
+#include "workload/arrivals.h"
+#include "workload/scenario.h"
+#include "workload/shared_data.h"
+
+namespace mecsched::cli {
+namespace {
+
+std::unique_ptr<assign::Assigner> make_assigner(const std::string& name) {
+  if (name == "lp-hta") return std::make_unique<assign::LpHta>();
+  if (name == "lp-hta-ipm") {
+    return std::make_unique<assign::LpHta>(
+        assign::LpHtaOptions{assign::LpEngine::kInteriorPoint});
+  }
+  if (name == "hgos") return std::make_unique<assign::Hgos>();
+  if (name == "alltoc") return std::make_unique<assign::AllToCloud>();
+  if (name == "alloffload") return std::make_unique<assign::AllOffload>();
+  if (name == "local-first") return std::make_unique<assign::LocalFirst>();
+  if (name == "random") return std::make_unique<assign::RandomAssign>();
+  if (name == "exact") return std::make_unique<assign::ExactHta>();
+  if (name == "brd") return std::make_unique<assign::BestResponse>();
+  if (name == "portfolio") {
+    return std::make_unique<assign::Portfolio>(assign::Portfolio::standard());
+  }
+  throw ModelError("unknown algorithm: " + name +
+                   " (try lp-hta, lp-hta-ipm, hgos, alltoc, alloffload, "
+                   "local-first, random, exact, brd, portfolio)");
+}
+
+workload::Scenario load_scenario(const ArgParser& args) {
+  const std::string path = args.get("scenario", "");
+  MECSCHED_REQUIRE(!path.empty(), "--scenario <file> is required");
+  return io::scenario_from_json(io::Json::parse(io::read_file(path)));
+}
+
+assign::Assignment load_plan(const ArgParser& args) {
+  const std::string path = args.get("plan", "");
+  MECSCHED_REQUIRE(!path.empty(), "--plan <file> is required");
+  return io::assignment_from_json(io::Json::parse(io::read_file(path)));
+}
+
+void emit(const io::Json& j, const ArgParser& args, std::ostream& out) {
+  const std::string path = args.get("out", "");
+  if (path.empty()) {
+    out << j.dump(2) << '\n';
+  } else {
+    io::write_file(path, j.dump(2) + "\n");
+    out << "wrote " << path << '\n';
+  }
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: mecsched <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate  --tasks N --devices N --stations N --seed S\n"
+      "            [--max-input-kb X] [--config cfg.json] [--out scenario.json]\n"
+      "  assign    --scenario s.json [--algorithm lp-hta] [--out plan.json]\n"
+      "  evaluate  --scenario s.json --plan p.json [--out metrics.json]\n"
+      "  simulate  --scenario s.json --plan p.json [--contention]\n"
+      "  compare   --scenario s.json\n"
+      "  sensitivity --scenario s.json   (capacity shadow prices)\n"
+      "  trace     --scenario s.json --plan p.json [--contention]\n"
+      "  breakdown --scenario s.json --task T [--placement local|edge|cloud]\n"
+      "  recover   --scenario s.json --plan p.json --device D [--out p2.json]\n"
+      "  generate-arrivals --tasks N --rate R [--out timed.json]\n"
+      "  online    --scenario timed.json [--epoch-s E] [--out result.json]\n"
+      "  generate-shared --tasks N --devices N --stations N --items N\n"
+      "            --seed S [--out shared.json]\n"
+      "  dta       --scenario shared.json [--strategy workload|workload-bytes"
+      "|number]\n"
+      "            [--scheduler lp-hta|greedy] [--out result.json]\n"
+      "\n"
+      "algorithms: lp-hta lp-hta-ipm hgos alltoc alloffload local-first "
+      "random exact brd portfolio\n";
+}
+
+int cmd_generate(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"tasks", "devices", "stations", "seed", "max-input-kb",
+                  "config", "out"},
+                 {});
+  args.parse(tokens);
+
+  workload::ScenarioConfig cfg;
+  if (args.has("config")) {
+    cfg = io::config_from_json(
+        io::Json::parse(io::read_file(args.get("config", ""))));
+  }
+  cfg.num_tasks = static_cast<std::size_t>(
+      args.get_num("tasks", static_cast<double>(cfg.num_tasks)));
+  cfg.num_devices = static_cast<std::size_t>(
+      args.get_num("devices", static_cast<double>(cfg.num_devices)));
+  cfg.num_base_stations = static_cast<std::size_t>(
+      args.get_num("stations", static_cast<double>(cfg.num_base_stations)));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.get_num("seed", static_cast<double>(cfg.seed)));
+  cfg.max_input_kb = args.get_num("max-input-kb", cfg.max_input_kb);
+
+  const workload::Scenario scenario = workload::make_scenario(cfg);
+  emit(io::scenario_to_json(scenario), args, out);
+  return 0;
+}
+
+int cmd_assign(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario", "algorithm", "out"}, {});
+  args.parse(tokens);
+
+  const workload::Scenario scenario = load_scenario(args);
+  const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+  const auto algorithm = make_assigner(args.get("algorithm", "lp-hta"));
+  const assign::Assignment plan = algorithm->assign(instance);
+  emit(io::assignment_to_json(plan), args, out);
+  return 0;
+}
+
+int cmd_evaluate(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario", "plan", "out"}, {});
+  args.parse(tokens);
+
+  const workload::Scenario scenario = load_scenario(args);
+  const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+  const assign::Assignment plan = load_plan(args);
+  MECSCHED_REQUIRE(plan.size() == instance.num_tasks(),
+                   "plan size does not match scenario");
+
+  io::Json j = io::metrics_to_json(assign::evaluate(instance, plan));
+  const assign::FeasibilityReport feas =
+      assign::check_feasibility(instance, plan);
+  j.as_object()["feasible"] = io::Json(feas.ok);
+  io::JsonArray problems;
+  for (const std::string& p : feas.problems) problems.emplace_back(p);
+  j.as_object()["problems"] = io::Json(std::move(problems));
+  emit(j, args, out);
+  return feas.ok ? 0 : 2;
+}
+
+int cmd_simulate(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario", "plan", "out"}, {"contention"});
+  args.parse(tokens);
+
+  const workload::Scenario scenario = load_scenario(args);
+  const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+  const assign::Assignment plan = load_plan(args);
+  MECSCHED_REQUIRE(plan.size() == instance.num_tasks(),
+                   "plan size does not match scenario");
+
+  sim::SimOptions sim_opts;
+  sim_opts.model_contention = args.get_switch("contention");
+  const sim::SimResult r = sim::simulate(instance, plan, sim_opts);
+  io::JsonObject o;
+  o["makespan_s"] = r.makespan_s;
+  o["total_energy_j"] = r.total_energy_j;
+  o["events"] = r.events_processed;
+  io::JsonArray tasks;
+  for (const sim::TaskTimeline& tl : r.timelines) {
+    io::JsonObject t;
+    t["task"] = tl.task;
+    t["placed"] = io::Json(tl.placed);
+    if (tl.placed) {
+      t["latency_s"] = tl.latency_s();
+      t["energy_j"] = tl.energy_j;
+    }
+    tasks.emplace_back(std::move(t));
+  }
+  o["tasks"] = io::Json(std::move(tasks));
+  emit(io::Json(std::move(o)), args, out);
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario"}, {});
+  args.parse(tokens);
+
+  const workload::Scenario scenario = load_scenario(args);
+  const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+
+  Table table({"algorithm", "energy (J)", "mean latency (s)",
+               "unsatisfied", "feasible"});
+  for (const char* name :
+       {"lp-hta", "hgos", "alltoc", "alloffload", "local-first"}) {
+    const auto algorithm = make_assigner(name);
+    const assign::Assignment plan = algorithm->assign(instance);
+    const assign::Metrics m = assign::evaluate(instance, plan);
+    const bool ok = assign::check_feasibility(instance, plan).ok;
+    table.add_row({algorithm->name(), Table::num(m.total_energy_j, 1),
+                   Table::num(m.mean_latency_s, 3),
+                   Table::num(m.unsatisfied_rate(), 3), ok ? "yes" : "no"});
+  }
+  out << table;
+  return 0;
+}
+
+int cmd_breakdown(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario", "task", "placement", "out"}, {});
+  args.parse(tokens);
+  const workload::Scenario scenario = load_scenario(args);
+  const auto t = static_cast<std::size_t>(args.get_num("task", 0));
+  MECSCHED_REQUIRE(t < scenario.tasks.size(), "--task index out of range");
+
+  const std::string where = args.get("placement", "");
+  std::vector<mec::Placement> placements;
+  if (where.empty()) {
+    placements.assign(mec::kAllPlacements.begin(), mec::kAllPlacements.end());
+  } else if (where == "local") {
+    placements = {mec::Placement::kLocal};
+  } else if (where == "edge") {
+    placements = {mec::Placement::kEdge};
+  } else if (where == "cloud") {
+    placements = {mec::Placement::kCloud};
+  } else {
+    throw ModelError("unknown placement: " + where);
+  }
+
+  io::JsonObject root;
+  for (mec::Placement p : placements) {
+    const mec::CostBreakdown b =
+        mec::explain(scenario.topology, scenario.tasks[t], p);
+    io::JsonArray legs;
+    for (const mec::CostLeg& leg : b.legs) {
+      io::JsonObject lj;
+      lj["label"] = io::Json(leg.label);
+      lj["time_s"] = leg.time_s;
+      lj["energy_j"] = leg.energy_j;
+      lj["parallel"] = io::Json(leg.parallel);
+      legs.emplace_back(std::move(lj));
+    }
+    io::JsonObject pj;
+    pj["legs"] = io::Json(std::move(legs));
+    pj["total_time_s"] = b.total_time();
+    pj["total_energy_j"] = b.total_energy();
+    root[mec::to_string(p)] = io::Json(std::move(pj));
+  }
+  emit(io::Json(std::move(root)), args, out);
+  return 0;
+}
+
+int cmd_recover(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario", "plan", "device", "out"}, {});
+  args.parse(tokens);
+  const workload::Scenario scenario = load_scenario(args);
+  const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+  const assign::Assignment plan = load_plan(args);
+  MECSCHED_REQUIRE(plan.size() == instance.num_tasks(),
+                   "plan size does not match scenario");
+  const auto device = static_cast<std::size_t>(args.get_num("device", 0));
+  const assign::RecoveryResult r =
+      assign::replan_after_device_failure(instance, plan, device);
+  io::Json j = io::assignment_to_json(r.assignment);
+  j.as_object()["lost_issued"] = io::Json(r.lost_issued);
+  j.as_object()["lost_data"] = io::Json(r.lost_data);
+  emit(j, args, out);
+  return 0;
+}
+
+int cmd_generate_arrivals(const std::vector<std::string>& tokens,
+                          std::ostream& out) {
+  ArgParser args({"tasks", "devices", "stations", "seed", "rate", "out"}, {});
+  args.parse(tokens);
+  workload::ArrivalConfig cfg;
+  cfg.scenario.num_tasks = static_cast<std::size_t>(
+      args.get_num("tasks", static_cast<double>(cfg.scenario.num_tasks)));
+  cfg.scenario.num_devices = static_cast<std::size_t>(
+      args.get_num("devices", static_cast<double>(cfg.scenario.num_devices)));
+  cfg.scenario.num_base_stations = static_cast<std::size_t>(args.get_num(
+      "stations", static_cast<double>(cfg.scenario.num_base_stations)));
+  cfg.scenario.seed = static_cast<std::uint64_t>(
+      args.get_num("seed", static_cast<double>(cfg.scenario.seed)));
+  cfg.arrival_rate_per_s = args.get_num("rate", cfg.arrival_rate_per_s);
+  emit(io::timed_scenario_to_json(workload::make_timed_scenario(cfg)), args,
+       out);
+  return 0;
+}
+
+int cmd_online(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario", "epoch-s", "out"}, {});
+  args.parse(tokens);
+  const std::string path = args.get("scenario", "");
+  MECSCHED_REQUIRE(!path.empty(), "--scenario <file> is required");
+  const workload::TimedScenario scenario =
+      io::timed_scenario_from_json(io::Json::parse(io::read_file(path)));
+  assign::OnlineOptions opts;
+  opts.epoch_s = args.get_num("epoch-s", opts.epoch_s);
+  const assign::OnlineResult r =
+      assign::OnlineScheduler(opts).run(scenario.topology, scenario.tasks);
+  emit(io::online_result_to_json(r), args, out);
+  return 0;
+}
+
+int cmd_sensitivity(const std::vector<std::string>& tokens,
+                    std::ostream& out) {
+  ArgParser args({"scenario", "out"}, {});
+  args.parse(tokens);
+  const workload::Scenario scenario = load_scenario(args);
+  const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+  const assign::ShadowPrices sp = assign::capacity_shadow_prices(instance);
+
+  io::JsonArray devices, stations;
+  for (double v : sp.device) devices.emplace_back(v);
+  for (double v : sp.station) stations.emplace_back(v);
+  io::JsonObject o;
+  o["device_shadow_price_j_per_unit"] = io::Json(std::move(devices));
+  o["station_shadow_price_j_per_unit"] = io::Json(std::move(stations));
+  emit(io::Json(std::move(o)), args, out);
+  return 0;
+}
+
+int cmd_trace(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario", "plan", "out"}, {"contention"});
+  args.parse(tokens);
+  const workload::Scenario scenario = load_scenario(args);
+  const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+  const assign::Assignment plan = load_plan(args);
+  MECSCHED_REQUIRE(plan.size() == instance.num_tasks(),
+                   "plan size does not match scenario");
+  sim::SimOptions sim_opts;
+  sim_opts.model_contention = args.get_switch("contention");
+  const sim::SimResult r = sim::simulate(instance, plan, sim_opts);
+  emit(io::sim_result_to_json(r), args, out);
+  return 0;
+}
+
+int cmd_generate_shared(const std::vector<std::string>& tokens,
+                        std::ostream& out) {
+  ArgParser args({"tasks", "devices", "stations", "items", "seed",
+                  "max-input-kb", "out"},
+                 {});
+  args.parse(tokens);
+
+  workload::SharedDataConfig cfg;
+  cfg.num_tasks = static_cast<std::size_t>(
+      args.get_num("tasks", static_cast<double>(cfg.num_tasks)));
+  cfg.num_devices = static_cast<std::size_t>(
+      args.get_num("devices", static_cast<double>(cfg.num_devices)));
+  cfg.num_base_stations = static_cast<std::size_t>(
+      args.get_num("stations", static_cast<double>(cfg.num_base_stations)));
+  cfg.num_items = static_cast<std::size_t>(
+      args.get_num("items", static_cast<double>(cfg.num_items)));
+  cfg.seed = static_cast<std::uint64_t>(
+      args.get_num("seed", static_cast<double>(cfg.seed)));
+  cfg.max_input_kb = args.get_num("max-input-kb", cfg.max_input_kb);
+
+  const dta::SharedDataScenario scenario = workload::make_shared_scenario(cfg);
+  emit(io::shared_scenario_to_json(scenario), args, out);
+  return 0;
+}
+
+int cmd_dta(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"scenario", "strategy", "scheduler", "out"}, {});
+  args.parse(tokens);
+
+  const std::string path = args.get("scenario", "");
+  MECSCHED_REQUIRE(!path.empty(), "--scenario <file> is required");
+  const dta::SharedDataScenario scenario =
+      io::shared_scenario_from_json(io::Json::parse(io::read_file(path)));
+
+  dta::DtaOptions opts;
+  const std::string strategy = args.get("strategy", "workload");
+  if (strategy == "workload") {
+    opts.strategy = dta::DtaStrategy::kWorkload;
+  } else if (strategy == "workload-bytes") {
+    opts.strategy = dta::DtaStrategy::kWorkloadBytes;
+  } else if (strategy == "number") {
+    opts.strategy = dta::DtaStrategy::kNumber;
+  } else {
+    throw ModelError("unknown strategy: " + strategy +
+                     " (try workload, workload-bytes, number)");
+  }
+  const std::string scheduler = args.get("scheduler", "lp-hta");
+  if (scheduler == "lp-hta") {
+    opts.scheduler = dta::PartialScheduler::kLpHta;
+  } else if (scheduler == "greedy") {
+    opts.scheduler = dta::PartialScheduler::kLocalGreedy;
+  } else {
+    throw ModelError("unknown scheduler: " + scheduler +
+                     " (try lp-hta, greedy)");
+  }
+
+  const dta::DtaResult result = dta::run_dta(scenario, opts);
+  io::Json j = io::dta_result_to_json(result);
+  j.as_object()["strategy"] = io::Json(dta::to_string(opts.strategy));
+  emit(j, args, out);
+  return 0;
+}
+
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err) {
+  if (argv.empty() || argv[0] == "--help" || argv[0] == "help") {
+    out << usage();
+    return argv.empty() ? 1 : 0;
+  }
+  const std::string command = argv[0];
+  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+  try {
+    if (command == "generate") return cmd_generate(rest, out);
+    if (command == "assign") return cmd_assign(rest, out);
+    if (command == "evaluate") return cmd_evaluate(rest, out);
+    if (command == "simulate") return cmd_simulate(rest, out);
+    if (command == "compare") return cmd_compare(rest, out);
+    if (command == "generate-shared") return cmd_generate_shared(rest, out);
+    if (command == "sensitivity") return cmd_sensitivity(rest, out);
+    if (command == "breakdown") return cmd_breakdown(rest, out);
+    if (command == "recover") return cmd_recover(rest, out);
+    if (command == "generate-arrivals") return cmd_generate_arrivals(rest, out);
+    if (command == "online") return cmd_online(rest, out);
+    if (command == "trace") return cmd_trace(rest, out);
+    if (command == "dta") return cmd_dta(rest, out);
+    err << "unknown command: " << command << "\n\n" << usage();
+    return 1;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace mecsched::cli

@@ -1,0 +1,36 @@
+#include "common/csv.h"
+
+#include "common/error.h"
+
+namespace mecsched {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  MECSCHED_REQUIRE(out_.good(), "cannot open CSV file: " + path);
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  MECSCHED_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace mecsched

@@ -1,0 +1,28 @@
+// Minimal CSV writer. Benchmarks optionally dump their series as CSV (next
+// to the console table) so figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mecsched {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Throws ModelError if
+  // the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  // Escapes a single field per RFC 4180 (quotes fields containing comma,
+  // quote or newline).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace mecsched

@@ -1,0 +1,49 @@
+// Error-handling primitives for mecsched.
+//
+// The library reports programmer errors (precondition violations) via
+// MECSCHED_REQUIRE which throws std::invalid_argument, and numeric/solver
+// failures via dedicated exception types. Benchmarks and examples are free
+// to let these propagate; library code never calls std::abort.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mecsched {
+
+// Thrown when a solver cannot make progress (singular system, unbounded LP
+// iterations exhausted, ...). Distinct from an *infeasible* model, which is
+// reported through solver status codes, not exceptions.
+class SolverError : public std::runtime_error {
+ public:
+  explicit SolverError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Thrown when input data fails validation (negative sizes, mismatched
+// dimensions, ...).
+class ModelError : public std::invalid_argument {
+ public:
+  explicit ModelError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ModelError(os.str());
+}
+}  // namespace detail
+
+}  // namespace mecsched
+
+// Precondition check that survives NDEBUG builds: invalid inputs must be
+// rejected in release binaries too (these guard public API boundaries).
+#define MECSCHED_REQUIRE(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::mecsched::detail::require_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)

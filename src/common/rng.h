@@ -1,0 +1,64 @@
+// Deterministic random-number generation for workloads and tests.
+//
+// Every stochastic component in mecsched draws from an explicitly seeded
+// `Rng`, so a scenario is fully reproducible from (seed, parameters). The
+// class wraps std::mt19937_64 with the handful of distributions the
+// workload generator needs; fresh independent streams can be forked so
+// that adding a new consumer does not perturb existing draws.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mecsched {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p);
+
+  // Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  // Normal draw, truncated below at `lo` (resampled).
+  double truncated_normal(double mean, double stddev, double lo);
+
+  // Picks an index in [0, weights.size()) with probability proportional to
+  // weights[i]. Weights must be non-negative and not all zero.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // A random subset of {0, ..., n-1} of exactly `k` elements (k <= n),
+  // uniformly over all such subsets, in increasing order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  // In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Forks an independent stream; the child's sequence is decorrelated from
+  // the parent's by mixing the fork index into the seed.
+  Rng fork(std::uint64_t stream) const;
+
+  std::mt19937_64& engine() { return engine_; }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mecsched

@@ -1,0 +1,43 @@
+// Streaming summary statistics and small helpers used by the metrics and
+// benchmark layers.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace mecsched {
+
+// Online accumulator (Welford) for mean/variance plus min/max/sum. Cheap to
+// copy; merging two accumulators is supported so per-thread partials can be
+// combined.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Percentile over a copy of the data (linear interpolation between ranks).
+// `q` in [0, 1]; returns NaN on empty input.
+double percentile(std::vector<double> values, double q);
+
+// True when |a - b| <= tol * max(1, |a|, |b|).
+bool approx_equal(double a, double b, double tol = 1e-9);
+
+}  // namespace mecsched

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mecsched {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  MECSCHED_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  MECSCHED_REQUIRE(cells.size() == headers_.size(),
+                   "row width differs from header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(widths[c])) << row[c] << ' ';
+    }
+    os << "|\n";
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace mecsched

@@ -1,0 +1,33 @@
+// Fixed-width console table used by the benchmark harness to print the
+// paper's figure series ("rows the paper reports"). Columns auto-size to
+// the widest cell; numeric cells are right-aligned.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mecsched {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row. Row length must match the header length.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with `precision` significant decimals.
+  static std::string num(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace mecsched

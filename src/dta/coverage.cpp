@@ -1,0 +1,132 @@
+#include "dta/coverage.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "dta/set_cover.h"
+
+namespace mecsched::dta {
+
+std::size_t Coverage::involved_devices() const {
+  std::size_t n = 0;
+  for (const ItemSet& s : assigned) n += s.empty() ? 0 : 1;
+  return n;
+}
+
+std::size_t Coverage::max_share() const {
+  std::size_t mx = 0;
+  for (const ItemSet& s : assigned) mx = std::max(mx, s.size());
+  return mx;
+}
+
+std::size_t Coverage::total_items() const {
+  std::size_t n = 0;
+  for (const ItemSet& s : assigned) n += s.size();
+  return n;
+}
+
+double Coverage::max_share_bytes(const DataUniverse& universe) const {
+  double mx = 0.0;
+  for (const ItemSet& s : assigned) {
+    mx = std::max(mx, universe.total_bytes(s));
+  }
+  return mx;
+}
+
+Coverage divide_balanced(const ItemSet& needed,
+                         const std::vector<ItemSet>& ownership) {
+  const std::size_t n = ownership.size();
+  Coverage cover;
+  cover.assigned.assign(n, {});
+  ItemSet remaining = needed;
+  std::vector<bool> used(n, false);
+
+  // Paper Sec. IV.A, Steps 1-3: repeatedly pick the device with the
+  // *smallest non-empty* intersection with the remaining data, hand it that
+  // whole intersection, and shrink D. Devices whose data is scarce are
+  // served first, so no single remaining owner is forced into a huge share.
+  while (!remaining.empty()) {
+    std::size_t best = n;
+    std::size_t best_size = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const std::size_t size = set_intersect(ownership[i], remaining).size();
+      if (size == 0) continue;
+      if (best == n || size < best_size) {
+        best = i;
+        best_size = size;
+      }
+    }
+    if (best == n) {
+      throw ModelError("DTA-Workload: data item owned by no device");
+    }
+    cover.assigned[best] = set_intersect(ownership[best], remaining);
+    remaining = set_minus(remaining, cover.assigned[best]);
+    used[best] = true;
+  }
+  return cover;
+}
+
+Coverage divide_balanced_bytes(const ItemSet& needed,
+                               const std::vector<ItemSet>& ownership,
+                               const DataUniverse& universe) {
+  const std::size_t n = ownership.size();
+  Coverage cover;
+  cover.assigned.assign(n, {});
+  ItemSet remaining = needed;
+  std::vector<bool> used(n, false);
+
+  while (!remaining.empty()) {
+    std::size_t best = n;
+    double best_bytes = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const ItemSet inter = set_intersect(ownership[i], remaining);
+      if (inter.empty()) continue;
+      const double bytes = universe.total_bytes(inter);
+      if (best == n || bytes < best_bytes) {
+        best = i;
+        best_bytes = bytes;
+      }
+    }
+    if (best == n) {
+      throw ModelError("DTA-Workload(bytes): data item owned by no device");
+    }
+    cover.assigned[best] = set_intersect(ownership[best], remaining);
+    remaining = set_minus(remaining, cover.assigned[best]);
+    used[best] = true;
+  }
+  return cover;
+}
+
+Coverage divide_min_devices(const ItemSet& needed,
+                            const std::vector<ItemSet>& ownership) {
+  Coverage cover;
+  cover.assigned.assign(ownership.size(), {});
+  // Greedy set cover picks the devices; each picked device takes every
+  // still-unassigned item it owns (Sec. IV.B, Steps 1-3).
+  ItemSet remaining = needed;
+  for (std::size_t i : greedy_set_cover(needed, ownership)) {
+    cover.assigned[i] = set_intersect(ownership[i], remaining);
+    remaining = set_minus(remaining, cover.assigned[i]);
+  }
+  return cover;
+}
+
+bool is_valid_coverage(const Coverage& c, const ItemSet& needed,
+                       const std::vector<ItemSet>& ownership) {
+  if (c.assigned.size() != ownership.size()) return false;
+  ItemSet all;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < c.assigned.size(); ++i) {
+    if (!is_sorted_unique(c.assigned[i])) return false;
+    // C_i ⊆ D_i (no raw-data movement)
+    if (!set_minus(c.assigned[i], ownership[i]).empty()) return false;
+    all = set_union(all, c.assigned[i]);
+    total += c.assigned[i].size();
+  }
+  // disjoint (sizes add up) and complete (union == needed)
+  return total == all.size() && all == needed;
+}
+
+}  // namespace mecsched::dta

@@ -1,0 +1,84 @@
+#include "dta/data_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mecsched::dta {
+
+ItemSet set_intersect(const ItemSet& a, const ItemSet& b) {
+  ItemSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+ItemSet set_union(const ItemSet& a, const ItemSet& b) {
+  ItemSet out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+ItemSet set_minus(const ItemSet& a, const ItemSet& b) {
+  ItemSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+bool set_contains(const ItemSet& a, std::size_t item) {
+  return std::binary_search(a.begin(), a.end(), item);
+}
+
+bool is_sorted_unique(const ItemSet& a) {
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i - 1] >= a[i]) return false;
+  }
+  return true;
+}
+
+DataUniverse::DataUniverse(std::vector<double> item_bytes)
+    : item_bytes_(std::move(item_bytes)) {
+  for (double b : item_bytes_) {
+    MECSCHED_REQUIRE(b >= 0.0, "item size must be non-negative");
+  }
+}
+
+double DataUniverse::item_size(std::size_t r) const {
+  MECSCHED_REQUIRE(r < item_bytes_.size(), "item id out of range");
+  return item_bytes_[r];
+}
+
+double DataUniverse::total_bytes(const ItemSet& items) const {
+  double total = 0.0;
+  for (std::size_t r : items) total += item_size(r);
+  return total;
+}
+
+void SharedDataScenario::validate() const {
+  MECSCHED_REQUIRE(ownership.size() == topology.num_devices(),
+                   "ownership must list every device");
+  for (const ItemSet& d : ownership) {
+    MECSCHED_REQUIRE(is_sorted_unique(d), "ownership sets must be sorted");
+    for (std::size_t r : d) {
+      MECSCHED_REQUIRE(r < universe.num_items(), "owned item out of range");
+    }
+  }
+  for (const DivisibleTask& t : tasks) {
+    MECSCHED_REQUIRE(t.id.user < topology.num_devices(),
+                     "task issued by unknown device");
+    MECSCHED_REQUIRE(is_sorted_unique(t.items), "task items must be sorted");
+    for (std::size_t r : t.items) {
+      MECSCHED_REQUIRE(r < universe.num_items(), "task item out of range");
+    }
+  }
+}
+
+ItemSet SharedDataScenario::required_items() const {
+  ItemSet d;
+  for (const DivisibleTask& t : tasks) d = set_union(d, t.items);
+  return d;
+}
+
+}  // namespace mecsched::dta

@@ -1,0 +1,77 @@
+// The data-shared model of Sec. IV.
+//
+// D = {d_1, ..., d_M} is a universe of data items (blocks, after [19]);
+// every mobile device i owns a subset D_i (monitoring regions overlap, so
+// the D_i are not disjoint); a *divisible* task needs some subset of D and
+// can be computed as an aggregation of partial results over any disjoint
+// division of its data.
+//
+// Item sets are sorted unique vectors of item ids; the helpers below are
+// the set algebra the coverage algorithms use.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mec/task.h"
+#include "mec/topology.h"
+
+namespace mecsched::dta {
+
+using ItemSet = std::vector<std::size_t>;  // sorted, unique ids
+
+// Sorted-set algebra (inputs must be sorted unique; outputs are too).
+ItemSet set_intersect(const ItemSet& a, const ItemSet& b);
+ItemSet set_union(const ItemSet& a, const ItemSet& b);
+ItemSet set_minus(const ItemSet& a, const ItemSet& b);
+bool set_contains(const ItemSet& a, std::size_t item);
+bool is_sorted_unique(const ItemSet& a);
+
+// The universe D with per-item sizes.
+class DataUniverse {
+ public:
+  explicit DataUniverse(std::vector<double> item_bytes);
+
+  std::size_t num_items() const { return item_bytes_.size(); }
+  double item_size(std::size_t r) const;
+  double total_bytes(const ItemSet& items) const;
+
+ private:
+  std::vector<double> item_bytes_;
+};
+
+// A divisible task: the final result is an aggregation of partial results
+// over any disjoint cover of `items` (e.g. Sum/Count in the paper).
+struct DivisibleTask {
+  mec::TaskId id;          // issuer (user) + index
+  ItemSet items;           // LD ∪ ED: all data the task must consume
+  double op_bytes = 1e3;   // size of the operation descriptor op_ij
+  double cycles_per_byte = 330.0;
+  mec::ResultSizeKind result_kind = mec::ResultSizeKind::kProportional;
+  double result_ratio = 0.2;
+  double result_const_bytes = 0.0;
+  double resource = 1.0;   // C_ij
+  double deadline_s = 0.0; // T_ij
+
+  double result_bytes(double input_bytes) const {
+    return result_kind == mec::ResultSizeKind::kProportional
+               ? result_ratio * input_bytes
+               : result_const_bytes;
+  }
+};
+
+// A full data-shared problem instance.
+struct SharedDataScenario {
+  mec::Topology topology;
+  DataUniverse universe;
+  std::vector<ItemSet> ownership;  // D_i per device, sorted unique
+  std::vector<DivisibleTask> tasks;
+
+  // Validates sizes/ids; throws ModelError on inconsistency.
+  void validate() const;
+
+  // Union of all task item sets: the D that actually needs processing.
+  ItemSet required_items() const;
+};
+
+}  // namespace mecsched::dta

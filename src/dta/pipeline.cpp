@@ -1,0 +1,250 @@
+#include "dta/pipeline.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "assign/baselines.h"
+#include "assign/evaluator.h"
+#include "assign/hta_instance.h"
+#include "common/error.h"
+#include "mec/cost_model.h"
+
+namespace mecsched::dta {
+
+std::string to_string(DtaStrategy s) {
+  switch (s) {
+    case DtaStrategy::kWorkload:
+      return "DTA-Workload";
+    case DtaStrategy::kWorkloadBytes:
+      return "DTA-Workload(bytes)";
+    case DtaStrategy::kNumber:
+      return "DTA-Number";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// A rearranged task: device `executor` processes `portion` of original
+// task `source`.
+struct PartialTask {
+  std::size_t source = 0;    // index into scenario.tasks
+  std::size_t executor = 0;  // device id
+  double bytes = 0.0;        // |C_executor ∩ items(source)| in bytes
+};
+
+}  // namespace
+
+DtaResult run_dta(const SharedDataScenario& scenario, DtaOptions options) {
+  scenario.validate();
+  DtaResult result;
+
+  const ItemSet needed = scenario.required_items();
+  switch (options.strategy) {
+    case DtaStrategy::kWorkload:
+      result.coverage = divide_balanced(needed, scenario.ownership);
+      break;
+    case DtaStrategy::kWorkloadBytes:
+      result.coverage = divide_balanced_bytes(needed, scenario.ownership,
+                                              scenario.universe);
+      break;
+    case DtaStrategy::kNumber:
+      result.coverage = divide_min_devices(needed, scenario.ownership);
+      break;
+  }
+  result.involved_devices = result.coverage.involved_devices();
+
+  const mec::Topology& topo = scenario.topology;
+  const mec::CostModel cost(topo);
+
+  // ---- Step 2: rearrangement. One new local-only task per (device with a
+  // share, original task touching that share).
+  std::vector<PartialTask> partials;
+  std::vector<std::size_t> per_device_index(topo.num_devices(), 0);
+  for (std::size_t dev = 0; dev < topo.num_devices(); ++dev) {
+    const ItemSet& share = result.coverage.assigned[dev];
+    if (share.empty()) continue;
+    for (std::size_t s = 0; s < scenario.tasks.size(); ++s) {
+      const DivisibleTask& src = scenario.tasks[s];
+      const ItemSet portion = set_intersect(share, src.items);
+      if (portion.empty()) continue;
+      PartialTask pt;
+      pt.source = s;
+      pt.executor = dev;
+      pt.bytes = scenario.universe.total_bytes(portion);
+      partials.push_back(pt);
+    }
+  }
+
+  result.rearranged.reserve(partials.size());
+  for (const PartialTask& pt : partials) {
+    const DivisibleTask& src = scenario.tasks[pt.source];
+    const double total_bytes = scenario.universe.total_bytes(src.items);
+    mec::Task t;
+    t.id = {pt.executor, per_device_index[pt.executor]++};
+    t.local_bytes = pt.bytes;  // by construction the executor owns it all
+    t.external_bytes = 0.0;
+    t.external_owner = pt.executor;
+    t.cycles_per_byte = src.cycles_per_byte;
+    t.result_kind = src.result_kind;
+    t.result_ratio = src.result_ratio;
+    t.result_const_bytes = src.result_const_bytes;
+    // Resource demand scales with the data fraction actually processed.
+    t.resource = total_bytes > 0.0
+                     ? src.resource * pt.bytes / total_bytes
+                     : src.resource;
+    t.deadline_s = src.deadline_s;
+    result.rearranged.push_back(t);
+  }
+
+  // ---- Step 3: schedule the rearranged tasks.
+  const assign::HtaInstance instance(topo, result.rearranged);
+  if (options.scheduler == PartialScheduler::kLpHta) {
+    result.assignment = assign::LpHta(options.lp).assign(instance);
+  } else {
+    result.assignment = assign::LocalFirst().assign(instance);
+  }
+  const assign::Metrics metrics = assign::evaluate(instance, result.assignment);
+  result.compute_energy_j = metrics.total_energy_j;
+  result.partials_cancelled = metrics.cancelled;
+  result.partials_deadline_violations = metrics.deadline_violations;
+
+  // ---- Step 4: coordination — descriptor distribution, partial-result
+  // uploads, and the final aggregated download per original task.
+  double coordination = 0.0;
+
+  // Descriptors: issuer uploads op once; each (other) involved executor
+  // downloads it; one backhaul hop per remote cluster involved.
+  for (std::size_t s = 0; s < scenario.tasks.size(); ++s) {
+    const DivisibleTask& src = scenario.tasks[s];
+    std::set<std::size_t> executors;
+    std::set<std::size_t> clusters;
+    for (const PartialTask& pt : partials) {
+      if (pt.source != s) continue;
+      executors.insert(pt.executor);
+      clusters.insert(topo.device(pt.executor).base_station);
+    }
+    if (executors.empty()) continue;
+    const bool only_self =
+        executors.size() == 1 && *executors.begin() == src.id.user;
+    if (!only_self) {
+      coordination += cost.upload_energy(src.id.user, src.op_bytes);
+      for (std::size_t dev : executors) {
+        if (dev == src.id.user) continue;
+        coordination += cost.download_energy(dev, src.op_bytes);
+      }
+      const std::size_t home = topo.device(src.id.user).base_station;
+      for (std::size_t c : clusters) {
+        if (c != home) coordination += cost.bs_to_bs_energy(src.op_bytes);
+      }
+    }
+  }
+
+  // Partial results and aggregation legs.
+  std::vector<double> partial_upload_s;  // for the makespan tail
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    const PartialTask& pt = partials[i];
+    const DivisibleTask& src = scenario.tasks[pt.source];
+    if (result.assignment.decisions[i] != assign::Decision::kLocal) {
+      // Edge/cloud placements already include the result's return leg in
+      // their Sec. II cost; nothing extra to add here.
+      continue;
+    }
+    const double partial_result = src.result_bytes(pt.bytes);
+    if (pt.executor == src.id.user && partials.size() == 1) continue;
+    coordination += cost.upload_energy(pt.executor, partial_result);
+    partial_upload_s.push_back(cost.upload_seconds(pt.executor, partial_result));
+    if (!topo.same_cluster(pt.executor, src.id.user)) {
+      coordination += cost.bs_to_bs_energy(partial_result);
+    }
+  }
+  // Final result download by each issuer.
+  double final_download_s = 0.0;
+  for (const DivisibleTask& src : scenario.tasks) {
+    const double final_bytes =
+        src.result_bytes(scenario.universe.total_bytes(src.items));
+    coordination += cost.download_energy(src.id.user, final_bytes);
+    final_download_s =
+        std::max(final_download_s, cost.download_seconds(src.id.user, final_bytes));
+  }
+
+  result.coordination_energy_j = coordination;
+  result.total_energy_j = result.compute_energy_j + coordination;
+
+  // ---- Makespan: executors run their queues sequentially (devices and
+  // stations); the cloud is width-unbounded.
+  std::vector<double> device_busy(topo.num_devices(), 0.0);
+  std::vector<double> station_busy(topo.num_base_stations(), 0.0);
+  double cloud_max = 0.0;
+  for (std::size_t i = 0; i < partials.size(); ++i) {
+    const assign::Decision d = result.assignment.decisions[i];
+    if (d == assign::Decision::kCancelled) continue;
+    const double latency = instance.latency(i, assign::to_placement(d));
+    const mec::Task& t = result.rearranged[i];
+    switch (d) {
+      case assign::Decision::kLocal:
+        device_busy[t.id.user] += latency;
+        break;
+      case assign::Decision::kEdge:
+        station_busy[topo.device(t.id.user).base_station] += latency;
+        break;
+      case assign::Decision::kCloud:
+        cloud_max = std::max(cloud_max, latency);
+        break;
+      case assign::Decision::kCancelled:
+        break;
+    }
+  }
+  double busy_max = cloud_max;
+  for (double b : device_busy) busy_max = std::max(busy_max, b);
+  for (double b : station_busy) busy_max = std::max(busy_max, b);
+  double upload_tail = 0.0;
+  for (double s : partial_upload_s) upload_tail = std::max(upload_tail, s);
+  result.processing_time_s = busy_max + upload_tail + final_download_s;
+
+  return result;
+}
+
+std::vector<mec::Task> to_holistic_tasks(const SharedDataScenario& scenario) {
+  scenario.validate();
+  std::vector<mec::Task> out;
+  out.reserve(scenario.tasks.size());
+  std::vector<std::size_t> per_user(scenario.topology.num_devices(), 0);
+
+  for (const DivisibleTask& src : scenario.tasks) {
+    const ItemSet local =
+        set_intersect(src.items, scenario.ownership[src.id.user]);
+    const ItemSet external = set_minus(src.items, local);
+
+    mec::Task t;
+    t.id = {src.id.user, per_user[src.id.user]++};
+    t.local_bytes = scenario.universe.total_bytes(local);
+    t.external_bytes = scenario.universe.total_bytes(external);
+    // L_ij: the single device holding the most of the external data (the
+    // holistic model has one owner; ties break to the lowest id).
+    t.external_owner = src.id.user;
+    if (!external.empty()) {
+      double best_bytes = -1.0;
+      for (std::size_t dev = 0; dev < scenario.topology.num_devices(); ++dev) {
+        if (dev == src.id.user) continue;
+        const double owned = scenario.universe.total_bytes(
+            set_intersect(external, scenario.ownership[dev]));
+        if (owned > best_bytes) {
+          best_bytes = owned;
+          t.external_owner = dev;
+        }
+      }
+    }
+    t.cycles_per_byte = src.cycles_per_byte;
+    t.result_kind = src.result_kind;
+    t.result_ratio = src.result_ratio;
+    t.result_const_bytes = src.result_const_bytes;
+    t.resource = src.resource;
+    t.deadline_s = src.deadline_s;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace mecsched::dta

@@ -1,0 +1,137 @@
+#include "ilp/branch_bound.h"
+
+#include <cmath>
+#include <limits>
+#include <stack>
+
+#include "common/error.h"
+
+namespace mecsched::ilp {
+namespace {
+
+// A node is the root problem plus tightened bounds on the integer vars.
+struct Node {
+  std::vector<double> lo;
+  std::vector<double> hi;
+};
+
+// Rebuilds a Problem identical to `base` but with the node's bounds.
+lp::Problem with_bounds(const lp::Problem& base, const Node& node) {
+  lp::Problem p;
+  for (std::size_t v = 0; v < base.num_variables(); ++v) {
+    p.add_variable(base.cost(v), node.lo[v], node.hi[v],
+                   base.variable_name(v));
+  }
+  for (std::size_t r = 0; r < base.num_constraints(); ++r) {
+    const lp::Constraint& c = base.constraint(r);
+    p.add_constraint(c.terms, c.relation, c.rhs, c.name);
+  }
+  return p;
+}
+
+}  // namespace
+
+BnbResult BranchAndBound::solve(
+    const lp::Problem& problem,
+    const std::vector<std::size_t>& integer_vars) const {
+  for (std::size_t v : integer_vars) {
+    MECSCHED_REQUIRE(v < problem.num_variables(),
+                     "integer variable index out of range");
+    MECSCHED_REQUIRE(std::isfinite(problem.upper(v)),
+                     "integer variables must be bounded");
+  }
+
+  const lp::SimplexSolver solver;
+  BnbResult best;
+  double incumbent = std::numeric_limits<double>::infinity();
+
+  Node root;
+  root.lo.resize(problem.num_variables());
+  root.hi.resize(problem.num_variables());
+  for (std::size_t v = 0; v < problem.num_variables(); ++v) {
+    root.lo[v] = problem.lower(v);
+    root.hi[v] = problem.upper(v);
+  }
+
+  std::stack<Node> open;
+  open.push(std::move(root));
+
+  while (!open.empty()) {
+    if (best.nodes_explored >= options_.max_nodes) {
+      // Any incumbent found so far is kept in `best`, but optimality is
+      // unproven.
+      best.status = BnbStatus::kNodeLimit;
+      return best;
+    }
+    const Node node = open.top();
+    open.pop();
+    ++best.nodes_explored;
+
+    // Bound infeasibility can be introduced by branching (lo > hi).
+    bool bounds_ok = true;
+    for (std::size_t v = 0; v < node.lo.size(); ++v) {
+      if (node.lo[v] > node.hi[v]) {
+        bounds_ok = false;
+        break;
+      }
+    }
+    if (!bounds_ok) continue;
+
+    const lp::Problem sub = with_bounds(problem, node);
+    const lp::Solution relax = solver.solve(sub);
+    if (relax.status == lp::SolveStatus::kInfeasible) continue;
+    if (relax.status == lp::SolveStatus::kUnbounded) {
+      // An unbounded relaxation of a node would make the MIP unbounded;
+      // our use cases are always bounded, so treat it as a modelling bug.
+      throw SolverError("branch-and-bound: unbounded LP relaxation");
+    }
+    if (relax.status != lp::SolveStatus::kOptimal) continue;
+    if (relax.objective >= incumbent - options_.objective_tolerance) continue;
+
+    // Branch on the most fractional integer variable (closest to 0.5).
+    std::size_t branch_var = problem.num_variables();
+    double best_dist = options_.integrality_tolerance;
+    for (std::size_t v : integer_vars) {
+      const double frac = relax.x[v] - std::floor(relax.x[v]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist > best_dist) {
+        best_dist = dist;
+        branch_var = v;
+      }
+    }
+
+    if (branch_var == problem.num_variables()) {
+      // Integral: new incumbent (strict improvement guaranteed by bound
+      // check above).
+      incumbent = relax.objective;
+      best.objective = relax.objective;
+      best.x = relax.x;
+      // Snap near-integral values exactly.
+      for (std::size_t v : integer_vars) best.x[v] = std::round(best.x[v]);
+      best.status = BnbStatus::kOptimal;
+      continue;
+    }
+
+    const double xval = relax.x[branch_var];
+    Node down = node;
+    down.hi[branch_var] = std::floor(xval);
+    Node up = node;
+    up.lo[branch_var] = std::ceil(xval);
+    // DFS, exploring the side nearer the fractional value first (pushed
+    // last so it pops first).
+    if (xval - std::floor(xval) > 0.5) {
+      open.push(std::move(down));
+      open.push(std::move(up));
+    } else {
+      open.push(std::move(up));
+      open.push(std::move(down));
+    }
+  }
+
+  if (!std::isfinite(incumbent)) {
+    best.status = BnbStatus::kInfeasible;
+  }
+  return best;
+}
+
+}  // namespace mecsched::ilp

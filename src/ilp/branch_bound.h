@@ -1,0 +1,48 @@
+// LP-based branch-and-bound for mixed 0/1 integer programs.
+//
+// Solves a general-form lp::Problem in which a designated subset of
+// variables must take integer values. Bounds come from the simplex solver;
+// branching is most-fractional-first with depth-first traversal, and the
+// incumbent prunes by objective. Intended for the *small* exact solves the
+// evaluation needs (ground-truth optimum of the HTA instance, empirical
+// ratio-bound measurements) — not a production MIP engine, and documented
+// as such.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.h"
+#include "lp/simplex.h"
+#include "lp/solution.h"
+
+namespace mecsched::ilp {
+
+enum class BnbStatus { kOptimal, kInfeasible, kNodeLimit };
+
+struct BnbResult {
+  BnbStatus status = BnbStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t nodes_explored = 0;
+};
+
+struct BnbOptions {
+  std::size_t max_nodes = 200'000;
+  double integrality_tolerance = 1e-6;
+  // Prune nodes whose LP bound is within this of the incumbent.
+  double objective_tolerance = 1e-9;
+};
+
+class BranchAndBound {
+ public:
+  explicit BranchAndBound(BnbOptions options = {}) : options_(options) {}
+
+  // `integer_vars` lists the variable indices that must be integral.
+  BnbResult solve(const lp::Problem& problem,
+                  const std::vector<std::size_t>& integer_vars) const;
+
+ private:
+  BnbOptions options_;
+};
+
+}  // namespace mecsched::ilp

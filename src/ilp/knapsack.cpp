@@ -1,0 +1,165 @@
+#include "ilp/knapsack.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mecsched::ilp {
+namespace {
+
+void validate(std::size_t n_values, std::size_t n_weights) {
+  MECSCHED_REQUIRE(n_values == n_weights,
+                   "values/weights must have equal length");
+}
+
+}  // namespace
+
+KnapsackResult knapsack_dp(const std::vector<double>& values,
+                           const std::vector<std::int64_t>& weights,
+                           std::int64_t capacity) {
+  validate(values.size(), weights.size());
+  MECSCHED_REQUIRE(capacity >= 0, "capacity must be non-negative");
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    MECSCHED_REQUIRE(weights[i] >= 0, "weights must be non-negative");
+    MECSCHED_REQUIRE(values[i] >= 0.0, "values must be non-negative");
+  }
+
+  const std::size_t n = values.size();
+  const auto cap = static_cast<std::size_t>(capacity);
+  // best[i][w] = max value using items [0, i) with weight budget w.
+  // Kept as full 2-D table to allow solution reconstruction.
+  std::vector<std::vector<double>> best(n + 1,
+                                        std::vector<double>(cap + 1, 0.0));
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto w_i = static_cast<std::size_t>(weights[i - 1]);
+    for (std::size_t w = 0; w <= cap; ++w) {
+      best[i][w] = best[i - 1][w];
+      if (w_i <= w) {
+        best[i][w] = std::max(best[i][w], best[i - 1][w - w_i] + values[i - 1]);
+      }
+    }
+  }
+
+  KnapsackResult out;
+  out.value = best[n][cap];
+  out.taken.assign(n, false);
+  std::size_t w = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (best[i + 1][w] != best[i][w]) {
+      out.taken[i] = true;
+      w -= static_cast<std::size_t>(weights[i]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+struct BnbItem {
+  double value;
+  double weight;
+  std::size_t original_index;
+};
+
+struct BnbState {
+  const std::vector<BnbItem>& items;
+  double capacity;
+  double best_value = 0.0;
+  std::vector<bool> best_taken;
+  std::vector<bool> current;
+
+  // Dantzig bound: fill greedily by density, last item fractionally.
+  double upper_bound(std::size_t k, double value, double remaining) const {
+    double bound = value;
+    for (std::size_t i = k; i < items.size(); ++i) {
+      if (items[i].weight <= remaining) {
+        remaining -= items[i].weight;
+        bound += items[i].value;
+      } else {
+        if (items[i].weight > 0.0) {
+          bound += items[i].value * remaining / items[i].weight;
+        }
+        break;
+      }
+    }
+    return bound;
+  }
+
+  void search(std::size_t k, double value, double remaining) {
+    if (value > best_value) {
+      best_value = value;
+      best_taken = current;
+    }
+    if (k == items.size()) return;
+    if (upper_bound(k, value, remaining) <= best_value + 1e-12) return;
+
+    if (items[k].weight <= remaining) {  // take branch first (greedy order)
+      current[k] = true;
+      search(k + 1, value + items[k].value, remaining - items[k].weight);
+      current[k] = false;
+    }
+    search(k + 1, value, remaining);
+  }
+};
+
+}  // namespace
+
+KnapsackResult knapsack_branch_bound(const std::vector<double>& values,
+                                     const std::vector<double>& weights,
+                                     double capacity) {
+  validate(values.size(), weights.size());
+  MECSCHED_REQUIRE(capacity >= 0.0, "capacity must be non-negative");
+  const std::size_t n = values.size();
+
+  std::vector<BnbItem> items(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MECSCHED_REQUIRE(weights[i] >= 0.0, "weights must be non-negative");
+    MECSCHED_REQUIRE(values[i] >= 0.0, "values must be non-negative");
+    items[i] = {values[i], weights[i], i};
+  }
+  std::sort(items.begin(), items.end(), [](const BnbItem& a, const BnbItem& b) {
+    const double da = a.weight > 0 ? a.value / a.weight : 1e300;
+    const double db = b.weight > 0 ? b.value / b.weight : 1e300;
+    return da > db;
+  });
+
+  BnbState state{items, capacity, 0.0, {}, std::vector<bool>(n, false)};
+  state.best_taken.assign(n, false);
+  state.search(0, 0.0, capacity);
+
+  KnapsackResult out;
+  out.value = state.best_value;
+  out.taken.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state.best_taken[i]) out.taken[items[i].original_index] = true;
+  }
+  return out;
+}
+
+KnapsackResult knapsack_brute_force(const std::vector<double>& values,
+                                    const std::vector<double>& weights,
+                                    double capacity) {
+  validate(values.size(), weights.size());
+  const std::size_t n = values.size();
+  MECSCHED_REQUIRE(n <= 25, "brute force limited to 25 items");
+
+  KnapsackResult out;
+  out.taken.assign(n, false);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double v = 0.0, w = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        v += values[i];
+        w += weights[i];
+      }
+    }
+    if (w <= capacity && v > out.value) {
+      out.value = v;
+      for (std::size_t i = 0; i < n; ++i) out.taken[i] = (mask >> i) & 1u;
+    }
+  }
+  return out;
+}
+
+}  // namespace mecsched::ilp

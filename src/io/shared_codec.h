@@ -1,0 +1,21 @@
+// JSON (de)serialization of data-shared (divisible-task) scenarios and DTA
+// pipeline results — the shared-data counterpart of io/codec.h.
+#pragma once
+
+#include "dta/data_model.h"
+#include "dta/pipeline.h"
+#include "io/json.h"
+
+namespace mecsched::io {
+
+Json divisible_task_to_json(const dta::DivisibleTask& task);
+dta::DivisibleTask divisible_task_from_json(const Json& j);
+
+Json shared_scenario_to_json(const dta::SharedDataScenario& scenario);
+dta::SharedDataScenario shared_scenario_from_json(const Json& j);
+
+// Summary of a DTA run (coverage sizes + aggregate metrics; the rearranged
+// task list is reproducible from the scenario, so it is not embedded).
+Json dta_result_to_json(const dta::DtaResult& result);
+
+}  // namespace mecsched::io

@@ -1,0 +1,49 @@
+#include "io/trace_codec.h"
+
+namespace mecsched::io {
+namespace {
+
+Json busy_array(const std::vector<double>& busy) {
+  JsonArray arr;
+  arr.reserve(busy.size());
+  for (double b : busy) arr.emplace_back(b);
+  return Json(std::move(arr));
+}
+
+}  // namespace
+
+Json sim_result_to_json(const sim::SimResult& result) {
+  JsonObject root;
+  root["makespan_s"] = result.makespan_s;
+  root["total_energy_j"] = result.total_energy_j;
+  root["events"] = result.events_processed;
+
+  JsonArray tasks;
+  for (const sim::TaskTimeline& tl : result.timelines) {
+    JsonObject t;
+    t["task"] = tl.task;
+    t["placed"] = Json(tl.placed);
+    if (tl.placed) {
+      t["start_s"] = tl.start_s;
+      t["finish_s"] = tl.finish_s;
+      t["energy_j"] = tl.energy_j;
+    }
+    tasks.emplace_back(std::move(t));
+  }
+  root["timeline"] = Json(std::move(tasks));
+
+  if (!result.device_cpu_busy_s.empty()) {
+    JsonObject util;
+    util["device_uplink_busy_s"] = busy_array(result.device_uplink_busy_s);
+    util["device_downlink_busy_s"] = busy_array(result.device_downlink_busy_s);
+    util["device_cpu_busy_s"] = busy_array(result.device_cpu_busy_s);
+    util["station_cpu_busy_s"] = busy_array(result.station_cpu_busy_s);
+    util["backhaul_busy_s"] = result.backhaul_busy_s;
+    util["wan_busy_s"] = result.wan_busy_s;
+    util["peak_utilization"] = result.peak_utilization();
+    root["utilization"] = Json(std::move(util));
+  }
+  return Json(std::move(root));
+}
+
+}  // namespace mecsched::io

@@ -1,0 +1,13 @@
+// JSON export of simulation traces: per-task timelines plus (in contention
+// mode) per-server utilization — the data needed to plot Gantt charts or
+// utilization heatmaps outside the library.
+#pragma once
+
+#include "io/json.h"
+#include "sim/simulator.h"
+
+namespace mecsched::io {
+
+Json sim_result_to_json(const sim::SimResult& result);
+
+}  // namespace mecsched::io

@@ -1,0 +1,33 @@
+// Cholesky factorization for symmetric positive-definite systems.
+//
+// Used by the interior-point solver for the normal equations
+// (A D^2 A^T) dy = r. Near the central-path boundary those systems become
+// ill-conditioned, so the factorization applies a tiny diagonal
+// regularization when a pivot drops below tolerance instead of failing.
+#pragma once
+
+#include <vector>
+
+#include "lp/matrix.h"
+
+namespace mecsched::lp {
+
+class Cholesky {
+ public:
+  // Factors `a` (must be square, symmetric). Throws SolverError if the
+  // matrix is indefinite beyond what regularization can absorb.
+  explicit Cholesky(const Matrix& a);
+
+  // Solves L L^T x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  // Total diagonal shift added during factorization (0 when the input was
+  // comfortably positive definite). Exposed for diagnostics/tests.
+  double regularization() const { return regularization_; }
+
+ private:
+  Matrix l_;  // lower-triangular factor
+  double regularization_ = 0.0;
+};
+
+}  // namespace mecsched::lp

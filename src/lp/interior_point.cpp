@@ -1,0 +1,182 @@
+#include "lp/interior_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+#include "lp/cholesky.h"
+#include "lp/matrix.h"
+#include "lp/standard_form.h"
+
+namespace mecsched::lp {
+namespace {
+
+// Max t in [0,1] with v + t*dv >= 0 (componentwise), damped by `damping`.
+double max_step(const std::vector<double>& v, const std::vector<double>& dv,
+                double damping) {
+  double t = 1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (dv[i] < 0.0) t = std::min(t, -v[i] / dv[i]);
+  }
+  return std::min(1.0, damping * t);
+}
+
+}  // namespace
+
+Solution InteriorPointSolver::solve(const Problem& problem) const {
+  Solution out;
+  if (problem.num_variables() == 0) {
+    out.status = SolveStatus::kOptimal;
+    return out;
+  }
+
+  const StandardForm sf = to_standard_form(problem);
+  const std::size_t m = sf.a.rows();
+  const std::size_t n = sf.a.cols();
+  const Matrix at = sf.a.transposed();
+
+  // --- Mehrotra starting point ---------------------------------------
+  // x~ = A^T (A A^T)^-1 b ; y~ = (A A^T)^-1 A c ; s~ = c - A^T y~, then
+  // shifted into the strictly positive orthant.
+  Matrix aat(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      double acc = 0.0;
+      const double* ri = sf.a.row(i);
+      const double* rj = sf.a.row(j);
+      for (std::size_t k = 0; k < n; ++k) acc += ri[k] * rj[k];
+      aat(i, j) = acc;
+      aat(j, i) = acc;
+    }
+  }
+  std::vector<double> x, y, s;
+  {
+    const Cholesky chol(aat);
+    x = at.multiply(chol.solve(sf.b));
+    y = chol.solve(sf.a.multiply(sf.c));
+    s = sf.c;
+    const std::vector<double> aty = at.multiply(y);
+    for (std::size_t i = 0; i < n; ++i) s[i] -= aty[i];
+
+    double dx = 0.0, ds = 0.0;
+    for (double v : x) dx = std::max(dx, -1.5 * v);
+    for (double v : s) ds = std::max(ds, -1.5 * v);
+    for (double& v : x) v += dx;
+    for (double& v : s) v += ds;
+    double xs = dot(x, s), sx = 0.0, ss = 0.0;
+    for (double v : x) sx += v;
+    for (double v : s) ss += v;
+    const double dx2 = ss > 0.0 ? 0.5 * xs / ss : 1.0;
+    const double ds2 = sx > 0.0 ? 0.5 * xs / sx : 1.0;
+    for (double& v : x) v += dx2 + 1e-8;
+    for (double& v : s) v += ds2 + 1e-8;
+  }
+
+  const double b_scale = 1.0 + norm_inf(sf.b);
+  const double c_scale = 1.0 + norm_inf(sf.c);
+
+  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    // Residuals.
+    std::vector<double> rb = sf.a.multiply(x);  // A x - b
+    for (std::size_t i = 0; i < m; ++i) rb[i] -= sf.b[i];
+    std::vector<double> rc = at.multiply(y);    // A^T y + s - c
+    for (std::size_t i = 0; i < n; ++i) rc[i] += s[i] - sf.c[i];
+    const double mu = dot(x, s) / static_cast<double>(n);
+
+    const double rel_gap =
+        std::fabs(dot(sf.c, x) - dot(sf.b, y)) /
+        (1.0 + std::fabs(dot(sf.c, x)));
+    if (norm_inf(rb) <= options_.tolerance * b_scale &&
+        norm_inf(rc) <= options_.tolerance * c_scale &&
+        rel_gap <= options_.tolerance) {
+      out.status = SolveStatus::kOptimal;
+      out.iterations = iter;
+      out.x = sf.recover(x);
+      out.objective = problem.objective_value(out.x);
+      // Standard-form rows list the original constraints first; the tail
+      // rows are upper-bound rows whose duals are internal.
+      out.duals.assign(y.begin(),
+                       y.begin() + static_cast<long>(
+                                       problem.num_constraints()));
+      return out;
+    }
+
+    // Normal-equation matrix M = A diag(x/s) A^T.
+    std::vector<double> d(n);
+    for (std::size_t i = 0; i < n; ++i) d[i] = x[i] / s[i];
+    Matrix mmat(m, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i; j < m; ++j) {
+        double acc = 0.0;
+        const double* ri = sf.a.row(i);
+        const double* rj = sf.a.row(j);
+        for (std::size_t k = 0; k < n; ++k) acc += ri[k] * d[k] * rj[k];
+        mmat(i, j) = acc;
+        mmat(j, i) = acc;
+      }
+    }
+    const Cholesky chol(mmat);
+
+    // One Newton solve for a given complementarity target `rxs`
+    // (rxs_i = x_i s_i - target_i). Returns (dx, dy, ds).
+    auto newton = [&](const std::vector<double>& rxs) {
+      // dy from: M dy = -rb + A diag(1/s) (rxs - x .* rc)
+      std::vector<double> tmp(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        tmp[i] = (rxs[i] - x[i] * rc[i]) / s[i];
+      }
+      std::vector<double> rhs = sf.a.multiply(tmp);
+      for (std::size_t i = 0; i < m; ++i) rhs[i] -= rb[i];
+      std::vector<double> dy = chol.solve(rhs);
+      std::vector<double> ds = at.multiply(dy);
+      for (std::size_t i = 0; i < n; ++i) ds[i] = -rc[i] - ds[i];
+      std::vector<double> dx(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        dx[i] = -(rxs[i] + x[i] * ds[i]) / s[i];
+      }
+      return std::tuple(std::move(dx), std::move(dy), std::move(ds));
+    };
+
+    // Predictor (affine) step: target 0, rxs = x .* s.
+    std::vector<double> rxs(n);
+    for (std::size_t i = 0; i < n; ++i) rxs[i] = x[i] * s[i];
+    auto [dx_aff, dy_aff, ds_aff] = newton(rxs);
+
+    const double ap_aff = max_step(x, dx_aff, 1.0);
+    const double ad_aff = max_step(s, ds_aff, 1.0);
+    double mu_aff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mu_aff += (x[i] + ap_aff * dx_aff[i]) * (s[i] + ad_aff * ds_aff[i]);
+    }
+    mu_aff /= static_cast<double>(n);
+    const double sigma = std::pow(mu_aff / std::max(mu, 1e-300), 3.0);
+
+    // Corrector step: rxs = x.*s + dx_aff.*ds_aff - sigma*mu.
+    for (std::size_t i = 0; i < n; ++i) {
+      rxs[i] = x[i] * s[i] + dx_aff[i] * ds_aff[i] - sigma * mu;
+    }
+    auto [dx, dy, ds] = newton(rxs);
+
+    const double ap = max_step(x, dx, options_.step_damping);
+    const double ad = max_step(s, ds, options_.step_damping);
+    for (std::size_t i = 0; i < n; ++i) x[i] += ap * dx[i];
+    for (std::size_t i = 0; i < m; ++i) y[i] += ad * dy[i];
+    for (std::size_t i = 0; i < n; ++i) s[i] += ad * ds[i];
+
+    // Heuristic divergence check: if the iterates blow up while the primal
+    // residual refuses to fall, the problem is (near-)infeasible.
+    if (norm_inf(x) > 1e14 || norm_inf(s) > 1e14) {
+      out.status = SolveStatus::kInfeasible;
+      out.iterations = iter;
+      return out;
+    }
+  }
+
+  out.status = SolveStatus::kIterationLimit;
+  out.iterations = options_.max_iterations;
+  return out;
+}
+
+}  // namespace mecsched::lp

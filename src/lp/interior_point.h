@@ -1,0 +1,39 @@
+// Mehrotra predictor–corrector primal-dual interior-point LP solver.
+//
+// The paper's LP-HTA references Karmarkar's polynomial-time interior method
+// [17] for Step 1; this is the modern practical equivalent. The solver
+// works on the standard form produced by `to_standard_form` and solves the
+// normal equations (A D^2 A^T) dy = r with the regularized Cholesky
+// factorization. It exists both as the O((n_r m)^3.5)-style engine named by
+// the paper and as an independent cross-check for the simplex solver.
+//
+// Limitations (documented, by design): like most IPMs it certifies
+// optimality but reports hopeless primal infeasibility as
+// kIterationLimit/kInfeasible heuristically. LP-HTA pre-cancels tasks that
+// would make its LP infeasible, so this path never triggers in the
+// pipeline; the simplex solver is the arbiter elsewhere.
+#pragma once
+
+#include "lp/problem.h"
+#include "lp/solution.h"
+
+namespace mecsched::lp {
+
+struct InteriorPointOptions {
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-8;       // relative duality-gap / residual target
+  double step_damping = 0.99;    // fraction of the max step to the boundary
+};
+
+class InteriorPointSolver {
+ public:
+  explicit InteriorPointSolver(InteriorPointOptions options = {})
+      : options_(options) {}
+
+  Solution solve(const Problem& problem) const;
+
+ private:
+  InteriorPointOptions options_;
+};
+
+}  // namespace mecsched::lp

@@ -1,0 +1,56 @@
+// LP presolve: cheap reductions applied before a solver runs.
+//
+//   * variables with lo == hi are substituted out (LP-HTA's deadline-
+//     infeasible placements and pinned artificials produce many of these),
+//   * empty constraints are dropped (or flagged infeasible),
+//   * singleton inequality rows (a * x <= b) are converted to bounds,
+//   * trivially infeasible bounds are detected up front.
+//
+// The reduced problem is solved by any solver; `restore` maps its solution
+// back to the original variable space. Reductions preserve the optimal
+// objective exactly.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/problem.h"
+#include "lp/solution.h"
+
+namespace mecsched::lp {
+
+class Presolved {
+ public:
+  // `infeasible()` is true when presolve already proved infeasibility; the
+  // reduced problem is then empty and must not be solved.
+  bool infeasible() const { return infeasible_; }
+
+  const Problem& reduced() const { return reduced_; }
+
+  // Lifts a solution of `reduced()` back to the original space (fixed
+  // variables get their pinned values) and recomputes the objective.
+  Solution restore(const Solution& reduced_solution) const;
+
+  // Statistics for diagnostics/tests.
+  std::size_t fixed_variables() const { return fixed_count_; }
+  std::size_t dropped_constraints() const { return dropped_constraints_; }
+  std::size_t tightened_bounds() const { return tightened_; }
+
+  friend Presolved presolve(const Problem& p);
+
+ private:
+  Problem reduced_;
+  bool infeasible_ = false;
+  // original index -> reduced index, or nullopt when fixed
+  std::vector<std::optional<std::size_t>> var_map_;
+  std::vector<double> fixed_value_;  // per original variable (if fixed)
+  double objective_offset_ = 0.0;
+  std::size_t n_original_ = 0;
+  std::size_t fixed_count_ = 0;
+  std::size_t dropped_constraints_ = 0;
+  std::size_t tightened_ = 0;
+};
+
+Presolved presolve(const Problem& p);
+
+}  // namespace mecsched::lp

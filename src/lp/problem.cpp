@@ -1,0 +1,69 @@
+#include "lp/problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+
+namespace mecsched::lp {
+
+std::size_t Problem::add_variable(double cost, double lo, double hi,
+                                  std::string name) {
+  MECSCHED_REQUIRE(lo <= hi, "variable bounds out of order");
+  MECSCHED_REQUIRE(std::isfinite(cost), "variable cost must be finite");
+  MECSCHED_REQUIRE(std::isfinite(lo), "lower bound must be finite");
+  costs_.push_back(cost);
+  lower_.push_back(lo);
+  upper_.push_back(hi);
+  names_.push_back(std::move(name));
+  return costs_.size() - 1;
+}
+
+std::size_t Problem::add_constraint(std::vector<Term> terms, Relation rel,
+                                    double rhs, std::string name) {
+  MECSCHED_REQUIRE(std::isfinite(rhs), "constraint rhs must be finite");
+  std::set<std::size_t> seen;
+  for (const Term& t : terms) {
+    MECSCHED_REQUIRE(t.var < costs_.size(), "constraint references unknown variable");
+    MECSCHED_REQUIRE(std::isfinite(t.coeff), "constraint coefficient must be finite");
+    MECSCHED_REQUIRE(seen.insert(t.var).second,
+                     "variable appears twice in one constraint");
+  }
+  constraints_.push_back(Constraint{std::move(terms), rel, rhs, std::move(name)});
+  return constraints_.size() - 1;
+}
+
+double Problem::objective_value(const std::vector<double>& x) const {
+  MECSCHED_REQUIRE(x.size() == costs_.size(), "solution size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += costs_[i] * x[i];
+  return acc;
+}
+
+double Problem::max_violation(const std::vector<double>& x) const {
+  MECSCHED_REQUIRE(x.size() == costs_.size(), "solution size mismatch");
+  double worst = 0.0;
+  for (std::size_t v = 0; v < x.size(); ++v) {
+    worst = std::max(worst, lower_[v] - x[v]);
+    if (std::isfinite(upper_[v])) worst = std::max(worst, x[v] - upper_[v]);
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const Term& t : c.terms) lhs += t.coeff * x[t.var];
+    switch (c.relation) {
+      case Relation::kLessEqual:
+        worst = std::max(worst, lhs - c.rhs);
+        break;
+      case Relation::kGreaterEqual:
+        worst = std::max(worst, c.rhs - lhs);
+        break;
+      case Relation::kEqual:
+        worst = std::max(worst, std::fabs(lhs - c.rhs));
+        break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace mecsched::lp

@@ -1,0 +1,73 @@
+// General-form linear program builder.
+//
+//   minimize    c^T x
+//   subject to  lhs_r : sum_j a_rj x_j  (<= | >= | ==)  rhs_r
+//               lo_j <= x_j <= hi_j
+//
+// Both solvers consume this representation: the simplex solver augments it
+// with slacks internally; the interior-point solver converts it to standard
+// form. Rows are stored sparsely (the HTA matrices A2/A4 are block sparse);
+// the builders validate indices eagerly so a malformed model fails at
+// construction, not inside a solver.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mecsched::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+struct Term {
+  std::size_t var;
+  double coeff;
+};
+
+struct Constraint {
+  std::vector<Term> terms;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+class Problem {
+ public:
+  // Adds a variable with objective coefficient `cost` and bounds
+  // [lo, hi] (hi may be kInfinity). Returns its index.
+  std::size_t add_variable(double cost, double lo, double hi,
+                           std::string name = {});
+
+  // Adds a constraint; all term indices must refer to existing variables
+  // and appear at most once.
+  std::size_t add_constraint(std::vector<Term> terms, Relation rel, double rhs,
+                             std::string name = {});
+
+  std::size_t num_variables() const { return costs_.size(); }
+  std::size_t num_constraints() const { return constraints_.size(); }
+
+  double cost(std::size_t v) const { return costs_[v]; }
+  double lower(std::size_t v) const { return lower_[v]; }
+  double upper(std::size_t v) const { return upper_[v]; }
+  const std::string& variable_name(std::size_t v) const { return names_[v]; }
+  const Constraint& constraint(std::size_t r) const { return constraints_[r]; }
+
+  const std::vector<double>& costs() const { return costs_; }
+
+  // Objective value of `x` (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  // Largest constraint/bound violation of `x`; 0 when feasible.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> costs_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace mecsched::lp

@@ -1,0 +1,40 @@
+// Geometric-mean equilibration for badly scaled LPs.
+//
+// MEC cost coefficients span ~9 orders of magnitude (joules per byte vs
+// per gigabyte); equilibration rescales rows and columns so every nonzero
+// coefficient sits near 1, which keeps the simplex pivots and the IPM
+// normal equations well conditioned. The transform preserves the optimal
+// objective exactly; `unscale` maps the scaled solution (primal and dual)
+// back to the original space.
+#pragma once
+
+#include <vector>
+
+#include "lp/problem.h"
+#include "lp/solution.h"
+
+namespace mecsched::lp {
+
+class ScaledProblem {
+ public:
+  const Problem& problem() const { return scaled_; }
+
+  // Maps a solution of `problem()` back to the original problem's space.
+  Solution unscale(const Solution& scaled_solution,
+                   const Problem& original) const;
+
+  const std::vector<double>& row_scale() const { return row_scale_; }
+  const std::vector<double>& col_scale() const { return col_scale_; }
+
+  friend ScaledProblem equilibrate(const Problem& p, int passes);
+
+ private:
+  Problem scaled_;
+  std::vector<double> row_scale_;  // constraint multipliers r_i
+  std::vector<double> col_scale_;  // variable multipliers c_j (x = c_j x')
+};
+
+// `passes` alternating row/column geometric-mean sweeps (2 is plenty).
+ScaledProblem equilibrate(const Problem& p, int passes = 2);
+
+}  // namespace mecsched::lp

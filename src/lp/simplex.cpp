@@ -1,0 +1,403 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "lp/matrix.h"
+
+namespace mecsched::lp {
+namespace {
+
+enum class VarState { kBasic, kAtLower, kAtUpper };
+
+// The augmented LP (structural + slack + artificial columns) plus all the
+// mutable solver state for one solve.
+class Tableau {
+ public:
+  Tableau(const Problem& p, const SimplexOptions& opt) : opt_(opt) {
+    const std::size_t m = p.num_constraints();
+    n_struct_ = p.num_variables();
+
+    // Count slacks first so column indices are stable.
+    std::size_t n_slack = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (p.constraint(r).relation != Relation::kEqual) ++n_slack;
+    }
+    const std::size_t n_total = n_struct_ + n_slack + m;  // + m artificials
+    a_ = Matrix(m, n_total);
+    b_.resize(m);
+    lo_.assign(n_total, 0.0);
+    hi_.assign(n_total, kInfinity);
+    cost_.assign(n_total, 0.0);
+
+    for (std::size_t v = 0; v < n_struct_; ++v) {
+      lo_[v] = p.lower(v);
+      hi_[v] = p.upper(v);
+      cost_[v] = p.cost(v);
+    }
+
+    std::size_t slack = n_struct_;
+    for (std::size_t r = 0; r < m; ++r) {
+      const Constraint& c = p.constraint(r);
+      for (const Term& t : c.terms) a_(r, t.var) = t.coeff;
+      b_[r] = c.rhs;
+      switch (c.relation) {
+        case Relation::kLessEqual:
+          a_(r, slack++) = 1.0;
+          break;
+        case Relation::kGreaterEqual:
+          a_(r, slack++) = -1.0;
+          break;
+        case Relation::kEqual:
+          break;
+      }
+    }
+    art_begin_ = n_struct_ + n_slack;
+
+    // Nonbasic start: every non-artificial variable at its (finite) lower
+    // bound. Artificials absorb the residual with a ±1 coefficient so their
+    // phase-1 value is non-negative.
+    state_.assign(n_total, VarState::kAtLower);
+    x_.assign(n_total, 0.0);
+    for (std::size_t v = 0; v < art_begin_; ++v) x_[v] = lo_[v];
+
+    std::vector<double> residual = b_;
+    for (std::size_t v = 0; v < art_begin_; ++v) {
+      if (x_[v] == 0.0) continue;
+      for (std::size_t r = 0; r < m; ++r) residual[r] -= a_(r, v) * x_[v];
+    }
+
+    basis_.resize(m);
+    binv_ = Matrix(m, m);
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t art = art_begin_ + r;
+      const double sign = residual[r] >= 0.0 ? 1.0 : -1.0;
+      a_(r, art) = sign;
+      basis_[r] = art;
+      state_[art] = VarState::kBasic;
+      x_[art] = std::fabs(residual[r]);
+      binv_(r, r) = sign;  // B = diag(sign) => B^-1 = diag(sign)
+    }
+  }
+
+  // Minimizes `costs` from the current basis. Returns the phase status.
+  SolveStatus optimize(const std::vector<double>& costs) {
+    const std::size_t m = a_.rows();
+    const double cost_scale = 1.0 + max_abs(costs);
+    const double dj_tol = opt_.tolerance * cost_scale;
+    std::size_t degenerate_run = 0;
+    devex_weights_.assign(x_.size(), 1.0);  // fresh reference framework
+
+    for (; iterations_ < opt_.max_iterations; ++iterations_) {
+      if (iterations_ > 0 && iterations_ % opt_.refactor_period == 0) {
+        refactorize();
+      }
+
+      // Dual prices y = (B^-1)^T c_B.
+      std::vector<double> cb(m);
+      for (std::size_t r = 0; r < m; ++r) cb[r] = costs[basis_[r]];
+      const std::vector<double> y = binv_.multiply_transpose(cb);
+
+      const bool bland = degenerate_run >= opt_.bland_trigger;
+      const std::size_t entering = price(costs, y, dj_tol, bland);
+      if (entering == kNone) return SolveStatus::kOptimal;
+
+      // Column in the current basis frame.
+      std::vector<double> col(m);
+      for (std::size_t r = 0; r < m; ++r) col[r] = a_(r, entering);
+      const std::vector<double> w = binv_.multiply(col);
+
+      const double dir = state_[entering] == VarState::kAtLower ? 1.0 : -1.0;
+
+      // Bounded ratio test: the entering variable moves by t in direction
+      // `dir`; basic variable r changes by -dir * w[r] * t.
+      double t_max = hi_[entering] - lo_[entering];  // bound-flip limit
+      std::size_t leave_row = kNone;
+      bool leave_at_upper = false;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double rate = dir * w[r];
+        const std::size_t bv = basis_[r];
+        if (rate > opt_.tolerance) {  // basic value decreases toward lo
+          const double t = (x_[bv] - lo_[bv]) / rate;
+          if (t < t_max - opt_.tolerance ||
+              (t < t_max + opt_.tolerance && leave_row == kNone)) {
+            t_max = std::max(t, 0.0);
+            leave_row = r;
+            leave_at_upper = false;
+          }
+        } else if (rate < -opt_.tolerance && std::isfinite(hi_[bv])) {
+          const double t = (hi_[bv] - x_[bv]) / -rate;
+          if (t < t_max - opt_.tolerance ||
+              (t < t_max + opt_.tolerance && leave_row == kNone)) {
+            t_max = std::max(t, 0.0);
+            leave_row = r;
+            leave_at_upper = true;
+          }
+        }
+      }
+
+      if (!std::isfinite(t_max)) return SolveStatus::kUnbounded;
+      degenerate_run = t_max <= opt_.tolerance ? degenerate_run + 1 : 0;
+
+      // Apply the step.
+      x_[entering] += dir * t_max;
+      for (std::size_t r = 0; r < m; ++r) x_[basis_[r]] -= dir * w[r] * t_max;
+
+      if (leave_row == kNone) {
+        // Bound flip: entering variable crosses to its other bound; the
+        // basis is unchanged.
+        state_[entering] = state_[entering] == VarState::kAtLower
+                               ? VarState::kAtUpper
+                               : VarState::kAtLower;
+        x_[entering] = state_[entering] == VarState::kAtLower ? lo_[entering]
+                                                              : hi_[entering];
+        continue;
+      }
+
+      if (opt_.pricing == PricingRule::kDevex) {
+        devex_update(entering, leave_row, w);
+      }
+      const std::size_t leaving = basis_[leave_row];
+      state_[leaving] = leave_at_upper ? VarState::kAtUpper : VarState::kAtLower;
+      x_[leaving] = leave_at_upper ? hi_[leaving] : lo_[leaving];
+      state_[entering] = VarState::kBasic;
+      basis_[leave_row] = entering;
+      pivot_update(w, leave_row);
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  // Magnitude of the right-hand side; scales the phase-1 feasibility test.
+  double rhs_scale() const { return 1.0 + max_abs(b_); }
+
+  // Sum of artificial values (phase-1 objective at the current point).
+  double artificial_infeasibility() const {
+    double total = 0.0;
+    for (std::size_t v = art_begin_; v < x_.size(); ++v) total += x_[v];
+    return total;
+  }
+
+  std::vector<double> phase1_costs() const {
+    std::vector<double> c(x_.size(), 0.0);
+    for (std::size_t v = art_begin_; v < c.size(); ++v) c[v] = 1.0;
+    return c;
+  }
+
+  std::vector<double> phase2_costs() const {
+    std::vector<double> c(x_.size(), 0.0);
+    std::copy(cost_.begin(), cost_.begin() + static_cast<long>(n_struct_),
+              c.begin());
+    return c;
+  }
+
+  // Pins every artificial to zero so phase 2 cannot re-activate them.
+  void pin_artificials() {
+    for (std::size_t v = art_begin_; v < x_.size(); ++v) {
+      hi_[v] = 0.0;
+      if (state_[v] != VarState::kBasic) x_[v] = 0.0;
+    }
+  }
+
+  std::vector<double> structural_solution() const {
+    return {x_.begin(), x_.begin() + static_cast<long>(n_struct_)};
+  }
+
+  // Dual prices y = (B^-1)^T c_B for the given objective. Rows of the
+  // tableau correspond one-to-one (in order) with Problem constraints.
+  std::vector<double> duals(const std::vector<double>& costs) const {
+    const std::size_t m = a_.rows();
+    std::vector<double> cb(m);
+    for (std::size_t r = 0; r < m; ++r) cb[r] = costs[basis_[r]];
+    return binv_.multiply_transpose(cb);
+  }
+
+  std::size_t iterations() const { return iterations_; }
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  static double max_abs(const std::vector<double>& v) {
+    double mx = 0.0;
+    for (double e : v) mx = std::max(mx, std::fabs(e));
+    return mx;
+  }
+
+  // Chooses the entering column: Dantzig (most negative effective reduced
+  // cost) normally, Bland (lowest eligible index) when anti-cycling.
+  std::size_t price(const std::vector<double>& costs,
+                    const std::vector<double>& y, double dj_tol,
+                    bool bland) const {
+    const std::size_t m = a_.rows();
+    const bool devex = opt_.pricing == PricingRule::kDevex && !bland;
+    std::size_t best = kNone;
+    double best_score = devex ? dj_tol * dj_tol : dj_tol;
+    for (std::size_t j = 0; j < x_.size(); ++j) {
+      if (state_[j] == VarState::kBasic) continue;
+      if (hi_[j] - lo_[j] <= opt_.tolerance) continue;  // fixed (artificials)
+      double dj = costs[j];
+      for (std::size_t r = 0; r < m; ++r) dj -= y[r] * a_(r, j);
+      const double rate =
+          state_[j] == VarState::kAtLower ? -dj : dj;  // improvement rate
+      if (rate <= dj_tol) continue;                    // not eligible
+      const double score = devex ? rate * rate / devex_weights_[j] : rate;
+      if (score > best_score) {
+        best = j;
+        best_score = score;
+        if (bland) break;  // first eligible index
+      }
+    }
+    return best;
+  }
+
+  // Forrest-Goldfarb devex weight update after pivoting entering column
+  // `q` on row `r` (w = B^-1 A_q already computed). The pivot row
+  // e_r^T B^-1 A gives the alphas the update needs.
+  void devex_update(std::size_t q, std::size_t r,
+                    const std::vector<double>& w) {
+    const std::size_t m = a_.rows();
+    const double alpha_q = w[r];
+    if (std::fabs(alpha_q) < 1e-12) return;
+    // pivot row of B^-1 (before the pivot update), then rho = row * A.
+    std::vector<double> binv_row(m);
+    for (std::size_t c = 0; c < m; ++c) binv_row[c] = binv_(r, c);
+    const double wq = devex_weights_[q];
+    for (std::size_t j = 0; j < x_.size(); ++j) {
+      if (state_[j] == VarState::kBasic || j == q) continue;
+      if (hi_[j] - lo_[j] <= opt_.tolerance) continue;
+      double rho = 0.0;
+      for (std::size_t c = 0; c < m; ++c) rho += binv_row[c] * a_(c, j);
+      const double cand = (rho / alpha_q) * (rho / alpha_q) * wq;
+      if (cand > devex_weights_[j]) devex_weights_[j] = cand;
+      // reset the framework if weights explode
+      if (devex_weights_[j] > 1e12) {
+        devex_weights_.assign(x_.size(), 1.0);
+        return;
+      }
+    }
+    devex_weights_[basis_[r]] = std::max(wq / (alpha_q * alpha_q), 1.0);
+  }
+
+  // Rank-1 basis-inverse update after pivoting on row `r`.
+  void pivot_update(const std::vector<double>& w, std::size_t r) {
+    const std::size_t m = a_.rows();
+    const double piv = w[r];
+    if (std::fabs(piv) < 1e-12) {
+      throw SolverError("simplex: numerically singular pivot");
+    }
+    double* br = binv_.row(r);
+    for (std::size_t c = 0; c < m; ++c) br[c] /= piv;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == r) continue;
+      const double f = w[i];
+      if (f == 0.0) continue;
+      double* bi = binv_.row(i);
+      for (std::size_t c = 0; c < m; ++c) bi[c] -= f * br[c];
+    }
+  }
+
+  // Recomputes B^-1 from scratch (Gauss-Jordan with partial pivoting) and
+  // refreshes the basic values from the nonbasic ones, clearing the
+  // accumulated floating-point drift of the rank-1 updates.
+  void refactorize() {
+    const std::size_t m = a_.rows();
+    Matrix bmat(m, m);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t i = 0; i < m; ++i) bmat(i, r) = a_(i, basis_[r]);
+    }
+    Matrix inv = Matrix::identity(m);
+    for (std::size_t col = 0; col < m; ++col) {
+      std::size_t piv = col;
+      for (std::size_t r = col + 1; r < m; ++r) {
+        if (std::fabs(bmat(r, col)) > std::fabs(bmat(piv, col))) piv = r;
+      }
+      if (std::fabs(bmat(piv, col)) < 1e-12) {
+        throw SolverError("simplex: singular basis during refactorization");
+      }
+      if (piv != col) {
+        for (std::size_t c = 0; c < m; ++c) {
+          std::swap(bmat(piv, c), bmat(col, c));
+          std::swap(inv(piv, c), inv(col, c));
+        }
+      }
+      const double d = bmat(col, col);
+      for (std::size_t c = 0; c < m; ++c) {
+        bmat(col, c) /= d;
+        inv(col, c) /= d;
+      }
+      for (std::size_t r = 0; r < m; ++r) {
+        if (r == col) continue;
+        const double f = bmat(r, col);
+        if (f == 0.0) continue;
+        for (std::size_t c = 0; c < m; ++c) {
+          bmat(r, c) -= f * bmat(col, c);
+          inv(r, c) -= f * inv(col, c);
+        }
+      }
+    }
+    binv_ = std::move(inv);
+
+    // x_B = B^-1 (b - N x_N)
+    std::vector<double> rhs = b_;
+    for (std::size_t v = 0; v < x_.size(); ++v) {
+      if (state_[v] == VarState::kBasic || x_[v] == 0.0) continue;
+      for (std::size_t r = 0; r < m; ++r) rhs[r] -= a_(r, v) * x_[v];
+    }
+    const std::vector<double> xb = binv_.multiply(rhs);
+    for (std::size_t r = 0; r < m; ++r) x_[basis_[r]] = xb[r];
+  }
+
+  SimplexOptions opt_;
+  Matrix a_;
+  Matrix binv_;
+  std::vector<double> b_;
+  std::vector<double> lo_, hi_, cost_;
+  std::vector<double> x_;
+  std::vector<VarState> state_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> devex_weights_;
+  std::size_t n_struct_ = 0;
+  std::size_t art_begin_ = 0;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Problem& problem) const {
+  Solution out;
+  if (problem.num_variables() == 0) {
+    out.status = SolveStatus::kOptimal;
+    return out;
+  }
+
+  Tableau t(problem, options_);
+
+  // Phase 1: drive the artificials to zero.
+  const SolveStatus phase1 = t.optimize(t.phase1_costs());
+  if (phase1 == SolveStatus::kIterationLimit) {
+    out.status = SolveStatus::kIterationLimit;
+    out.iterations = t.iterations();
+    return out;
+  }
+  // Phase 1 is bounded below by 0, so kUnbounded cannot occur here.
+  if (t.artificial_infeasibility() > 1e-7 * t.rhs_scale()) {
+    out.status = SolveStatus::kInfeasible;
+    out.iterations = t.iterations();
+    return out;
+  }
+
+  // Phase 2: optimize the real objective with artificials pinned at zero.
+  t.pin_artificials();
+  const SolveStatus phase2 = t.optimize(t.phase2_costs());
+  out.status = phase2;
+  out.iterations = t.iterations();
+  if (phase2 == SolveStatus::kOptimal) {
+    out.x = t.structural_solution();
+    out.objective = problem.objective_value(out.x);
+    out.duals = t.duals(t.phase2_costs());
+  }
+  return out;
+}
+
+}  // namespace mecsched::lp

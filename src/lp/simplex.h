@@ -1,0 +1,48 @@
+// Two-phase bounded-variable primal simplex.
+//
+// Solves general-form `Problem`s (see problem.h) by augmenting inequality
+// rows with slack variables and a full set of artificial variables for the
+// phase-1 start. The basis inverse is maintained explicitly and
+// refactorized periodically; Bland's rule kicks in after a run of
+// degenerate pivots to guarantee termination.
+//
+// This is the Step-1 engine of LP-HTA. It is exact (up to floating-point
+// tolerances), deterministic, and cross-checked in the test suite against
+// the interior-point solver and brute-force vertex enumeration.
+#pragma once
+
+#include <cstddef>
+
+#include "lp/problem.h"
+#include "lp/solution.h"
+
+namespace mecsched::lp {
+
+// Entering-variable selection rule.
+//   kDantzig — most negative reduced cost; simple and fast per iteration.
+//   kDevex   — Forrest–Goldfarb reference weights approximating steepest
+//              edge; costs one extra pivot-row computation per iteration
+//              but typically needs fewer iterations on degenerate LPs.
+enum class PricingRule { kDantzig, kDevex };
+
+struct SimplexOptions {
+  std::size_t max_iterations = 50'000;
+  // Refactorize the basis inverse every this many pivots to bound drift.
+  std::size_t refactor_period = 64;
+  // Consecutive degenerate pivots before switching to Bland's rule.
+  std::size_t bland_trigger = 50;
+  double tolerance = 1e-9;
+  PricingRule pricing = PricingRule::kDantzig;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  Solution solve(const Problem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace mecsched::lp

@@ -1,0 +1,33 @@
+// Solver result types shared by the simplex and interior-point solvers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mecsched::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+std::string to_string(SolveStatus s);
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;        // primal values, one per problem variable
+  // Dual prices, one per constraint (row order of the Problem). Sign
+  // convention for a minimization: y <= 0 on "<=" rows, y >= 0 on ">="
+  // rows, free on "=" rows. For LPs whose variables have no finite upper
+  // bounds, strong duality gives objective == b^T y; finite upper bounds
+  // contribute additional (internal) bound duals not reported here.
+  std::vector<double> duals;
+  std::size_t iterations = 0;   // pivots (simplex) or IPM steps
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+}  // namespace mecsched::lp

@@ -1,0 +1,80 @@
+#include "lp/standard_form.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsched::lp {
+
+std::vector<double> StandardForm::recover(const std::vector<double>& x) const {
+  MECSCHED_REQUIRE(x.size() >= n_original, "standard-form solution too short");
+  std::vector<double> out(n_original);
+  for (std::size_t i = 0; i < n_original; ++i) out[i] = x[i] + shift[i];
+  return out;
+}
+
+StandardForm to_standard_form(const Problem& p) {
+  StandardForm sf;
+  const std::size_t n0 = p.num_variables();
+  sf.n_original = n0;
+  sf.shift.resize(n0);
+
+  // Column layout: [original | upper-bound slacks | row slacks].
+  std::size_t n_ub = 0;
+  for (std::size_t v = 0; v < n0; ++v) {
+    if (std::isfinite(p.upper(v))) ++n_ub;
+  }
+  std::size_t n_row_slack = 0;
+  for (std::size_t r = 0; r < p.num_constraints(); ++r) {
+    if (p.constraint(r).relation != Relation::kEqual) ++n_row_slack;
+  }
+
+  const std::size_t m = p.num_constraints() + n_ub;
+  const std::size_t n = n0 + n_ub + n_row_slack;
+  sf.a = Matrix(m, n);
+  sf.b.assign(m, 0.0);
+  sf.c.assign(n, 0.0);
+
+  for (std::size_t v = 0; v < n0; ++v) {
+    sf.shift[v] = p.lower(v);
+    sf.c[v] = p.cost(v);
+    sf.objective_offset += p.cost(v) * p.lower(v);
+  }
+
+  // Original rows first; shift the RHS by A * lo.
+  std::size_t slack = n0 + n_ub;
+  for (std::size_t r = 0; r < p.num_constraints(); ++r) {
+    const Constraint& con = p.constraint(r);
+    double rhs = con.rhs;
+    for (const Term& t : con.terms) {
+      sf.a(r, t.var) = t.coeff;
+      rhs -= t.coeff * p.lower(t.var);
+    }
+    sf.b[r] = rhs;
+    switch (con.relation) {
+      case Relation::kLessEqual:
+        sf.a(r, slack++) = 1.0;
+        break;
+      case Relation::kGreaterEqual:
+        sf.a(r, slack++) = -1.0;
+        break;
+      case Relation::kEqual:
+        break;
+    }
+  }
+
+  // Upper-bound rows: x'_v + s = hi - lo.
+  std::size_t ub_row = p.num_constraints();
+  std::size_t ub_col = n0;
+  for (std::size_t v = 0; v < n0; ++v) {
+    if (!std::isfinite(p.upper(v))) continue;
+    sf.a(ub_row, v) = 1.0;
+    sf.a(ub_row, ub_col) = 1.0;
+    sf.b[ub_row] = p.upper(v) - p.lower(v);
+    ++ub_row;
+    ++ub_col;
+  }
+  return sf;
+}
+
+}  // namespace mecsched::lp

@@ -1,0 +1,35 @@
+// Conversion of a general-form Problem to the standard form
+//
+//   minimize    c^T x    subject to  A x = b,  x >= 0
+//
+// consumed by the interior-point solver:
+//   * variables are shifted by their (finite) lower bound,
+//   * finite upper bounds become `x + s = hi - lo` rows,
+//   * inequality rows gain slack/surplus columns.
+//
+// `recover()` maps a standard-form solution back to the original variable
+// space.
+#pragma once
+
+#include <vector>
+
+#include "lp/matrix.h"
+#include "lp/problem.h"
+
+namespace mecsched::lp {
+
+struct StandardForm {
+  Matrix a;                 // m x n equality matrix
+  std::vector<double> b;    // m
+  std::vector<double> c;    // n
+  std::size_t n_original;   // leading columns that map to Problem variables
+  std::vector<double> shift;  // original lower bounds (n_original)
+  double objective_offset = 0.0;  // c_orig . shift
+
+  // Original-space values from a standard-form point.
+  std::vector<double> recover(const std::vector<double>& x) const;
+};
+
+StandardForm to_standard_form(const Problem& p);
+
+}  // namespace mecsched::lp

@@ -1,0 +1,115 @@
+#include "mec/cost_breakdown.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace mecsched::mec {
+
+using units::transfer_seconds;
+
+double CostBreakdown::total_energy() const {
+  double total = 0.0;
+  for (const CostLeg& leg : legs) total += leg.energy_j;
+  return total;
+}
+
+double CostBreakdown::total_time() const {
+  double serial = 0.0;
+  double par = 0.0;
+  for (const CostLeg& leg : legs) {
+    if (leg.parallel) {
+      par = std::max(par, leg.time_s);
+    } else {
+      serial += leg.time_s;
+    }
+  }
+  return serial + par;
+}
+
+CostBreakdown explain(const Topology& topology, const Task& task,
+                      Placement p) {
+  const CostModel cost(topology);
+  const SystemParameters& params = topology.params();
+  const Device& dev = topology.device(task.id.user);
+
+  CostBreakdown out;
+  out.placement = p;
+  const double alpha = task.local_bytes;
+  const double beta = task.external_bytes;
+  const double result = task.result_bytes();
+  const bool fetch = beta > 0.0 && task.external_owner != task.id.user;
+  const bool cross =
+      fetch && !topology.same_cluster(task.external_owner, task.id.user);
+
+  auto add = [&out](std::string label, double time_s, double energy_j,
+                    bool parallel = false) {
+    out.legs.push_back({std::move(label), time_s, energy_j, parallel});
+  };
+
+  switch (p) {
+    case Placement::kLocal: {
+      if (fetch) {
+        add("owner uplink (beta)",
+            cost.upload_seconds(task.external_owner, beta),
+            cost.upload_energy(task.external_owner, beta));
+        if (cross) {
+          add("inter-BS backhaul (beta)", cost.bs_to_bs_seconds(beta),
+              cost.bs_to_bs_energy(beta));
+        }
+        add("issuer downlink (beta)",
+            cost.download_seconds(task.id.user, beta),
+            cost.download_energy(task.id.user, beta));
+      }
+      add("device compute", task.cycles() / dev.cpu_hz,
+          params.kappa * task.cycles() * dev.cpu_hz * dev.cpu_hz);
+      break;
+    }
+    case Placement::kEdge: {
+      if (fetch) {
+        double t = cost.upload_seconds(task.external_owner, beta);
+        double e = cost.upload_energy(task.external_owner, beta);
+        if (cross) {
+          t += cost.bs_to_bs_seconds(beta);
+          e += cost.bs_to_bs_energy(beta);
+        }
+        add("external path (beta)", t, e, /*parallel=*/true);
+      }
+      if (alpha > 0.0) {
+        add("issuer uplink (alpha)", cost.upload_seconds(task.id.user, alpha),
+            cost.upload_energy(task.id.user, alpha), /*parallel=*/true);
+      }
+      add("station compute",
+          task.cycles() /
+              topology.base_station(dev.base_station).cpu_hz,
+          0.0);
+      add("issuer downlink (result)",
+          cost.download_seconds(task.id.user, result),
+          cost.download_energy(task.id.user, result));
+      break;
+    }
+    case Placement::kCloud: {
+      if (fetch) {
+        add("owner uplink (beta)",
+            cost.upload_seconds(task.external_owner, beta),
+            cost.upload_energy(task.external_owner, beta), /*parallel=*/true);
+      }
+      if (alpha > 0.0) {
+        add("issuer uplink (alpha)", cost.upload_seconds(task.id.user, alpha),
+            cost.upload_energy(task.id.user, alpha), /*parallel=*/true);
+      }
+      const double wan_bytes = alpha + beta + result;
+      add("WAN transfer (alpha+beta+result)",
+          cost.bs_to_cloud_seconds(wan_bytes),
+          cost.bs_to_cloud_energy(wan_bytes));
+      add("cloud compute", task.cycles() / params.cloud_hz, 0.0);
+      add("issuer downlink (result)",
+          cost.download_seconds(task.id.user, result),
+          cost.download_energy(task.id.user, result));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mecsched::mec

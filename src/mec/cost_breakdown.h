@@ -1,0 +1,34 @@
+// Itemized cost breakdown — the Sec. II totals split into their physical
+// legs, for debugging, documentation and the quickstart-style tooling.
+// The invariant (tested): the legs sum exactly to CostModel's totals.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mec/cost_model.h"
+
+namespace mecsched::mec {
+
+struct CostLeg {
+  std::string label;      // e.g. "owner uplink (beta)", "device compute"
+  double time_s = 0.0;    // contribution to t^(C)+t^(R); parallel legs
+                          // carry their own duration, `parallel` marks them
+  double energy_j = 0.0;
+  bool parallel = false;  // true for the max{...} legs of Eq. t^(R)_ij2/3
+};
+
+struct CostBreakdown {
+  Placement placement = Placement::kLocal;
+  std::vector<CostLeg> legs;
+
+  // Sums matching CostModel::evaluate(task, placement).
+  double total_energy() const;
+  // Serial time + max over the parallel group (the Sec. II max term).
+  double total_time() const;
+};
+
+// Explains one placement of one task.
+CostBreakdown explain(const Topology& topology, const Task& task, Placement p);
+
+}  // namespace mecsched::mec

@@ -1,0 +1,179 @@
+#include "mec/cost_model.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mecsched::mec {
+
+using units::transfer_seconds;
+
+std::string to_string(Placement p) {
+  switch (p) {
+    case Placement::kLocal:
+      return "local";
+    case Placement::kEdge:
+      return "edge";
+    case Placement::kCloud:
+      return "cloud";
+  }
+  return "unknown";
+}
+
+TaskCosts CostModel::evaluate(const Task& task) const {
+  TaskCosts out;
+  out.by_placement[0] = local_cost(task);
+  out.by_placement[1] = edge_cost(task);
+  out.by_placement[2] = cloud_cost(task);
+  return out;
+}
+
+CostEntry CostModel::evaluate(const Task& task, Placement p) const {
+  switch (p) {
+    case Placement::kLocal:
+      return local_cost(task);
+    case Placement::kEdge:
+      return edge_cost(task);
+    case Placement::kCloud:
+      return cloud_cost(task);
+  }
+  throw ModelError("unknown placement");
+}
+
+double CostModel::upload_seconds(std::size_t device, double bytes) const {
+  return transfer_seconds(bytes, topo_->device(device).radio.upload_bps);
+}
+
+double CostModel::upload_energy(std::size_t device, double bytes) const {
+  return topo_->device(device).radio.tx_power_w * upload_seconds(device, bytes);
+}
+
+double CostModel::download_seconds(std::size_t device, double bytes) const {
+  return transfer_seconds(bytes, topo_->device(device).radio.download_bps);
+}
+
+double CostModel::download_energy(std::size_t device, double bytes) const {
+  return topo_->device(device).radio.rx_power_w *
+         download_seconds(device, bytes);
+}
+
+double CostModel::bs_to_bs_seconds(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  const SystemParameters& p = topo_->params();
+  return p.bs_to_bs_latency_s + transfer_seconds(bytes, p.bs_to_bs_rate_bps);
+}
+
+double CostModel::bs_to_bs_energy(double bytes) const {
+  const SystemParameters& p = topo_->params();
+  return p.bs_to_bs_power_w * transfer_seconds(bytes, p.bs_to_bs_rate_bps);
+}
+
+double CostModel::bs_to_cloud_seconds(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  const SystemParameters& p = topo_->params();
+  return p.bs_to_cloud_latency_s +
+         transfer_seconds(bytes, p.bs_to_cloud_rate_bps);
+}
+
+double CostModel::bs_to_cloud_energy(double bytes) const {
+  const SystemParameters& p = topo_->params();
+  return p.bs_to_cloud_power_w * transfer_seconds(bytes, p.bs_to_cloud_rate_bps);
+}
+
+CostModel::ExternalFetch CostModel::external_fetch(const Task& task) const {
+  ExternalFetch f;
+  const double beta = task.external_bytes;
+  // No external data, or the "owner" is the issuing device itself: nothing
+  // to move over the radio.
+  if (beta <= 0.0 || task.external_owner == task.id.user) return f;
+  f.upload_s = upload_seconds(task.external_owner, beta);
+  f.owner_energy = upload_energy(task.external_owner, beta);
+  return f;
+}
+
+// l = 1: process on the issuing device. The external data travels
+// owner -> (owner's BS) [-> issuer's BS] -> issuer; then the device
+// computes locally (Eq. 2, Eq. 4's t^(R)_ij1 / E^(R)_ij1).
+CostEntry CostModel::local_cost(const Task& task) const {
+  const Device& dev = topo_->device(task.id.user);
+  const SystemParameters& p = topo_->params();
+
+  CostEntry e;
+  e.compute_s = task.cycles() / dev.cpu_hz;
+  e.energy_j = p.kappa * task.cycles() * dev.cpu_hz * dev.cpu_hz;  // E^(C)_ij1
+
+  const double beta = task.external_bytes;
+  const ExternalFetch fetch = external_fetch(task);
+  if (fetch.upload_s > 0.0) {
+    e.transfer_s = fetch.upload_s + download_seconds(task.id.user, beta);
+    e.energy_j += fetch.owner_energy + download_energy(task.id.user, beta);
+    if (!topo_->same_cluster(task.external_owner, task.id.user)) {
+      e.transfer_s += bs_to_bs_seconds(beta);
+      e.energy_j += bs_to_bs_energy(beta);
+    }
+  }
+  return e;
+}
+
+// l = 2: process on the issuing device's base station. Local data α uploads
+// from the issuer in parallel with the external fetch (max{...} in the
+// paper); the result η(α+β) downloads back to the issuer.
+CostEntry CostModel::edge_cost(const Task& task) const {
+  const BaseStation& bs = topo_->base_station(topo_->device(task.id.user).base_station);
+
+  CostEntry e;
+  e.compute_s = task.cycles() / bs.cpu_hz;
+  // Base-station compute energy is negligible next to radio energy (paper,
+  // Sec. II.A) and is omitted, as in the paper.
+
+  const double alpha = task.local_bytes;
+  const double beta = task.external_bytes;
+  const ExternalFetch fetch = external_fetch(task);
+
+  double external_path_s = fetch.upload_s;
+  double energy = fetch.owner_energy;
+  if (fetch.upload_s > 0.0 &&
+      !topo_->same_cluster(task.external_owner, task.id.user)) {
+    external_path_s += bs_to_bs_seconds(beta);
+    energy += bs_to_bs_energy(beta);
+  }
+  const double local_path_s =
+      alpha > 0.0 ? upload_seconds(task.id.user, alpha) : 0.0;
+  energy += alpha > 0.0 ? upload_energy(task.id.user, alpha) : 0.0;
+
+  const double result = task.result_bytes();
+  e.transfer_s = std::max(external_path_s, local_path_s) +
+                 download_seconds(task.id.user, result);
+  e.energy_j = energy + download_energy(task.id.user, result);
+  return e;
+}
+
+// l = 3: process on the remote cloud. Both α and β are forwarded over the
+// WAN (plus the returned result), with the paper's t_{B,C}/e_{B,C} terms.
+CostEntry CostModel::cloud_cost(const Task& task) const {
+  const SystemParameters& p = topo_->params();
+
+  CostEntry e;
+  e.compute_s = task.cycles() / p.cloud_hz;
+
+  const double alpha = task.local_bytes;
+  const double beta = task.external_bytes;
+  const ExternalFetch fetch = external_fetch(task);
+
+  const double local_path_s =
+      alpha > 0.0 ? upload_seconds(task.id.user, alpha) : 0.0;
+  double energy = fetch.owner_energy +
+                  (alpha > 0.0 ? upload_energy(task.id.user, alpha) : 0.0);
+
+  const double result = task.result_bytes();
+  const double wan_bytes = alpha + beta + result;
+  e.transfer_s = std::max(fetch.upload_s, local_path_s) +
+                 download_seconds(task.id.user, result) +
+                 bs_to_cloud_seconds(wan_bytes);
+  e.energy_j = energy + download_energy(task.id.user, result) +
+               bs_to_cloud_energy(wan_bytes);
+  return e;
+}
+
+}  // namespace mecsched::mec

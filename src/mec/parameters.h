@@ -1,0 +1,56 @@
+// System-wide constants of the simulated MEC system.
+//
+// Defaults reproduce the paper's experiment settings (Sec. V.A):
+//   κ = 1e-27 J per cycle per Hz², λ = 330 cycles/byte, η = 0.2,
+//   device CPUs 1–2 GHz, base station 4 GHz, cloud (Amazon T2.nano-like)
+//   2.4 GHz, 15 ms between base stations, 250 ms base station → cloud,
+//   and the Table I radio profiles (4G and Wi-Fi).
+//
+// Backhaul/WAN energy is not quantified in the paper; we model both links
+// as power × transfer-time over a fixed-rate pipe (see DESIGN.md,
+// "Substitutions") with constants that preserve E_ij1 < E_ij2 < E_ij3.
+#pragma once
+
+#include "common/units.h"
+
+namespace mecsched::mec {
+
+// One row of Table I: measured rates and radio powers for a network type.
+struct RadioProfile {
+  double download_bps;  // r^(D)
+  double upload_bps;    // r^(U)
+  double tx_power_w;    // P^(T), spent while uploading
+  double rx_power_w;    // P^(R), spent while downloading
+};
+
+inline constexpr RadioProfile k4G{
+    units::mbps(13.76), units::mbps(5.85), 7.32, 1.6};
+inline constexpr RadioProfile kWiFi{
+    units::mbps(54.97), units::mbps(12.88), 15.7, 2.7};
+
+struct SystemParameters {
+  // Computation model (Sec. V.A, after [22]).
+  double kappa = 1e-27;             // energy coefficient κ (J·s²/cycle³)
+  double cycles_per_byte = 330.0;   // λ
+  double result_ratio = 0.2;        // η: result bytes per input byte
+
+  // CPU frequencies.
+  double device_min_hz = units::gigahertz(1.0);
+  double device_max_hz = units::gigahertz(2.0);
+  double base_station_hz = units::gigahertz(4.0);
+  double cloud_hz = units::gigahertz(2.4);
+
+  // Inter-base-station backhaul: 15 ms latency [15]; the rate/power pair is
+  // our substitution for the unquantified e_BB(X).
+  double bs_to_bs_latency_s = units::milliseconds(15.0);
+  double bs_to_bs_rate_bps = units::gbps(1.0);
+  double bs_to_bs_power_w = 5.0;
+
+  // Base station → cloud WAN: 250 ms latency [16]; rate/power pair is our
+  // substitution for e_BC(X).
+  double bs_to_cloud_latency_s = units::milliseconds(250.0);
+  double bs_to_cloud_rate_bps = units::mbps(100.0);
+  double bs_to_cloud_power_w = 20.0;
+};
+
+}  // namespace mecsched::mec

@@ -1,0 +1,18 @@
+#include "mec/radio.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsched::mec {
+
+double shannon_rate(double bandwidth_hz, double channel_gain, double tx_power_w,
+                    double noise_w) {
+  MECSCHED_REQUIRE(bandwidth_hz > 0.0, "bandwidth must be positive");
+  MECSCHED_REQUIRE(channel_gain >= 0.0, "channel gain must be non-negative");
+  MECSCHED_REQUIRE(tx_power_w >= 0.0, "transmit power must be non-negative");
+  MECSCHED_REQUIRE(noise_w > 0.0, "noise power must be positive");
+  return bandwidth_hz * std::log2(1.0 + channel_gain * tx_power_w / noise_w);
+}
+
+}  // namespace mecsched::mec

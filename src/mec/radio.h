@@ -1,0 +1,21 @@
+// Radio-layer helpers.
+//
+// The paper derives device rates from the Shannon capacity
+//   r = W log2(1 + g P / ϖ0)
+// but its experiments use the measured Table I rates. We do both: the
+// Table I profiles (parameters.h) drive every experiment, and
+// `shannon_rate` is provided (and tested) for users who want channel-model
+// driven rates instead.
+#pragma once
+
+namespace mecsched::mec {
+
+// Shannon capacity in bits/second.
+//   bandwidth_hz  W   — allocated channel bandwidth
+//   channel_gain  g   — linear power gain (not dB)
+//   tx_power_w    P   — transmit power
+//   noise_w       ϖ0  — white-noise power
+double shannon_rate(double bandwidth_hz, double channel_gain, double tx_power_w,
+                    double noise_w);
+
+}  // namespace mecsched::mec

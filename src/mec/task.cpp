@@ -1,0 +1,13 @@
+#include "mec/task.h"
+
+#include <sstream>
+
+namespace mecsched::mec {
+
+std::string to_string(const TaskId& id) {
+  std::ostringstream os;
+  os << "T(" << id.user << ',' << id.index << ')';
+  return os.str();
+}
+
+}  // namespace mecsched::mec

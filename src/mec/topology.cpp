@@ -1,0 +1,50 @@
+#include "mec/topology.h"
+
+#include "common/error.h"
+
+namespace mecsched::mec {
+
+Topology::Topology(std::vector<Device> devices,
+                   std::vector<BaseStation> stations, SystemParameters params)
+    : devices_(std::move(devices)),
+      stations_(std::move(stations)),
+      params_(params) {
+  MECSCHED_REQUIRE(!stations_.empty(), "topology needs >= 1 base station");
+  clusters_.resize(stations_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    Device& d = devices_[i];
+    MECSCHED_REQUIRE(d.id == i, "device ids must be dense 0..n-1");
+    MECSCHED_REQUIRE(d.base_station < stations_.size(),
+                     "device references unknown base station");
+    MECSCHED_REQUIRE(d.cpu_hz > 0.0, "device CPU frequency must be positive");
+    MECSCHED_REQUIRE(d.radio.upload_bps > 0.0 && d.radio.download_bps > 0.0,
+                     "device radio rates must be positive");
+    clusters_[d.base_station].push_back(i);
+  }
+  for (std::size_t b = 0; b < stations_.size(); ++b) {
+    MECSCHED_REQUIRE(stations_[b].id == b, "station ids must be dense 0..k-1");
+    MECSCHED_REQUIRE(stations_[b].cpu_hz > 0.0,
+                     "station CPU frequency must be positive");
+  }
+}
+
+const Device& Topology::device(std::size_t i) const {
+  MECSCHED_REQUIRE(i < devices_.size(), "device index out of range");
+  return devices_[i];
+}
+
+const BaseStation& Topology::base_station(std::size_t b) const {
+  MECSCHED_REQUIRE(b < stations_.size(), "base station index out of range");
+  return stations_[b];
+}
+
+const std::vector<std::size_t>& Topology::cluster(std::size_t b) const {
+  MECSCHED_REQUIRE(b < clusters_.size(), "base station index out of range");
+  return clusters_[b];
+}
+
+bool Topology::same_cluster(std::size_t dev_a, std::size_t dev_b) const {
+  return device(dev_a).base_station == device(dev_b).base_station;
+}
+
+}  // namespace mecsched::mec

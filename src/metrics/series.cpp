@@ -1,0 +1,84 @@
+#include "metrics/series.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace mecsched::metrics {
+
+SeriesCollector::SeriesCollector(std::string x_label,
+                                 std::vector<std::string> series_names)
+    : x_label_(std::move(x_label)), names_(std::move(series_names)) {
+  MECSCHED_REQUIRE(!names_.empty(), "need at least one series");
+}
+
+void SeriesCollector::add(double x, const std::string& series, double value) {
+  MECSCHED_REQUIRE(
+      std::find(names_.begin(), names_.end(), series) != names_.end(),
+      "unknown series: " + series);
+  cells_[x][series].add(value);
+}
+
+double SeriesCollector::mean(double x, const std::string& series) const {
+  const auto row = cells_.find(x);
+  if (row == cells_.end()) return std::numeric_limits<double>::quiet_NaN();
+  const auto cell = row->second.find(series);
+  if (cell == row->second.end() || cell->second.count() == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return cell->second.mean();
+}
+
+std::vector<double> SeriesCollector::xs() const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const auto& [x, row] : cells_) out.push_back(x);
+  return out;
+}
+
+namespace {
+// Sweep positions are usually integers (task counts, kB) but sometimes
+// ratios; print whole numbers without decimals and fractions with two.
+std::string format_x(double x) {
+  return Table::num(x, x == static_cast<double>(static_cast<long long>(x))
+                           ? 0
+                           : 2);
+}
+}  // namespace
+
+Table SeriesCollector::to_table(int precision) const {
+  std::vector<std::string> header = {x_label_};
+  header.insert(header.end(), names_.begin(), names_.end());
+  Table t(std::move(header));
+  for (const auto& [x, row] : cells_) {
+    std::vector<std::string> cells = {format_x(x)};
+    for (const std::string& name : names_) {
+      const auto cell = row.find(name);
+      cells.push_back(cell == row.end() || cell->second.count() == 0
+                          ? "-"
+                          : Table::num(cell->second.mean(), precision));
+    }
+    t.add_row(std::move(cells));
+  }
+  return t;
+}
+
+void SeriesCollector::write_csv(const std::string& path, int precision) const {
+  std::vector<std::string> header = {x_label_};
+  header.insert(header.end(), names_.begin(), names_.end());
+  CsvWriter csv(path, header);
+  for (const auto& [x, row] : cells_) {
+    std::vector<std::string> cells = {format_x(x)};
+    for (const std::string& name : names_) {
+      const auto cell = row.find(name);
+      cells.push_back(cell == row.end() || cell->second.count() == 0
+                          ? ""
+                          : Table::num(cell->second.mean(), precision));
+    }
+    csv.write_row(cells);
+  }
+}
+
+}  // namespace mecsched::metrics

@@ -1,0 +1,37 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mecsched::sim {
+
+void EventQueue::schedule(double when, Callback cb) {
+  MECSCHED_REQUIRE(when >= now_ - 1e-12, "cannot schedule into the past");
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(cb)});
+}
+
+double EventQueue::run() {
+  double last = 0.0;
+  while (!queue_.empty()) {
+    // Moving out of the priority queue requires a const_cast-free copy;
+    // callbacks are small so the copy is fine.
+    Event e = queue_.top();
+    queue_.pop();
+    now_ = e.when;
+    last = e.when;
+    ++processed_;
+    e.cb(now_);
+  }
+  return last;
+}
+
+double Resource::acquire(double now, double duration) {
+  MECSCHED_REQUIRE(duration >= 0.0, "service duration must be non-negative");
+  const double start = std::max(now, free_at_);
+  free_at_ = start + duration;
+  busy_time_ += duration;
+  return start;
+}
+
+}  // namespace mecsched::sim

@@ -1,0 +1,23 @@
+// Poisson arrival process on top of the holistic scenario generator — the
+// workload for the online-scheduling extension (assign/online.h).
+#pragma once
+
+#include "assign/online.h"
+#include "workload/scenario.h"
+
+namespace mecsched::workload {
+
+struct ArrivalConfig {
+  ScenarioConfig scenario{};
+  // Mean arrivals per second (exponential inter-arrival gaps).
+  double arrival_rate_per_s = 20.0;
+};
+
+struct TimedScenario {
+  mec::Topology topology;
+  std::vector<assign::TimedTask> tasks;  // sorted by release time
+};
+
+TimedScenario make_timed_scenario(const ArrivalConfig& config);
+
+}  // namespace mecsched::workload

@@ -1,0 +1,147 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "mec/cost_model.h"
+#include "mec/radio.h"
+
+namespace mecsched::workload {
+
+using units::kilobytes;
+
+mec::Topology make_topology(const ScenarioConfig& config, Rng& rng) {
+  MECSCHED_REQUIRE(config.num_devices > 0, "need at least one device");
+  MECSCHED_REQUIRE(config.num_base_stations > 0, "need at least one station");
+  MECSCHED_REQUIRE(config.num_base_stations <= config.num_devices,
+                   "more stations than devices");
+
+  std::vector<mec::Device> devices(config.num_devices);
+  for (std::size_t i = 0; i < config.num_devices; ++i) {
+    mec::Device& d = devices[i];
+    d.id = i;
+    // Round-robin clustering keeps clusters balanced, matching the paper's
+    // implicit uniform user distribution.
+    d.base_station = i % config.num_base_stations;
+    d.cpu_hz = rng.uniform(config.params.device_min_hz,
+                           config.params.device_max_hz);
+    d.radio = rng.bernoulli(config.wifi_prob) ? mec::kWiFi : mec::k4G;
+    if (config.rate_model == ScenarioConfig::RateModel::kShannon) {
+      // Channel-model driven rates: a log-uniform gain per direction, the
+      // device's own power on the uplink, the station's on the downlink.
+      const double log_lo = std::log(config.shannon_gain_min);
+      const double log_hi = std::log(config.shannon_gain_max);
+      const double g_up = std::exp(rng.uniform(log_lo, log_hi));
+      const double g_down = std::exp(rng.uniform(log_lo, log_hi));
+      d.radio.upload_bps =
+          mec::shannon_rate(config.shannon_bandwidth_hz, g_up,
+                            d.radio.tx_power_w, config.shannon_noise_w);
+      d.radio.download_bps =
+          mec::shannon_rate(config.shannon_bandwidth_hz, g_down,
+                            config.shannon_bs_power_w, config.shannon_noise_w);
+    }
+    d.max_resource =
+        rng.uniform(config.device_capacity_min, config.device_capacity_max);
+  }
+
+  std::vector<mec::BaseStation> stations(config.num_base_stations);
+  const double devices_per_station =
+      static_cast<double>(config.num_devices) /
+      static_cast<double>(config.num_base_stations);
+  for (std::size_t b = 0; b < config.num_base_stations; ++b) {
+    stations[b].id = b;
+    stations[b].cpu_hz = config.params.base_station_hz;
+    stations[b].max_resource =
+        config.station_capacity_per_device * devices_per_station;
+  }
+  return mec::Topology(std::move(devices), std::move(stations), config.params);
+}
+
+namespace {
+
+// Picks the owner of a task's external data: a different device, same
+// cluster with probability 1 - cross_cluster_prob when possible.
+std::size_t pick_external_owner(const mec::Topology& topo, std::size_t user,
+                                double cross_cluster_prob, Rng& rng) {
+  const std::size_t bs = topo.device(user).base_station;
+  const bool cross = topo.num_base_stations() > 1 &&
+                     rng.bernoulli(cross_cluster_prob);
+  if (!cross) {
+    const auto& cluster = topo.cluster(bs);
+    if (cluster.size() > 1) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::size_t pick = cluster[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(cluster.size()) - 1))];
+        if (pick != user) return pick;
+      }
+    }
+    // Degenerate cluster of one: fall through to any other device.
+  }
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(topo.num_devices()) - 1));
+    if (pick == user) continue;
+    if (cross && topo.device(pick).base_station == bs) continue;
+    return pick;
+  }
+  return user;  // single-device system: no external transfer possible
+}
+
+}  // namespace
+
+Scenario make_scenario(const ScenarioConfig& config) {
+  Rng rng(config.seed);
+  mec::Topology topology = make_topology(config, rng);
+
+  std::vector<mec::Task> tasks;
+  tasks.reserve(config.num_tasks);
+  std::vector<std::size_t> per_user_count(config.num_devices, 0);
+
+  const mec::CostModel cost(topology);
+  for (std::size_t t = 0; t < config.num_tasks; ++t) {
+    mec::Task task;
+    // Tasks spread round-robin so every user raises ~the same number, as
+    // the paper assumes.
+    const std::size_t user = t % config.num_devices;
+    task.id = {user, per_user_count[user]++};
+
+    const double input_bytes = kilobytes(
+        rng.uniform(config.min_input_fraction, 1.0) * config.max_input_kb);
+    const double ext_fraction = rng.uniform(0.0, config.external_ratio_max);
+    // α + β = input, β = f·α  =>  α = input / (1 + f).
+    task.local_bytes = input_bytes / (1.0 + ext_fraction);
+    task.external_bytes = input_bytes - task.local_bytes;
+    task.external_owner = pick_external_owner(
+        topology, user, config.cross_cluster_prob, rng);
+    if (task.external_owner == user) {
+      // No distinct owner exists (single-device topologies).
+      task.local_bytes = input_bytes;
+      task.external_bytes = 0.0;
+    }
+
+    task.cycles_per_byte = config.params.cycles_per_byte;
+    task.result_kind = config.result_kind;
+    task.result_ratio = config.result_ratio;
+    task.result_const_bytes = kilobytes(config.result_const_kb);
+    task.resource =
+        rng.uniform(std::min(1.0, config.resource_max_units),
+                    config.resource_max_units);
+
+    // Deadline: slack multiple of the *best* placement's latency, so the
+    // task is feasible somewhere but not everywhere.
+    const mec::TaskCosts costs = cost.evaluate(task);
+    double best = costs.latency(mec::Placement::kLocal);
+    for (mec::Placement p : mec::kAllPlacements) {
+      best = std::min(best, costs.latency(p));
+    }
+    task.deadline_s =
+        best * rng.uniform(config.deadline_slack_min, config.deadline_slack_max);
+
+    tasks.push_back(task);
+  }
+  return Scenario{std::move(topology), std::move(tasks)};
+}
+
+}  // namespace mecsched::workload

@@ -1,0 +1,87 @@
+// Synthetic scenario generator for the paper's evaluation (Sec. V.A).
+//
+// A Scenario is a topology plus a task set drawn from the experiment
+// distributions: device CPUs uniform in [1, 2] GHz, each device on 4G or
+// Wi-Fi at random, task input sizes up to `max_input_kb` (3000 kB in
+// Figs. 2–4), external data 0–0.5× the local data, and deadlines drawn as a
+// multiple of the task's best achievable latency (the paper does not
+// quantify T_ij; the tightness knob reproduces Fig. 3's shape — see
+// DESIGN.md "Substitutions").
+//
+// Everything is a pure function of (config, seed): rerunning a bench with
+// the same config regenerates the identical instance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "mec/parameters.h"
+#include "mec/task.h"
+#include "mec/topology.h"
+
+namespace mecsched::workload {
+
+struct ScenarioConfig {
+  std::size_t num_devices = 50;
+  std::size_t num_base_stations = 5;
+  std::size_t num_tasks = 100;
+
+  // Task input data: α+β uniform in [min_input_fraction, 1] × max_input_kb.
+  double max_input_kb = 3000.0;
+  double min_input_fraction = 0.1;
+  // β = external fraction × α, uniform in [0, external_ratio_max].
+  double external_ratio_max = 0.5;
+  // Probability that the external data's owner sits in another cluster.
+  double cross_cluster_prob = 0.3;
+  // Fraction of devices on Wi-Fi (the rest use 4G), per the paper's
+  // "connects by 4G or WiFi randomly".
+  double wifi_prob = 0.5;
+
+  // Radio rate model. The paper's experiments use the measured Table I
+  // rates (kTableOne); kShannon instead derives each device's rates from
+  // the Shannon capacity r = W log2(1 + gP/noise) (Sec. II.B) with a
+  // random per-device channel gain — radio powers still come from the
+  // Table I profile.
+  enum class RateModel { kTableOne, kShannon };
+  RateModel rate_model = RateModel::kTableOne;
+  double shannon_bandwidth_hz = 10e6;    // W per direction
+  double shannon_noise_w = 1e-10;        // white-noise power ϖ0
+  double shannon_gain_min = 1e-10;       // channel gain range (log-uniform)
+  double shannon_gain_max = 1e-7;
+  double shannon_bs_power_w = 10.0;      // P^(S): downlink transmit power
+
+  // Deadline T_ij = best-achievable-latency × uniform(deadline_slack_min,
+  // deadline_slack_max). Values < 1 make some tasks infeasible everywhere.
+  double deadline_slack_min = 1.3;
+  double deadline_slack_max = 4.0;
+
+  // Resource model: C_ij uniform in [1, resource_max_units]; device caps
+  // max_i uniform in [device_capacity_min, device_capacity_max]; station
+  // cap max_S = station_capacity_per_device × n_r.
+  double resource_max_units = 4.0;
+  double device_capacity_min = 4.0;
+  double device_capacity_max = 9.0;
+  double station_capacity_per_device = 10.0;
+
+  // Result-size model η (Fig. 5(b) varies these).
+  mec::ResultSizeKind result_kind = mec::ResultSizeKind::kProportional;
+  double result_ratio = 0.2;
+  double result_const_kb = 100.0;
+
+  mec::SystemParameters params{};
+  std::uint64_t seed = 1;
+};
+
+struct Scenario {
+  mec::Topology topology;
+  std::vector<mec::Task> tasks;
+};
+
+// Builds the topology only (devices, stations, radio assignment).
+mec::Topology make_topology(const ScenarioConfig& config, Rng& rng);
+
+// Builds topology + tasks.
+Scenario make_scenario(const ScenarioConfig& config);
+
+}  // namespace mecsched::workload

@@ -1,0 +1,86 @@
+#include "workload/shared_data.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mecsched::workload {
+
+using units::kilobytes;
+
+dta::SharedDataScenario make_shared_scenario(const SharedDataConfig& config) {
+  MECSCHED_REQUIRE(config.num_items > 0, "universe must be non-empty");
+  MECSCHED_REQUIRE(config.item_kb > 0.0, "item size must be positive");
+  Rng rng(config.seed);
+
+  // Topology via the holistic generator's builder.
+  ScenarioConfig topo_cfg;
+  topo_cfg.num_devices = config.num_devices;
+  topo_cfg.num_base_stations = config.num_base_stations;
+  topo_cfg.wifi_prob = config.wifi_prob;
+  topo_cfg.device_capacity_min = config.device_capacity_min;
+  topo_cfg.device_capacity_max = config.device_capacity_max;
+  topo_cfg.station_capacity_per_device = config.station_capacity_per_device;
+  topo_cfg.params = config.params;
+  mec::Topology topology = make_topology(topo_cfg, rng);
+
+  // Universe: equal-size blocks, or heterogeneous when a spread is set.
+  std::vector<double> item_bytes(config.num_items, kilobytes(config.item_kb));
+  if (config.item_size_spread > 1.0) {
+    for (double& b : item_bytes) {
+      b = kilobytes(
+          rng.uniform(config.item_kb, config.item_kb * config.item_size_spread));
+    }
+  }
+  dta::DataUniverse universe(std::move(item_bytes));
+
+  // Ownership: every item gets one primary owner plus random replicas.
+  std::vector<dta::ItemSet> ownership(config.num_devices);
+  for (std::size_t r = 0; r < config.num_items; ++r) {
+    const std::size_t copies =
+        1 + static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(config.max_extra_owners)));
+    const auto owners = rng.sample_without_replacement(
+        config.num_devices, std::min(copies, config.num_devices));
+    for (std::size_t dev : owners) ownership[dev].push_back(r);
+  }
+  // sample_without_replacement returns sorted ids per item, but each
+  // device's list accumulates across items already in increasing r —
+  // sorted by construction. Assert anyway in debug-style validation later.
+
+  // Tasks: random block subsets sized to the configured volume.
+  std::vector<dta::DivisibleTask> tasks;
+  tasks.reserve(config.num_tasks);
+  std::vector<std::size_t> per_user(config.num_devices, 0);
+  for (std::size_t t = 0; t < config.num_tasks; ++t) {
+    dta::DivisibleTask task;
+    const std::size_t user = t % config.num_devices;
+    task.id = {user, per_user[user]++};
+
+    const double input_bytes = kilobytes(
+        rng.uniform(config.min_input_fraction, 1.0) * config.max_input_kb);
+    const auto want = static_cast<std::size_t>(
+        std::max(1.0, std::round(input_bytes / kilobytes(config.item_kb))));
+    task.items = rng.sample_without_replacement(
+        config.num_items, std::min(want, config.num_items));
+
+    task.op_bytes = kilobytes(config.op_kb);
+    task.cycles_per_byte = config.params.cycles_per_byte;
+    task.result_kind = config.result_kind;
+    task.result_ratio = config.result_ratio;
+    task.result_const_bytes = kilobytes(config.result_const_kb);
+    task.resource =
+        rng.uniform(std::min(1.0, config.resource_max_units),
+                    config.resource_max_units);
+    task.deadline_s = config.deadline_s;
+    tasks.push_back(std::move(task));
+  }
+
+  dta::SharedDataScenario scenario{std::move(topology), std::move(universe),
+                                   std::move(ownership), std::move(tasks)};
+  scenario.validate();
+  return scenario;
+}
+
+}  // namespace mecsched::workload

@@ -1,0 +1,59 @@
+// Generator for data-shared (divisible-task) scenarios — Sec. V.C's
+// workloads. The universe D is a set of equally sized data blocks [19];
+// every block is owned by at least one device (plus random replicas, so
+// monitoring regions overlap as in the paper); each divisible task draws a
+// random block subset sized to the configured input volume.
+#pragma once
+
+#include <cstdint>
+
+#include "dta/data_model.h"
+#include "workload/scenario.h"
+
+namespace mecsched::workload {
+
+struct SharedDataConfig {
+  std::size_t num_devices = 50;
+  std::size_t num_base_stations = 5;
+  std::size_t num_tasks = 100;
+
+  std::size_t num_items = 400;  // |D|: blocks in the universe
+  double item_kb = 100.0;       // block size
+  // When > 0, block sizes are drawn uniformly from
+  // [item_kb, item_kb * item_size_spread] instead of being equal — the
+  // regime where the byte-weighted DTA-Workload variant matters.
+  double item_size_spread = 0.0;
+
+  // Replication: each item is owned by 1 + uniform(0, max_extra_owners)
+  // devices.
+  std::size_t max_extra_owners = 2;
+
+  // Task volume: items per task chosen so the input is uniform in
+  // [min_input_fraction, 1] × max_input_kb.
+  double max_input_kb = 3000.0;
+  double min_input_fraction = 0.2;
+
+  double op_kb = 1.0;  // descriptor size
+  mec::ResultSizeKind result_kind = mec::ResultSizeKind::kProportional;
+  double result_ratio = 0.2;
+  double result_const_kb = 100.0;
+
+  double resource_max_units = 4.0;
+  double deadline_s = 120.0;  // generous: Sec. V.C varies energy, not deadlines
+
+  // Topology knobs shared with the holistic generator. Divisible-task
+  // experiments (Sec. V.C) stress data movement, not resource pressure, so
+  // the default capacities are generous enough that a device can process
+  // its own data share locally.
+  double wifi_prob = 0.5;
+  double device_capacity_min = 12.0;
+  double device_capacity_max = 24.0;
+  double station_capacity_per_device = 6.0;
+
+  mec::SystemParameters params{};
+  std::uint64_t seed = 1;
+};
+
+dta::SharedDataScenario make_shared_scenario(const SharedDataConfig& config);
+
+}  // namespace mecsched::workload

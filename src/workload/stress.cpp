@@ -1,0 +1,106 @@
+#include "workload/stress.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mecsched::workload {
+
+using units::gigahertz;
+using units::kilobytes;
+
+Scenario make_hotspot_scenario(std::size_t num_devices,
+                               std::size_t num_base_stations,
+                               std::size_t num_tasks, std::uint64_t seed) {
+  MECSCHED_REQUIRE(num_base_stations >= 1, "need at least one station");
+  // Generate the standard scenario, then re-home every device to cluster 0.
+  ScenarioConfig cfg;
+  cfg.num_devices = num_devices;
+  cfg.num_base_stations = num_base_stations;
+  cfg.num_tasks = num_tasks;
+  cfg.seed = seed;
+  Scenario base = make_scenario(cfg);
+
+  std::vector<mec::Device> devices;
+  devices.reserve(num_devices);
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    mec::Device d = base.topology.device(i);
+    d.base_station = 0;
+    devices.push_back(d);
+  }
+  std::vector<mec::BaseStation> stations;
+  for (std::size_t b = 0; b < num_base_stations; ++b) {
+    stations.push_back(base.topology.base_station(b));
+  }
+  return Scenario{
+      mec::Topology(std::move(devices), std::move(stations),
+                    base.topology.params()),
+      std::move(base.tasks)};
+}
+
+Scenario make_knife_edge_scenario(std::size_t num_tasks, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.num_tasks = num_tasks;
+  cfg.seed = seed;
+  cfg.deadline_slack_min = 0.95;
+  cfg.deadline_slack_max = 1.1;
+  return make_scenario(cfg);
+}
+
+dta::SharedDataScenario make_single_owner_scenario(std::size_t num_devices,
+                                                   std::size_t num_tasks,
+                                                   std::uint64_t seed) {
+  SharedDataConfig cfg;
+  cfg.num_devices = num_devices;
+  cfg.num_base_stations = 1;
+  cfg.num_tasks = num_tasks;
+  cfg.seed = seed;
+  dta::SharedDataScenario scenario = make_shared_scenario(cfg);
+
+  dta::ItemSet everything;
+  for (std::size_t r = 0; r < scenario.universe.num_items(); ++r) {
+    everything.push_back(r);
+  }
+  scenario.ownership.assign(num_devices, {});
+  scenario.ownership[0] = std::move(everything);
+  scenario.validate();
+  return scenario;
+}
+
+Scenario make_miniature_scenario() {
+  std::vector<mec::Device> devices = {
+      {0, 0, gigahertz(1.0), mec::k4G, 4.0},
+      {1, 0, gigahertz(2.0), mec::kWiFi, 4.0},
+      {2, 1, gigahertz(1.5), mec::k4G, 4.0},
+      {3, 1, gigahertz(1.2), mec::kWiFi, 4.0},
+  };
+  std::vector<mec::BaseStation> stations = {
+      {0, gigahertz(4.0), 8.0},
+      {1, gigahertz(4.0), 8.0},
+  };
+  mec::Topology topo(std::move(devices), std::move(stations),
+                     mec::SystemParameters{});
+
+  auto task = [](std::size_t user, std::size_t index, double alpha_kb,
+                 double beta_kb, std::size_t owner, double resource,
+                 double deadline) {
+    mec::Task t;
+    t.id = {user, index};
+    t.local_bytes = kilobytes(alpha_kb);
+    t.external_bytes = kilobytes(beta_kb);
+    t.external_owner = owner;
+    t.resource = resource;
+    t.deadline_s = deadline;
+    return t;
+  };
+  std::vector<mec::Task> tasks = {
+      task(0, 0, 800.0, 200.0, 1, 2.0, 3.0),   // same-cluster fetch
+      task(0, 1, 1500.0, 0.0, 0, 2.0, 2.0),    // pure local data
+      task(1, 0, 2000.0, 900.0, 2, 3.0, 6.0),  // cross-cluster fetch
+      task(2, 0, 400.0, 100.0, 3, 1.0, 1.5),   // small, tight
+      task(3, 0, 2500.0, 1200.0, 0, 3.0, 8.0), // big, cross-cluster
+      task(3, 1, 100.0, 50.0, 2, 1.0, 5.0),    // tiny
+  };
+  return Scenario{std::move(topo), std::move(tasks)};
+}
+
+}  // namespace mecsched::workload

@@ -1,0 +1,36 @@
+// Adversarial scenario builders for robustness/property testing — the
+// regimes where assignment algorithms tend to break: a single overloaded
+// cluster, near-impossible deadlines, degenerate data ownership, and a
+// deterministic miniature topology for documentation and golden tests.
+#pragma once
+
+#include <cstdint>
+
+#include "dta/data_model.h"
+#include "workload/scenario.h"
+#include "workload/shared_data.h"
+
+namespace mecsched::workload {
+
+// All users sit in cluster 0 of `num_base_stations` cells: one station
+// absorbs the entire offloading pressure while the rest idle.
+Scenario make_hotspot_scenario(std::size_t num_devices,
+                               std::size_t num_base_stations,
+                               std::size_t num_tasks, std::uint64_t seed);
+
+// Deadlines drawn hair-thin around the best achievable latency
+// (slack in [0.95, 1.1]): roughly a third of the tasks are infeasible
+// everywhere and the rest tolerate only their single best placement.
+Scenario make_knife_edge_scenario(std::size_t num_tasks, std::uint64_t seed);
+
+// Data-shared scenario where one device owns every item (the others own
+// nothing): DTA must degenerate onto a single device.
+dta::SharedDataScenario make_single_owner_scenario(std::size_t num_devices,
+                                                   std::size_t num_tasks,
+                                                   std::uint64_t seed);
+
+// A fixed, fully deterministic 4-device / 2-station system with 6
+// hand-written tasks — no RNG anywhere. Used by golden/regression tests.
+Scenario make_miniature_scenario();
+
+}  // namespace mecsched::workload

@@ -1,0 +1,134 @@
+#include "assign/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/evaluator.h"
+#include "assign/hgos.h"
+#include "assign/lp_hta.h"
+#include "workload/scenario.h"
+
+namespace mecsched::assign {
+namespace {
+
+workload::Scenario scenario(std::uint64_t seed, std::size_t tasks = 60) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = tasks;
+  cfg.num_devices = 20;
+  cfg.num_base_stations = 4;
+  return workload::make_scenario(cfg);
+}
+
+TEST(AllToCloudTest, EverythingGoesToCloud) {
+  const auto s = scenario(1);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = AllToCloud().assign(inst);
+  EXPECT_EQ(a.count(Decision::kCloud), inst.num_tasks());
+  const Metrics m = evaluate(inst, a);
+  EXPECT_EQ(m.on_cloud, inst.num_tasks());
+}
+
+TEST(AllOffloadTest, NothingRunsLocally) {
+  const auto s = scenario(2);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = AllOffload().assign(inst);
+  EXPECT_EQ(a.count(Decision::kLocal), 0u);
+  EXPECT_EQ(a.count(Decision::kCancelled), 0u);
+  EXPECT_GT(a.count(Decision::kEdge), 0u);  // stations absorb some tasks
+}
+
+TEST(AllOffloadTest, RespectsStationCapacity) {
+  const auto s = scenario(3);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = AllOffload().assign(inst);
+  const mec::Topology& topo = inst.topology();
+  std::vector<double> load(topo.num_base_stations(), 0.0);
+  for (std::size_t t = 0; t < inst.num_tasks(); ++t) {
+    if (a.decisions[t] == Decision::kEdge) {
+      load[topo.device(inst.task(t).id.user).base_station] +=
+          inst.task(t).resource;
+    }
+  }
+  for (std::size_t b = 0; b < topo.num_base_stations(); ++b) {
+    EXPECT_LE(load[b], topo.base_station(b).max_resource + 1e-9);
+  }
+}
+
+TEST(AllOffloadTest, UsesLessEnergyThanAllToCloud) {
+  const auto s = scenario(4, 100);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Metrics cloud = evaluate(inst, AllToCloud().assign(inst));
+  const Metrics off = evaluate(inst, AllOffload().assign(inst));
+  EXPECT_LT(off.total_energy_j, cloud.total_energy_j);
+}
+
+TEST(HgosTest, PlacesEveryTask) {
+  const auto s = scenario(5);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = Hgos().assign(inst);
+  EXPECT_EQ(a.cancelled(), 0u);
+}
+
+TEST(HgosTest, RespectsCapacitiesButNotDeadlines) {
+  const auto s = scenario(6, 120);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = Hgos().assign(inst);
+  const FeasibilityReport rep = check_feasibility(inst, a);
+  // Any violation HGOS produces must be a deadline violation, never a
+  // capacity violation.
+  for (const std::string& p : rep.problems) {
+    EXPECT_NE(p.find("deadline"), std::string::npos) << p;
+  }
+}
+
+TEST(HgosTest, EnergyCloseToLpHtaButMoreViolations) {
+  // The reproduction target of Figs. 2-3: HGOS tracks LP-HTA's energy but
+  // misses far more deadlines. Averaged over seeds to avoid flakiness.
+  double hgos_energy = 0.0, lp_energy = 0.0;
+  double hgos_unsat = 0.0, lp_unsat = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = scenario(seed, 100);
+    const HtaInstance inst(s.topology, s.tasks);
+    const Metrics mh = evaluate(inst, Hgos().assign(inst));
+    const Metrics ml = evaluate(inst, LpHta().assign(inst));
+    hgos_energy += mh.total_energy_j;
+    lp_energy += ml.total_energy_j;
+    hgos_unsat += mh.unsatisfied_rate();
+    lp_unsat += ml.unsatisfied_rate();
+  }
+  EXPECT_LT(hgos_energy, 2.0 * lp_energy);   // same order of magnitude
+  EXPECT_GT(hgos_unsat, lp_unsat);           // but worse deadline behaviour
+}
+
+TEST(RandomAssignTest, DeterministicPerSeedAndCapacityFeasible) {
+  const auto s = scenario(7);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = RandomAssign(42).assign(inst);
+  const Assignment b = RandomAssign(42).assign(inst);
+  EXPECT_EQ(a.decisions, b.decisions);
+  const FeasibilityReport rep = check_feasibility(inst, a);
+  for (const std::string& p : rep.problems) {
+    EXPECT_NE(p.find("deadline"), std::string::npos) << p;
+  }
+}
+
+TEST(LocalFirstTest, FeasibleByConstruction) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = scenario(seed);
+    const HtaInstance inst(s.topology, s.tasks);
+    const Assignment a = LocalFirst().assign(inst);
+    EXPECT_TRUE(check_feasibility(inst, a).ok) << "seed " << seed;
+  }
+}
+
+TEST(AssignerNames, AreStable) {
+  EXPECT_EQ(AllToCloud().name(), "AllToC");
+  EXPECT_EQ(AllOffload().name(), "AllOffload");
+  EXPECT_EQ(Hgos().name(), "HGOS");
+  EXPECT_EQ(RandomAssign().name(), "Random");
+  EXPECT_EQ(LocalFirst().name(), "LocalFirst");
+  EXPECT_EQ(LpHta().name(), "LP-HTA");
+}
+
+}  // namespace
+}  // namespace mecsched::assign

@@ -1,0 +1,113 @@
+#include "assign/best_response.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/evaluator.h"
+#include "assign/lp_hta.h"
+#include "workload/scenario.h"
+
+namespace mecsched::assign {
+namespace {
+
+workload::Scenario scenario(std::uint64_t seed, std::size_t tasks = 60) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = tasks;
+  cfg.num_devices = 20;
+  cfg.num_base_stations = 4;
+  return workload::make_scenario(cfg);
+}
+
+TEST(BestResponseTest, ConvergesToEquilibriumOnTypicalInstances) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = scenario(seed);
+    const HtaInstance inst(s.topology, s.tasks);
+    BestResponseReport rep;
+    const Assignment a = BestResponse().assign_with_report(inst, rep);
+    EXPECT_TRUE(rep.converged) << "seed " << seed;
+    EXPECT_EQ(a.size(), inst.num_tasks());
+    EXPECT_EQ(a.cancelled(), 0u);  // BRD never cancels
+  }
+}
+
+TEST(BestResponseTest, EquilibriumIsStable) {
+  // At an equilibrium, rerunning BRD from it produces zero moves — we
+  // verify via a second run from scratch being deterministic and the
+  // first reporting convergence with a final no-move round.
+  const auto s = scenario(2);
+  const HtaInstance inst(s.topology, s.tasks);
+  BestResponseReport r1, r2;
+  const Assignment a1 = BestResponse().assign_with_report(inst, r1);
+  const Assignment a2 = BestResponse().assign_with_report(inst, r2);
+  EXPECT_EQ(a1.decisions, a2.decisions);
+  EXPECT_EQ(r1.moves, r2.moves);
+}
+
+TEST(BestResponseTest, RespectsCapacities) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = scenario(seed, 100);
+    const HtaInstance inst(s.topology, s.tasks);
+    const Assignment a = BestResponse().assign(inst);
+    const FeasibilityReport rep = check_feasibility(inst, a);
+    for (const std::string& p : rep.problems) {
+      EXPECT_NE(p.find("deadline"), std::string::npos)
+          << "capacity violation: " << p;
+    }
+  }
+}
+
+TEST(BestResponseTest, HighDelayWeightSpreadsLoad) {
+  // With latency priced high, players avoid congested subsystems, so the
+  // cloud (whose WAN is shared) should not end up hosting everything.
+  const auto s = scenario(3, 80);
+  const HtaInstance inst(s.topology, s.tasks);
+  BestResponseOptions opts;
+  opts.delay_weight = 100.0;
+  const Assignment a = BestResponse(opts).assign(inst);
+  const Metrics m = evaluate(inst, a);
+  EXPECT_GT(m.on_local + m.on_edge, inst.num_tasks() / 4);
+}
+
+TEST(BestResponseTest, ZeroDelayWeightChasesPureEnergy) {
+  // With latency free, each player picks its cheapest-energy admissible
+  // subsystem; since E1 < E2 < E3, local/edge fill up first.
+  const auto s = scenario(4, 80);
+  const HtaInstance inst(s.topology, s.tasks);
+  BestResponseOptions opts;
+  opts.delay_weight = 0.0;
+  const Assignment a = BestResponse(opts).assign(inst);
+  const Metrics brd = evaluate(inst, a);
+  const Metrics cloud_only = [&] {
+    Assignment all_cloud;
+    all_cloud.decisions.assign(inst.num_tasks(), Decision::kCloud);
+    return evaluate(inst, all_cloud);
+  }();
+  EXPECT_LT(brd.total_energy_j, cloud_only.total_energy_j);
+}
+
+TEST(BestResponseTest, WorseOnDeadlinesThanLpHta) {
+  // The paper's critique of the decentralized family: no deadline
+  // awareness. Averaged over seeds.
+  double brd_unsat = 0.0, lp_unsat = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = scenario(seed, 100);
+    const HtaInstance inst(s.topology, s.tasks);
+    brd_unsat += evaluate(inst, BestResponse().assign(inst)).unsatisfied_rate();
+    lp_unsat += evaluate(inst, LpHta().assign(inst)).unsatisfied_rate();
+  }
+  EXPECT_GT(brd_unsat, lp_unsat);
+}
+
+TEST(BestResponseTest, RoundCapReportsNonConvergence) {
+  const auto s = scenario(6, 40);
+  const HtaInstance inst(s.topology, s.tasks);
+  BestResponseOptions opts;
+  opts.max_rounds = 1;  // one pass cannot reach a fixed point check
+  BestResponseReport rep;
+  BestResponse(opts).assign_with_report(inst, rep);
+  EXPECT_FALSE(rep.converged);
+  EXPECT_EQ(rep.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace mecsched::assign

@@ -1,0 +1,102 @@
+#include "assign/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/baselines.h"
+#include "assign/evaluator.h"
+#include "assign/lp_hta.h"
+#include "ilp/knapsack.h"
+#include "workload/scenario.h"
+
+namespace mecsched::assign {
+namespace {
+
+workload::Scenario small(std::uint64_t seed, std::size_t tasks = 18) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = tasks;
+  cfg.num_devices = 6;
+  cfg.num_base_stations = 2;
+  return workload::make_scenario(cfg);
+}
+
+TEST(ExactHtaTest, SolutionIsFeasible) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto s = small(seed);
+    const HtaInstance inst(s.topology, s.tasks);
+    const ExactResult r = ExactHta().solve(inst);
+    EXPECT_TRUE(check_feasibility(inst, r.assignment).ok) << "seed " << seed;
+  }
+}
+
+TEST(ExactHtaTest, NeverWorseThanAnyHeuristic) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto s = small(seed);
+    const HtaInstance inst(s.topology, s.tasks);
+    const ExactResult opt = ExactHta().solve(inst);
+    if (!opt.proven_optimal) continue;
+
+    const LpHta lp_hta;
+    const LocalFirst local_first;
+    for (const Assigner* alg :
+         std::initializer_list<const Assigner*>{&lp_hta, &local_first}) {
+      const Assignment a = alg->assign(inst);
+      // Compare on equal footing: identical placed-task sets only.
+      if (a.cancelled() != opt.assignment.cancelled()) continue;
+      const Metrics m = evaluate(inst, a);
+      EXPECT_LE(opt.energy, m.total_energy_j + 1e-6)
+          << "seed " << seed << " vs " << alg->name();
+    }
+  }
+}
+
+TEST(ExactHtaTest, MatchesKnapsackOnTheReductionSpecialCase) {
+  // Theorem 1's special case: max_i = 0 (no local processing), T = ∞.
+  // The optimal HTA then maximizes Σ (E3-E2) x2 s.t. Σ C x2 <= max_S,
+  // i.e. a knapsack; cross-check the ILP against the knapsack solver.
+  workload::ScenarioConfig cfg;
+  cfg.seed = 21;
+  cfg.num_tasks = 14;
+  cfg.num_devices = 7;
+  cfg.num_base_stations = 1;
+  cfg.device_capacity_min = 0.0;
+  cfg.device_capacity_max = 0.0;          // max_i = 0
+  cfg.deadline_slack_min = 1e6;           // effectively no deadlines
+  cfg.deadline_slack_max = 1e6;
+  cfg.station_capacity_per_device = 0.6;  // binding station capacity
+  const auto s = workload::make_scenario(cfg);
+  const HtaInstance inst(s.topology, s.tasks);
+
+  const ExactResult opt = ExactHta().solve(inst);
+  ASSERT_TRUE(opt.proven_optimal);
+
+  // Knapsack formulation.
+  std::vector<double> values, weights;
+  double all_cloud_energy = 0.0;
+  for (std::size_t t = 0; t < inst.num_tasks(); ++t) {
+    const double e2 = inst.energy(t, mec::Placement::kEdge);
+    const double e3 = inst.energy(t, mec::Placement::kCloud);
+    values.push_back(e3 - e2);
+    weights.push_back(inst.task(t).resource);
+    all_cloud_energy += e3;
+  }
+  const auto ks = ilp::knapsack_branch_bound(
+      values, weights, inst.topology().base_station(0).max_resource);
+
+  EXPECT_NEAR(opt.energy, all_cloud_energy - ks.value,
+              1e-6 * (1.0 + opt.energy));
+  // and no task may sit on a device (max_i = 0, resource > 0)
+  EXPECT_EQ(opt.assignment.count(Decision::kLocal), 0u);
+}
+
+TEST(ExactHtaTest, AssignInterfaceMatchesSolve) {
+  const auto s = small(4);
+  const HtaInstance inst(s.topology, s.tasks);
+  const ExactHta solver;
+  const Assignment via_assign = solver.assign(inst);
+  const ExactResult via_solve = solver.solve(inst);
+  EXPECT_EQ(via_assign.decisions, via_solve.assignment.decisions);
+}
+
+}  // namespace
+}  // namespace mecsched::assign

@@ -1,0 +1,58 @@
+// Presolve/equilibration wired into LP-HTA must not change the result:
+// both transforms preserve the LP optimum, so Step 3's rounding sees the
+// same fractional matrix (up to degenerate ties, which the fixed seeds
+// below avoid).
+#include <gtest/gtest.h>
+
+#include "assign/evaluator.h"
+#include "assign/lp_hta.h"
+#include "workload/scenario.h"
+
+namespace mecsched::assign {
+namespace {
+
+class HygieneOptions : public ::testing::TestWithParam<int> {};
+
+TEST_P(HygieneOptions, SameEnergyWithAndWithoutHygiene) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) * 37 + 11;
+  cfg.num_tasks = 60;
+  cfg.num_devices = 15;
+  cfg.num_base_stations = 3;
+  const auto s = workload::make_scenario(cfg);
+  const HtaInstance inst(s.topology, s.tasks);
+
+  LpHtaOptions plain;
+  LpHtaOptions with_presolve;
+  with_presolve.presolve = true;
+  LpHtaOptions with_scaling;
+  with_scaling.equilibrate = true;
+  LpHtaOptions both;
+  both.presolve = true;
+  both.equilibrate = true;
+
+  LpHtaReport r0, r1, r2, r3;
+  const auto a0 = LpHta(plain).assign_with_report(inst, r0);
+  const auto a1 = LpHta(with_presolve).assign_with_report(inst, r1);
+  const auto a2 = LpHta(with_scaling).assign_with_report(inst, r2);
+  const auto a3 = LpHta(both).assign_with_report(inst, r3);
+
+  const double tol = 1e-6 * (1.0 + r0.lp_objective);
+  EXPECT_NEAR(r0.lp_objective, r1.lp_objective, tol);
+  EXPECT_NEAR(r0.lp_objective, r2.lp_objective, tol);
+  EXPECT_NEAR(r0.lp_objective, r3.lp_objective, tol);
+
+  // Plans must all be feasible; energies agree within LP-degeneracy slack.
+  for (const auto* a : {&a0, &a1, &a2, &a3}) {
+    EXPECT_TRUE(check_feasibility(inst, *a).ok);
+  }
+  const double e0 = evaluate(inst, a0).total_energy_j;
+  for (const auto* a : {&a1, &a2, &a3}) {
+    EXPECT_NEAR(evaluate(inst, *a).total_energy_j, e0, 0.05 * (1.0 + e0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HygieneOptions, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace mecsched::assign

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "assign/evaluator.h"
+#include "assign/lp_hta.h"
+#include "workload/scenario.h"
+
+namespace mecsched::assign {
+namespace {
+
+TEST(ParallelLpHtaTest, ParallelAndSerialProduceIdenticalPlans) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    workload::ScenarioConfig cfg;
+    cfg.seed = seed;
+    cfg.num_tasks = 120;
+    cfg.num_devices = 30;
+    cfg.num_base_stations = 6;
+    const auto s = workload::make_scenario(cfg);
+    const HtaInstance inst(s.topology, s.tasks);
+
+    LpHtaOptions serial, parallel;
+    parallel.parallel_clusters = true;
+    LpHtaReport rs, rp;
+    const Assignment a = LpHta(serial).assign_with_report(inst, rs);
+    const Assignment b = LpHta(parallel).assign_with_report(inst, rp);
+
+    EXPECT_EQ(a.decisions, b.decisions) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(rs.lp_objective, rp.lp_objective);
+    EXPECT_DOUBLE_EQ(rs.final_energy, rp.final_energy);
+    EXPECT_EQ(rs.cancelled_capacity, rp.cancelled_capacity);
+  }
+}
+
+TEST(ParallelLpHtaTest, SingleClusterTakesSerialPath) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.num_tasks = 30;
+  cfg.num_devices = 10;
+  cfg.num_base_stations = 1;
+  const auto s = workload::make_scenario(cfg);
+  const HtaInstance inst(s.topology, s.tasks);
+  LpHtaOptions opts;
+  opts.parallel_clusters = true;
+  const Assignment a = LpHta(opts).assign(inst);
+  EXPECT_TRUE(check_feasibility(inst, a).ok);
+}
+
+}  // namespace
+}  // namespace mecsched::assign

@@ -1,0 +1,78 @@
+#include "assign/portfolio.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/baselines.h"
+#include "assign/evaluator.h"
+#include "assign/lp_hta.h"
+#include "common/error.h"
+#include "workload/scenario.h"
+
+namespace mecsched::assign {
+namespace {
+
+workload::Scenario scenario(std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = 40;
+  cfg.num_devices = 12;
+  cfg.num_base_stations = 3;
+  return workload::make_scenario(cfg);
+}
+
+TEST(PortfolioTest, RejectsEmptyPortfolio) {
+  EXPECT_THROW(Portfolio({}), ModelError);
+}
+
+TEST(PortfolioTest, NeverWorseThanAnySingleCandidateOnUnsatisfied) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = scenario(seed);
+    const HtaInstance inst(s.topology, s.tasks);
+    PortfolioReport rep;
+    const Assignment plan =
+        Portfolio::standard().assign_with_report(inst, rep);
+    const Metrics m = evaluate(inst, plan);
+    EXPECT_EQ(rep.candidates_tried, 4u);
+
+    const std::size_t portfolio_unsat = m.cancelled + m.deadline_violations;
+    const LpHta lp;
+    const LocalFirst local;
+    for (const Assigner* single :
+         std::initializer_list<const Assigner*>{&lp, &local}) {
+      const Metrics sm = evaluate(inst, single->assign(inst));
+      EXPECT_LE(portfolio_unsat, sm.cancelled + sm.deadline_violations)
+          << "seed " << seed << " vs " << single->name();
+    }
+  }
+}
+
+TEST(PortfolioTest, ReportsTheWinner) {
+  const auto s = scenario(9);
+  const HtaInstance inst(s.topology, s.tasks);
+  PortfolioReport rep;
+  const Assignment plan = Portfolio::standard().assign_with_report(inst, rep);
+  EXPECT_FALSE(rep.winner.empty());
+  EXPECT_NEAR(rep.winner_energy_j, evaluate(inst, plan).total_energy_j, 1e-9);
+}
+
+TEST(PortfolioTest, SingleCandidatePassesThrough) {
+  const auto s = scenario(11);
+  const HtaInstance inst(s.topology, s.tasks);
+  Portfolio p({std::make_shared<AllToCloud>()});
+  const Assignment plan = p.assign(inst);
+  EXPECT_EQ(plan.count(Decision::kCloud), inst.num_tasks());
+}
+
+TEST(PortfolioTest, PrefersFeasibleOverInfeasibleAtEqualUnsatisfied) {
+  // AllToC violates many deadlines; a portfolio with AllToC + LP-HTA must
+  // pick LP-HTA.
+  const auto s = scenario(13);
+  const HtaInstance inst(s.topology, s.tasks);
+  Portfolio p({std::make_shared<AllToCloud>(), std::make_shared<LpHta>()});
+  PortfolioReport rep;
+  p.assign_with_report(inst, rep);
+  EXPECT_EQ(rep.winner, "LP-HTA");
+}
+
+}  // namespace
+}  // namespace mecsched::assign

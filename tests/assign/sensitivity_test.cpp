@@ -1,0 +1,114 @@
+#include "assign/sensitivity.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/cluster_lp.h"
+#include "lp/simplex.h"
+#include "workload/scenario.h"
+
+namespace mecsched::assign {
+namespace {
+
+workload::Scenario scenario(std::uint64_t seed, double station_cap) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = 40;
+  cfg.num_devices = 10;
+  cfg.num_base_stations = 2;
+  cfg.station_capacity_per_device = station_cap;
+  // make device capacity tight so C2 rows bind
+  cfg.device_capacity_min = 2.0;
+  cfg.device_capacity_max = 4.0;
+  return workload::make_scenario(cfg);
+}
+
+// LP optimal energy of the whole instance (sum of cluster LPs).
+double lp_energy(const HtaInstance& inst) {
+  double total = 0.0;
+  const lp::SimplexSolver solver;
+  for (std::size_t b = 0; b < inst.topology().num_base_stations(); ++b) {
+    const ClusterLp c = build_cluster_lp(inst, b);
+    if (c.active.empty()) continue;
+    total += solver.solve(c.problem).objective;
+  }
+  return total;
+}
+
+TEST(SensitivityTest, PricesAreNonNegativeAndSized) {
+  const auto s = scenario(1, 3.0);
+  const HtaInstance inst(s.topology, s.tasks);
+  const ShadowPrices sp = capacity_shadow_prices(inst);
+  ASSERT_EQ(sp.device.size(), 10u);
+  ASSERT_EQ(sp.station.size(), 2u);
+  for (double v : sp.device) EXPECT_GE(v, 0.0);
+  for (double v : sp.station) EXPECT_GE(v, 0.0);
+}
+
+TEST(SensitivityTest, SlackCapacityHasZeroPrice) {
+  // Enormous capacities: no resource row binds, all prices zero.
+  workload::ScenarioConfig cfg;
+  cfg.seed = 2;
+  cfg.num_tasks = 30;
+  cfg.device_capacity_min = 1e6;
+  cfg.device_capacity_max = 1e6;
+  cfg.station_capacity_per_device = 1e6;
+  const auto s = workload::make_scenario(cfg);
+  const HtaInstance inst(s.topology, s.tasks);
+  const ShadowPrices sp = capacity_shadow_prices(inst);
+  for (double v : sp.device) EXPECT_NEAR(v, 0.0, 1e-9);
+  for (double v : sp.station) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(SensitivityTest, TightStationsCarryPositivePrices) {
+  const auto s = scenario(3, 0.5);  // very tight stations
+  const HtaInstance inst(s.topology, s.tasks);
+  const ShadowPrices sp = capacity_shadow_prices(inst);
+  double total_station_price = 0.0;
+  for (double v : sp.station) total_station_price += v;
+  EXPECT_GT(total_station_price, 0.0);
+}
+
+TEST(SensitivityTest, MatchesFiniteDifferenceOfLpOptimum) {
+  // Perturb one binding station capacity by ε and compare the LP-energy
+  // change against the shadow price.
+  const auto s = scenario(4, 1.0);
+  const HtaInstance inst(s.topology, s.tasks);
+  const ShadowPrices sp = capacity_shadow_prices(inst);
+
+  // pick the station with the largest price
+  std::size_t b = sp.station[0] >= sp.station[1] ? 0u : 1u;
+  if (sp.station[b] <= 0.0) GTEST_SKIP() << "no binding station row";
+
+  const double base = lp_energy(inst);
+  const double eps = 1e-4;
+
+  // rebuild the topology with station b's capacity + eps
+  std::vector<mec::Device> devices;
+  for (std::size_t i = 0; i < s.topology.num_devices(); ++i) {
+    devices.push_back(s.topology.device(i));
+  }
+  std::vector<mec::BaseStation> stations;
+  for (std::size_t k = 0; k < s.topology.num_base_stations(); ++k) {
+    stations.push_back(s.topology.base_station(k));
+  }
+  stations[b].max_resource += eps;
+  const mec::Topology bumped(devices, stations, s.topology.params());
+  const HtaInstance bumped_inst(bumped, s.tasks);
+  const double bumped_energy = lp_energy(bumped_inst);
+
+  const double fd_price = (base - bumped_energy) / eps;
+  EXPECT_NEAR(fd_price, sp.station[b], 1e-3 * (1.0 + sp.station[b]));
+}
+
+TEST(SensitivityTest, EmptyInstanceGivesZeroPrices) {
+  workload::ScenarioConfig cfg;
+  cfg.num_tasks = 0;
+  const auto s = workload::make_scenario(cfg);
+  const HtaInstance inst(s.topology, s.tasks);
+  const ShadowPrices sp = capacity_shadow_prices(inst);
+  for (double v : sp.device) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (double v : sp.station) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace mecsched::assign

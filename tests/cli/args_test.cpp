@@ -1,0 +1,57 @@
+#include "cli/args.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mecsched::cli {
+namespace {
+
+TEST(ArgParserTest, ParsesFlagsAndSwitches) {
+  ArgParser p({"tasks", "out"}, {"verbose"});
+  p.parse({"--tasks", "100", "--verbose", "--out", "x.json"});
+  EXPECT_TRUE(p.has("tasks"));
+  EXPECT_EQ(p.get("out", ""), "x.json");
+  EXPECT_DOUBLE_EQ(p.get_num("tasks", 0), 100.0);
+  EXPECT_TRUE(p.get_switch("verbose"));
+}
+
+TEST(ArgParserTest, DefaultsWhenAbsent) {
+  ArgParser p({"tasks"}, {"verbose"});
+  p.parse({});
+  EXPECT_FALSE(p.has("tasks"));
+  EXPECT_EQ(p.get("tasks", "7"), "7");
+  EXPECT_DOUBLE_EQ(p.get_num("tasks", 7.5), 7.5);
+  EXPECT_FALSE(p.get_switch("verbose"));
+}
+
+TEST(ArgParserTest, RejectsUnknownFlag) {
+  ArgParser p({"tasks"}, {});
+  EXPECT_THROW(p.parse({"--bogus", "1"}), ModelError);
+}
+
+TEST(ArgParserTest, RejectsMissingValue) {
+  ArgParser p({"tasks"}, {});
+  EXPECT_THROW(p.parse({"--tasks"}), ModelError);
+}
+
+TEST(ArgParserTest, RejectsBareToken) {
+  ArgParser p({"tasks"}, {});
+  EXPECT_THROW(p.parse({"tasks", "1"}), ModelError);
+}
+
+TEST(ArgParserTest, RejectsNonNumericValue) {
+  ArgParser p({"tasks"}, {});
+  p.parse({"--tasks", "many"});
+  EXPECT_THROW(p.get_num("tasks", 0), ModelError);
+}
+
+TEST(ArgParserTest, SwitchDoesNotConsumeValue) {
+  ArgParser p({"out"}, {"contention"});
+  p.parse({"--contention", "--out", "f.json"});
+  EXPECT_TRUE(p.get_switch("contention"));
+  EXPECT_EQ(p.get("out", ""), "f.json");
+}
+
+}  // namespace
+}  // namespace mecsched::cli

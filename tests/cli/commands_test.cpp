@@ -1,0 +1,252 @@
+// End-to-end CLI tests: generate -> assign -> evaluate -> simulate round
+// trips through real files, all in-process via cli::run.
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "io/codec.h"
+
+namespace mecsched::cli {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) const {
+    return ::testing::TempDir() + "mecsched_cli_" + name;
+  }
+  void TearDown() override {
+    for (const char* f : {"s.json", "p.json", "m.json"}) {
+      std::remove(path(f).c_str());
+    }
+  }
+
+  int run_cli(const std::vector<std::string>& argv) {
+    out_.str("");
+    err_.str("");
+    return run(argv, out_, err_);
+  }
+
+  std::ostringstream out_, err_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(run_cli({"--help"}), 0);
+  EXPECT_NE(out_.str().find("usage:"), std::string::npos);
+  EXPECT_EQ(run_cli({}), 1);
+  EXPECT_EQ(run_cli({"frobnicate"}), 1);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateAssignEvaluateRoundTrip) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "15", "--devices", "6",
+                     "--stations", "2", "--seed", "5", "--out",
+                     path("s.json")}),
+            0);
+  ASSERT_EQ(run_cli({"assign", "--scenario", path("s.json"), "--algorithm",
+                     "lp-hta", "--out", path("p.json")}),
+            0);
+  ASSERT_EQ(run_cli({"evaluate", "--scenario", path("s.json"), "--plan",
+                     path("p.json"), "--out", path("m.json")}),
+            0);
+
+  const io::Json metrics =
+      io::Json::parse(io::read_file(path("m.json")));
+  EXPECT_DOUBLE_EQ(metrics.at("num_tasks").as_number(), 15.0);
+  EXPECT_TRUE(metrics.at("feasible").as_bool());
+  EXPECT_GT(metrics.at("total_energy_j").as_number(), 0.0);
+}
+
+TEST_F(CliTest, GenerateIsDeterministicPerSeed) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "5", "--seed", "9"}), 0);
+  const std::string first = out_.str();
+  ASSERT_EQ(run_cli({"generate", "--tasks", "5", "--seed", "9"}), 0);
+  EXPECT_EQ(out_.str(), first);
+  ASSERT_EQ(run_cli({"generate", "--tasks", "5", "--seed", "10"}), 0);
+  EXPECT_NE(out_.str(), first);
+}
+
+TEST_F(CliTest, SimulateReportsMakespan) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "10", "--devices", "5",
+                     "--stations", "1", "--out", path("s.json")}),
+            0);
+  ASSERT_EQ(run_cli({"assign", "--scenario", path("s.json"), "--out",
+                     path("p.json")}),
+            0);
+  ASSERT_EQ(run_cli({"simulate", "--scenario", path("s.json"), "--plan",
+                     path("p.json")}),
+            0);
+  const io::Json r = io::Json::parse(out_.str());
+  EXPECT_GT(r.at("makespan_s").as_number(), 0.0);
+  EXPECT_EQ(r.at("tasks").as_array().size(), 10u);
+
+  // contention can only increase the makespan
+  const double ideal = r.at("makespan_s").as_number();
+  ASSERT_EQ(run_cli({"simulate", "--scenario", path("s.json"), "--plan",
+                     path("p.json"), "--contention"}),
+            0);
+  EXPECT_GE(io::Json::parse(out_.str()).at("makespan_s").as_number(),
+            ideal - 1e-9);
+}
+
+TEST_F(CliTest, CompareListsAllAlgorithms) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "12", "--out", path("s.json")}),
+            0);
+  ASSERT_EQ(run_cli({"compare", "--scenario", path("s.json")}), 0);
+  const std::string table = out_.str();
+  for (const char* name :
+       {"LP-HTA", "HGOS", "AllToC", "AllOffload", "LocalFirst"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(CliTest, MissingFilesAreCleanErrors) {
+  EXPECT_EQ(run_cli({"assign", "--scenario", "/nope/missing.json"}), 1);
+  EXPECT_NE(err_.str().find("error:"), std::string::npos);
+  EXPECT_EQ(run_cli({"evaluate", "--scenario", "/nope/a", "--plan", "/nope/b"}),
+            1);
+}
+
+TEST_F(CliTest, UnknownAlgorithmIsACleanError) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "5", "--out", path("s.json")}), 0);
+  EXPECT_EQ(run_cli({"assign", "--scenario", path("s.json"), "--algorithm",
+                     "quantum"}),
+            1);
+  EXPECT_NE(err_.str().find("unknown algorithm"), std::string::npos);
+}
+
+TEST_F(CliTest, PlanScenarioSizeMismatchDetected) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "5", "--out", path("s.json")}), 0);
+  io::write_file(path("p.json"), R"({"decisions": ["local", "edge"]})");
+  EXPECT_EQ(run_cli({"evaluate", "--scenario", path("s.json"), "--plan",
+                     path("p.json")}),
+            1);
+}
+
+TEST_F(CliTest, SharedScenarioAndDtaCommands) {
+  ASSERT_EQ(run_cli({"generate-shared", "--tasks", "8", "--devices", "6",
+                     "--stations", "2", "--items", "30", "--out",
+                     path("s.json")}),
+            0);
+  for (const char* strategy : {"workload", "workload-bytes", "number"}) {
+    ASSERT_EQ(run_cli({"dta", "--scenario", path("s.json"), "--strategy",
+                       strategy, "--scheduler", "greedy"}),
+              0)
+        << strategy;
+    const io::Json r = io::Json::parse(out_.str());
+    EXPECT_GT(r.at("total_energy_j").as_number(), 0.0);
+    EXPECT_GT(r.at("involved_devices").as_number(), 0.0);
+  }
+  EXPECT_EQ(run_cli({"dta", "--scenario", path("s.json"), "--strategy",
+                     "quantum"}),
+            1);
+  EXPECT_NE(err_.str().find("unknown strategy"), std::string::npos);
+}
+
+TEST_F(CliTest, BreakdownCommand) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "6", "--out", path("s.json")}), 0);
+  ASSERT_EQ(run_cli({"breakdown", "--scenario", path("s.json"), "--task",
+                     "2"}),
+            0);
+  const io::Json j = io::Json::parse(out_.str());
+  for (const char* p : {"local", "edge", "cloud"}) {
+    ASSERT_TRUE(j.contains(p)) << p;
+    EXPECT_GT(j.at(p).at("total_energy_j").as_number(), 0.0);
+    EXPECT_FALSE(j.at(p).at("legs").as_array().empty());
+  }
+  // single placement + validation
+  ASSERT_EQ(run_cli({"breakdown", "--scenario", path("s.json"), "--task",
+                     "0", "--placement", "edge"}),
+            0);
+  EXPECT_TRUE(io::Json::parse(out_.str()).contains("edge"));
+  EXPECT_EQ(run_cli({"breakdown", "--scenario", path("s.json"), "--task",
+                     "99"}),
+            1);
+}
+
+TEST_F(CliTest, RecoverCommand) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "12", "--devices", "6",
+                     "--stations", "2", "--out", path("s.json")}),
+            0);
+  ASSERT_EQ(run_cli({"assign", "--scenario", path("s.json"), "--out",
+                     path("p.json")}),
+            0);
+  ASSERT_EQ(run_cli({"recover", "--scenario", path("s.json"), "--plan",
+                     path("p.json"), "--device", "1"}),
+            0);
+  const io::Json j = io::Json::parse(out_.str());
+  EXPECT_EQ(j.at("decisions").as_array().size(), 12u);
+  EXPECT_GE(j.at("lost_issued").as_number(), 1.0);  // device 1 issued tasks
+}
+
+TEST_F(CliTest, OnlinePipelineCommands) {
+  ASSERT_EQ(run_cli({"generate-arrivals", "--tasks", "20", "--devices", "8",
+                     "--stations", "2", "--rate", "15", "--out",
+                     path("s.json")}),
+            0);
+  ASSERT_EQ(run_cli({"online", "--scenario", path("s.json"), "--epoch-s",
+                     "0.25"}),
+            0);
+  const io::Json r = io::Json::parse(out_.str());
+  EXPECT_EQ(r.at("outcomes").as_array().size(), 20u);
+  EXPECT_GT(r.at("epochs").as_number(), 0.0);
+  EXPECT_GT(r.at("total_energy_j").as_number(), 0.0);
+}
+
+TEST_F(CliTest, SensitivityCommand) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "20", "--devices", "8",
+                     "--stations", "2", "--out", path("s.json")}),
+            0);
+  ASSERT_EQ(run_cli({"sensitivity", "--scenario", path("s.json")}), 0);
+  const io::Json j = io::Json::parse(out_.str());
+  EXPECT_EQ(j.at("device_shadow_price_j_per_unit").as_array().size(), 8u);
+  EXPECT_EQ(j.at("station_shadow_price_j_per_unit").as_array().size(), 2u);
+  for (const io::Json& v : j.at("device_shadow_price_j_per_unit").as_array()) {
+    EXPECT_GE(v.as_number(), 0.0);
+  }
+}
+
+TEST_F(CliTest, TraceCommand) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "8", "--out", path("s.json")}), 0);
+  ASSERT_EQ(run_cli({"assign", "--scenario", path("s.json"), "--out",
+                     path("p.json")}),
+            0);
+  ASSERT_EQ(run_cli({"trace", "--scenario", path("s.json"), "--plan",
+                     path("p.json"), "--contention"}),
+            0);
+  const io::Json j = io::Json::parse(out_.str());
+  EXPECT_EQ(j.at("timeline").as_array().size(), 8u);
+  EXPECT_TRUE(j.contains("utilization"));
+}
+
+TEST_F(CliTest, PortfolioAndBrdAlgorithms) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "10", "--out", path("s.json")}),
+            0);
+  for (const char* algo : {"portfolio", "brd"}) {
+    EXPECT_EQ(run_cli({"assign", "--scenario", path("s.json"), "--algorithm",
+                       algo, "--out", path("p.json")}),
+              0)
+        << algo;
+    EXPECT_EQ(run_cli({"evaluate", "--scenario", path("s.json"), "--plan",
+                       path("p.json")}),
+              0)
+        << algo;
+  }
+}
+
+TEST_F(CliTest, ExactAlgorithmOnTinyScenario) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "6", "--devices", "3",
+                     "--stations", "1", "--out", path("s.json")}),
+            0);
+  EXPECT_EQ(run_cli({"assign", "--scenario", path("s.json"), "--algorithm",
+                     "exact", "--out", path("p.json")}),
+            0);
+  EXPECT_EQ(run_cli({"evaluate", "--scenario", path("s.json"), "--plan",
+                     path("p.json")}),
+            0);
+}
+
+}  // namespace
+}  // namespace mecsched::cli

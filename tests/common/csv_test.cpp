@@ -1,0 +1,61 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mecsched {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "csv_test_out.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"x", "y"});
+    w.write_row({"1", "2"});
+  }
+  EXPECT_EQ(slurp(path_), "x,y\n1,2\n");
+}
+
+TEST_F(CsvTest, RejectsWrongWidth) {
+  CsvWriter w(path_, {"x", "y"});
+  EXPECT_THROW(w.write_row({"1"}), ModelError);
+}
+
+TEST_F(CsvTest, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/file.csv", {"a"}), ModelError);
+}
+
+TEST(CsvEscapeTest, PlainFieldUntouched) {
+  EXPECT_EQ(CsvWriter::escape("hello"), "hello");
+}
+
+TEST(CsvEscapeTest, CommaTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscapeTest, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscapeTest, NewlineTriggersQuoting) {
+  EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+}  // namespace
+}  // namespace mecsched

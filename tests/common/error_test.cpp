@@ -1,0 +1,49 @@
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+namespace mecsched {
+namespace {
+
+TEST(RequireTest, PassesOnTrue) {
+  EXPECT_NO_THROW(MECSCHED_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(RequireTest, ThrowsModelErrorWithContext) {
+  try {
+    MECSCHED_REQUIRE(false, "custom context");
+    FAIL() << "should have thrown";
+  } catch (const ModelError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition failed"), std::string::npos);
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);  // file name
+  }
+}
+
+TEST(RequireTest, SurvivesReleaseBuilds) {
+  // The macro must not compile away under NDEBUG (this whole suite builds
+  // RelWithDebInfo, i.e. with NDEBUG set).
+  bool threw = false;
+  try {
+    MECSCHED_REQUIRE(false, "");
+  } catch (const ModelError&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(ErrorTypesTest, HierarchyIsUsable) {
+  // SolverError is a runtime_error, ModelError an invalid_argument; both
+  // land in std::exception handlers.
+  EXPECT_THROW(throw SolverError("s"), std::runtime_error);
+  EXPECT_THROW(throw ModelError("m"), std::invalid_argument);
+  try {
+    throw SolverError("message");
+  } catch (const std::exception& e) {
+    EXPECT_STREQ(e.what(), "message");
+  }
+}
+
+}  // namespace
+}  // namespace mecsched

@@ -1,0 +1,55 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mecsched {
+namespace {
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  Table t({"tasks", "energy"});
+  t.add_row({"100", "12.5"});
+  t.add_row({"200", "21.0"});
+  std::ostringstream os;
+  os << t;
+  const std::string s = os.str();
+  EXPECT_NE(s.find("tasks"), std::string::npos);
+  EXPECT_NE(s.find("12.5"), std::string::npos);
+  EXPECT_NE(s.find("21.0"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  Table t({"a"});
+  t.add_row({"wide-cell-content"});
+  std::ostringstream os;
+  os << t;
+  // every printed line must have equal length (fixed-width layout)
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(TableTest, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ModelError);
+}
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), ModelError);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace mecsched

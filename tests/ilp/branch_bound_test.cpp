@@ -1,0 +1,120 @@
+#include "ilp/branch_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ilp/knapsack.h"
+
+namespace mecsched::ilp {
+namespace {
+
+using lp::Problem;
+using lp::Relation;
+
+TEST(BranchBoundTest, PureLpPassesThrough) {
+  Problem p;
+  const auto x = p.add_variable(-1.0, 0.0, 2.5);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEqual, 2.0);
+  const auto r = BranchAndBound().solve(p, {});
+  ASSERT_EQ(r.status, BnbStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-8);
+}
+
+TEST(BranchBoundTest, RoundsFractionalOptimum) {
+  // max x + y with x + 2y <= 3.5 and x,y binary -> x=1, y=1 (obj -2).
+  Problem p;
+  const auto x = p.add_variable(-1.0, 0.0, 1.0);
+  const auto y = p.add_variable(-1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEqual, 3.5);
+  const auto r = BranchAndBound().solve(p, {x, y});
+  ASSERT_EQ(r.status, BnbStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-8);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-9);
+}
+
+TEST(BranchBoundTest, IntegralityForcesWorseObjective) {
+  // LP optimum is fractional: max 5x+4y, 6x+4y<=24, x+2y<=6 -> (3, 1.5),
+  // value 21. Integer optimum: (4,0), value 20.
+  Problem p;
+  const auto x = p.add_variable(-5.0, 0.0, 10.0);
+  const auto y = p.add_variable(-4.0, 0.0, 10.0);
+  p.add_constraint({{x, 6.0}, {y, 4.0}}, Relation::kLessEqual, 24.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEqual, 6.0);
+  const auto r = BranchAndBound().solve(p, {x, y});
+  ASSERT_EQ(r.status, BnbStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -20.0, 1e-7);
+  EXPECT_NEAR(std::round(r.x[0]), r.x[0], 1e-6);
+  EXPECT_NEAR(std::round(r.x[1]), r.x[1], 1e-6);
+}
+
+TEST(BranchBoundTest, InfeasibleIntegerProgram) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.4, 0.6);
+  const auto r = BranchAndBound().solve(p, {x});
+  EXPECT_EQ(r.status, BnbStatus::kInfeasible);
+}
+
+TEST(BranchBoundTest, InfeasibleLpRelaxation) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 3.0);
+  const auto r = BranchAndBound().solve(p, {x});
+  EXPECT_EQ(r.status, BnbStatus::kInfeasible);
+}
+
+TEST(BranchBoundTest, RejectsUnboundedIntegerVariable) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, lp::kInfinity);
+  EXPECT_THROW(BranchAndBound().solve(p, {x}), ModelError);
+}
+
+TEST(BranchBoundTest, NodeLimitReported) {
+  BnbOptions opts;
+  opts.max_nodes = 1;
+  Problem p;
+  const auto x = p.add_variable(-1.0, 0.0, 1.0);
+  const auto y = p.add_variable(-1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEqual, 2.5);
+  const auto r = BranchAndBound(opts).solve(p, {x, y});
+  EXPECT_EQ(r.status, BnbStatus::kNodeLimit);
+}
+
+class BnbVsKnapsack : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnbVsKnapsack, MatchesKnapsackOracleOnRandom01Programs) {
+  // Knapsack as a MIP: max v.x s.t. w.x <= cap, x binary. The dedicated
+  // knapsack solver is the oracle.
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 3);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+  std::vector<double> values(n), weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = rng.uniform(0.1, 50.0);
+    weights[i] = rng.uniform(0.1, 10.0);
+  }
+  const double cap = rng.uniform(1.0, 30.0);
+
+  Problem p;
+  std::vector<std::size_t> vars;
+  std::vector<lp::Term> row;
+  for (std::size_t i = 0; i < n; ++i) {
+    vars.push_back(p.add_variable(-values[i], 0.0, 1.0));
+    row.push_back({vars.back(), weights[i]});
+  }
+  p.add_constraint(std::move(row), Relation::kLessEqual, cap);
+
+  const auto mip = BranchAndBound().solve(p, vars);
+  const auto oracle = knapsack_brute_force(values, weights, cap);
+  ASSERT_EQ(mip.status, BnbStatus::kOptimal);
+  EXPECT_NEAR(-mip.objective, oracle.value, 1e-7)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BnbVsKnapsack, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace mecsched::ilp

@@ -1,0 +1,56 @@
+// Larger-instance agreement between the knapsack DP and branch-and-bound
+// (the 2^n brute force caps at 25 items; these run at 120).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ilp/knapsack.h"
+
+namespace mecsched::ilp {
+namespace {
+
+class KnapsackScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackScale, DpAndBnbAgreeOnHundredItemInstances) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 811 + 5);
+  const std::size_t n = 120;
+  std::vector<double> values(n);
+  std::vector<std::int64_t> int_weights(n);
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = rng.uniform(1.0, 200.0);
+    int_weights[i] = rng.uniform_int(1, 40);
+    weights[i] = static_cast<double>(int_weights[i]);
+  }
+  const std::int64_t cap = rng.uniform_int(100, 600);
+
+  const KnapsackResult dp = knapsack_dp(values, int_weights, cap);
+  const KnapsackResult bb =
+      knapsack_branch_bound(values, weights, static_cast<double>(cap));
+  EXPECT_NEAR(dp.value, bb.value, 1e-6) << "seed " << GetParam();
+
+  // Both selections must respect the capacity and match their values.
+  double dp_w = 0.0, bb_v = 0.0, bb_w = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dp.taken[i]) dp_w += weights[i];
+    if (bb.taken[i]) {
+      bb_v += values[i];
+      bb_w += weights[i];
+    }
+  }
+  EXPECT_LE(dp_w, static_cast<double>(cap) + 1e-9);
+  EXPECT_LE(bb_w, static_cast<double>(cap) + 1e-9);
+  EXPECT_NEAR(bb_v, bb.value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnapsackScale, ::testing::Range(0, 8));
+
+TEST(KnapsackScaleTest, AllItemsFitWhenCapacityIsHuge) {
+  std::vector<double> values(50, 1.0);
+  std::vector<std::int64_t> weights(50, 3);
+  const KnapsackResult r = knapsack_dp(values, weights, 1000);
+  EXPECT_DOUBLE_EQ(r.value, 50.0);
+  for (bool taken : r.taken) EXPECT_TRUE(taken);
+}
+
+}  // namespace
+}  // namespace mecsched::ilp

@@ -1,0 +1,100 @@
+#include "ilp/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mecsched::ilp {
+namespace {
+
+TEST(KnapsackDpTest, EmptyInstance) {
+  const auto r = knapsack_dp({}, {}, 10);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_TRUE(r.taken.empty());
+}
+
+TEST(KnapsackDpTest, ClassicInstance) {
+  // values {60,100,120}, weights {10,20,30}, cap 50 -> 220 (items 1,2).
+  const auto r = knapsack_dp({60, 100, 120}, {10, 20, 30}, 50);
+  EXPECT_DOUBLE_EQ(r.value, 220.0);
+  EXPECT_FALSE(r.taken[0]);
+  EXPECT_TRUE(r.taken[1]);
+  EXPECT_TRUE(r.taken[2]);
+}
+
+TEST(KnapsackDpTest, ZeroCapacityTakesNothingWithPositiveWeights) {
+  const auto r = knapsack_dp({5, 5}, {1, 1}, 0);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(KnapsackDpTest, ZeroWeightItemsAlwaysTaken) {
+  const auto r = knapsack_dp({5, 7}, {0, 3}, 2);
+  EXPECT_DOUBLE_EQ(r.value, 5.0);
+  EXPECT_TRUE(r.taken[0]);
+}
+
+TEST(KnapsackDpTest, RejectsNegativeInputs) {
+  EXPECT_THROW(knapsack_dp({1.0}, {-1}, 5), ModelError);
+  EXPECT_THROW(knapsack_dp({-1.0}, {1}, 5), ModelError);
+  EXPECT_THROW(knapsack_dp({1.0}, {1}, -5), ModelError);
+  EXPECT_THROW(knapsack_dp({1.0}, {1, 2}, 5), ModelError);
+}
+
+TEST(KnapsackBnbTest, MatchesClassicInstance) {
+  const auto r = knapsack_branch_bound({60, 100, 120}, {10, 20, 30}, 50);
+  EXPECT_DOUBLE_EQ(r.value, 220.0);
+}
+
+TEST(KnapsackBnbTest, HandlesFractionalWeights) {
+  const auto r = knapsack_branch_bound({10, 10, 10}, {0.5, 0.6, 0.7}, 1.2);
+  // best pair: 0.5 + 0.6 = 1.1 <= 1.2 -> value 20
+  EXPECT_DOUBLE_EQ(r.value, 20.0);
+}
+
+TEST(KnapsackBruteTest, RejectsOversizedInstance) {
+  std::vector<double> v(26, 1.0), w(26, 1.0);
+  EXPECT_THROW(knapsack_brute_force(v, w, 5.0), ModelError);
+}
+
+class KnapsackAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnapsackAgreement, AllThreeSolversAgreeOnRandomInstances) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 14));
+  std::vector<double> values(n);
+  std::vector<double> weights(n);
+  std::vector<std::int64_t> int_weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    values[i] = rng.uniform(0.0, 100.0);
+    int_weights[i] = rng.uniform_int(0, 30);
+    weights[i] = static_cast<double>(int_weights[i]);
+  }
+  const std::int64_t cap = rng.uniform_int(0, 80);
+
+  const auto dp = knapsack_dp(values, int_weights, cap);
+  const auto bb = knapsack_branch_bound(values, weights,
+                                        static_cast<double>(cap));
+  const auto bf = knapsack_brute_force(values, weights,
+                                       static_cast<double>(cap));
+  EXPECT_NEAR(dp.value, bf.value, 1e-9) << "DP vs brute, seed " << GetParam();
+  EXPECT_NEAR(bb.value, bf.value, 1e-9) << "BnB vs brute, seed " << GetParam();
+
+  // The reported selection must be consistent with the reported value.
+  double dp_check = 0.0, dp_weight = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dp.taken[i]) {
+      dp_check += values[i];
+      dp_weight += weights[i];
+    }
+  }
+  EXPECT_NEAR(dp_check, dp.value, 1e-9);
+  EXPECT_LE(dp_weight, static_cast<double>(cap) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, KnapsackAgreement, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace mecsched::ilp

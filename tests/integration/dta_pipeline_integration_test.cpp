@@ -1,0 +1,108 @@
+// Integration tests for the divisible-task pipeline against the rest of
+// the stack: scheduler equivalence, energy accounting cross-checks, and
+// behaviour under extreme data distributions.
+#include <gtest/gtest.h>
+
+#include "assign/evaluator.h"
+#include "assign/hta_instance.h"
+#include "dta/pipeline.h"
+#include "workload/shared_data.h"
+
+namespace mecsched::dta {
+namespace {
+
+workload::SharedDataConfig config(std::uint64_t seed) {
+  workload::SharedDataConfig cfg;
+  cfg.seed = seed;
+  cfg.num_devices = 12;
+  cfg.num_base_stations = 3;
+  cfg.num_tasks = 18;
+  cfg.num_items = 60;
+  cfg.max_input_kb = 1200.0;
+  return cfg;
+}
+
+TEST(DtaIntegrationTest, LpHtaAndGreedySchedulersAgreeWhenCapacityIsSlack) {
+  // Rearranged tasks are local-only; with room on every device the LP
+  // relaxation is integral at all-local, which is what the greedy picks.
+  auto cfg = config(1);
+  cfg.device_capacity_min = 100.0;
+  cfg.device_capacity_max = 100.0;
+  const auto scenario = workload::make_shared_scenario(cfg);
+
+  DtaOptions lp_opts, greedy_opts;
+  lp_opts.scheduler = PartialScheduler::kLpHta;
+  greedy_opts.scheduler = PartialScheduler::kLocalGreedy;
+  const DtaResult lp = run_dta(scenario, lp_opts);
+  const DtaResult greedy = run_dta(scenario, greedy_opts);
+
+  EXPECT_EQ(lp.assignment.decisions, greedy.assignment.decisions);
+  EXPECT_NEAR(lp.total_energy_j, greedy.total_energy_j, 1e-9);
+}
+
+TEST(DtaIntegrationTest, ComputeEnergyMatchesEvaluatorRecount) {
+  const auto scenario = workload::make_shared_scenario(config(2));
+  const DtaResult r = run_dta(scenario);
+  const assign::HtaInstance inst(scenario.topology, r.rearranged);
+  const assign::Metrics m = assign::evaluate(inst, r.assignment);
+  EXPECT_NEAR(r.compute_energy_j, m.total_energy_j, 1e-9);
+}
+
+TEST(DtaIntegrationTest, SingleOwnerDegeneratesToOneDevice) {
+  // One device owns everything: both strategies must involve exactly it.
+  auto cfg = config(3);
+  cfg.num_devices = 5;
+  cfg.num_base_stations = 1;
+  auto scenario = workload::make_shared_scenario(cfg);
+  ItemSet everything;
+  for (std::size_t r = 0; r < scenario.universe.num_items(); ++r) {
+    everything.push_back(r);
+  }
+  scenario.ownership.assign(scenario.topology.num_devices(), {});
+  scenario.ownership[2] = everything;
+
+  for (DtaStrategy strat : {DtaStrategy::kWorkload, DtaStrategy::kNumber}) {
+    const DtaResult r = run_dta(scenario, DtaOptions{strat});
+    EXPECT_EQ(r.involved_devices, 1u) << to_string(strat);
+    EXPECT_FALSE(r.coverage.assigned[2].empty());
+  }
+}
+
+TEST(DtaIntegrationTest, DisjointOwnershipMakesStrategiesIdentical) {
+  // With zero replication there is no choice to make: both strategies
+  // produce the same (unique) coverage.
+  auto cfg = config(4);
+  cfg.max_extra_owners = 0;
+  const auto scenario = workload::make_shared_scenario(cfg);
+  const DtaResult w = run_dta(scenario, DtaOptions{DtaStrategy::kWorkload});
+  const DtaResult n = run_dta(scenario, DtaOptions{DtaStrategy::kNumber});
+  EXPECT_EQ(w.coverage.assigned, n.coverage.assigned);
+  EXPECT_EQ(w.involved_devices, n.involved_devices);
+  EXPECT_NEAR(w.total_energy_j, n.total_energy_j, 1e-9);
+}
+
+TEST(DtaIntegrationTest, CoordinationEnergyScalesWithResultSize) {
+  auto small = config(5);
+  small.result_ratio = 0.05;
+  auto large = config(5);
+  large.result_ratio = 0.4;
+  const DtaResult rs = run_dta(workload::make_shared_scenario(small));
+  const DtaResult rl = run_dta(workload::make_shared_scenario(large));
+  EXPECT_LT(rs.coordination_energy_j, rl.coordination_energy_j);
+}
+
+TEST(DtaIntegrationTest, HolisticViewIsConsistentAcrossStrategies) {
+  // to_holistic_tasks ignores the coverage strategy; it only depends on
+  // the scenario, so both strategies compare against the same yardstick.
+  const auto scenario = workload::make_shared_scenario(config(6));
+  const auto h1 = to_holistic_tasks(scenario);
+  const auto h2 = to_holistic_tasks(scenario);
+  ASSERT_EQ(h1.size(), h2.size());
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h1[i].local_bytes, h2[i].local_bytes);
+    EXPECT_EQ(h1[i].external_owner, h2[i].external_owner);
+  }
+}
+
+}  // namespace
+}  // namespace mecsched::dta

@@ -1,0 +1,144 @@
+// End-to-end integration tests across module boundaries: workload
+// generation -> assignment -> evaluation -> JSON round trip -> simulation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "assign/baselines.h"
+#include "assign/best_response.h"
+#include "assign/evaluator.h"
+#include "assign/exact.h"
+#include "assign/hgos.h"
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "io/codec.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+namespace mecsched {
+namespace {
+
+std::vector<std::unique_ptr<assign::Assigner>> all_algorithms() {
+  std::vector<std::unique_ptr<assign::Assigner>> out;
+  out.push_back(std::make_unique<assign::LpHta>());
+  out.push_back(std::make_unique<assign::Hgos>());
+  out.push_back(std::make_unique<assign::AllToCloud>());
+  out.push_back(std::make_unique<assign::AllOffload>());
+  out.push_back(std::make_unique<assign::LocalFirst>());
+  out.push_back(std::make_unique<assign::RandomAssign>(7));
+  out.push_back(std::make_unique<assign::BestResponse>());
+  return out;
+}
+
+workload::Scenario scenario(std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = 50;
+  cfg.num_devices = 15;
+  cfg.num_base_stations = 3;
+  return workload::make_scenario(cfg);
+}
+
+TEST(FullPipelineTest, EveryAlgorithmSurvivesTheWholeStack) {
+  const auto s = scenario(101);
+  const assign::HtaInstance inst(s.topology, s.tasks);
+
+  for (const auto& algorithm : all_algorithms()) {
+    SCOPED_TRACE(algorithm->name());
+    const assign::Assignment plan = algorithm->assign(inst);
+    ASSERT_EQ(plan.size(), inst.num_tasks());
+
+    // evaluation and simulation agree on energy for the placed tasks
+    const assign::Metrics m = assign::evaluate(inst, plan);
+    const sim::SimResult r = sim::simulate(inst, plan);
+    EXPECT_NEAR(r.total_energy_j, m.total_energy_j,
+                1e-6 * (1.0 + m.total_energy_j));
+
+    // JSON round trip preserves the plan exactly
+    const auto restored =
+        io::assignment_from_json(io::assignment_to_json(plan));
+    EXPECT_EQ(restored.decisions, plan.decisions);
+  }
+}
+
+TEST(FullPipelineTest, WholeStackIsDeterministic) {
+  for (int run = 0; run < 2; ++run) {
+    // identical inputs twice, through fresh objects
+    const auto s1 = scenario(202);
+    const auto s2 = scenario(202);
+    const assign::HtaInstance i1(s1.topology, s1.tasks);
+    const assign::HtaInstance i2(s2.topology, s2.tasks);
+    const auto p1 = assign::LpHta().assign(i1);
+    const auto p2 = assign::LpHta().assign(i2);
+    EXPECT_EQ(p1.decisions, p2.decisions);
+    const auto m1 = assign::evaluate(i1, p1);
+    const auto m2 = assign::evaluate(i2, p2);
+    EXPECT_DOUBLE_EQ(m1.total_energy_j, m2.total_energy_j);
+  }
+}
+
+TEST(FullPipelineTest, ScenarioJsonRoundTripPreservesSimulation) {
+  const auto s = scenario(303);
+  const auto restored =
+      io::scenario_from_json(io::scenario_to_json(s));
+
+  const assign::HtaInstance a(s.topology, s.tasks);
+  const assign::HtaInstance b(restored.topology, restored.tasks);
+  const auto plan = assign::LpHta().assign(a);
+  const auto plan_b = assign::LpHta().assign(b);
+  ASSERT_EQ(plan.decisions, plan_b.decisions);
+
+  const sim::SimResult ra = sim::simulate(a, plan);
+  const sim::SimResult rb = sim::simulate(b, plan_b);
+  EXPECT_DOUBLE_EQ(ra.makespan_s, rb.makespan_s);
+  EXPECT_DOUBLE_EQ(ra.total_energy_j, rb.total_energy_j);
+}
+
+TEST(FullPipelineTest, ExactOptimumLowerBoundsEveryFeasibleHeuristic) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = 404;
+  cfg.num_tasks = 16;
+  cfg.num_devices = 6;
+  cfg.num_base_stations = 2;
+  const auto s = workload::make_scenario(cfg);
+  const assign::HtaInstance inst(s.topology, s.tasks);
+  const assign::ExactResult opt = assign::ExactHta().solve(inst);
+  if (!opt.proven_optimal) GTEST_SKIP() << "instance not provably solvable";
+
+  for (const auto& algorithm : all_algorithms()) {
+    const assign::Assignment plan = algorithm->assign(inst);
+    if (!assign::check_feasibility(inst, plan).ok) continue;
+    if (plan.cancelled() != opt.assignment.cancelled()) continue;
+    const assign::Metrics m = assign::evaluate(inst, plan);
+    EXPECT_GE(m.total_energy_j + 1e-6, opt.energy) << algorithm->name();
+  }
+}
+
+TEST(FullPipelineTest, LpHtaDominatesBaselinesOnEveryAxisThatMatters) {
+  // Averaged over several seeds: LP-HTA's energy below AllToC/AllOffload,
+  // and its unsatisfied rate at least as good as every baseline's.
+  double lp_energy = 0.0, alltoc_energy = 0.0, alloff_energy = 0.0;
+  double lp_unsat = 0.0, best_other_unsat = 1e9;
+  double hgos_unsat = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = scenario(seed);
+    const assign::HtaInstance inst(s.topology, s.tasks);
+    const auto lp = assign::evaluate(inst, assign::LpHta().assign(inst));
+    const auto c = assign::evaluate(inst, assign::AllToCloud().assign(inst));
+    const auto o = assign::evaluate(inst, assign::AllOffload().assign(inst));
+    const auto h = assign::evaluate(inst, assign::Hgos().assign(inst));
+    lp_energy += lp.total_energy_j;
+    alltoc_energy += c.total_energy_j;
+    alloff_energy += o.total_energy_j;
+    lp_unsat += lp.unsatisfied_rate();
+    hgos_unsat += h.unsatisfied_rate();
+    best_other_unsat =
+        std::min({best_other_unsat, c.unsatisfied_rate(), o.unsatisfied_rate()});
+  }
+  EXPECT_LT(lp_energy, alltoc_energy);
+  EXPECT_LT(lp_energy, alloff_energy);
+  EXPECT_LT(lp_unsat, hgos_unsat);
+}
+
+}  // namespace
+}  // namespace mecsched

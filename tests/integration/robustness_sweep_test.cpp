@@ -1,0 +1,85 @@
+// Capstone robustness sweep: LP-HTA must produce a constraint-feasible,
+// deterministic plan across a wide random sweep of generator knobs —
+// including regimes far outside the paper's defaults (tiny/huge systems,
+// absurd data volumes, hostile deadlines, starved capacities, Shannon
+// radios). Any crash, infeasibility or nondeterminism here is a bug.
+#include <gtest/gtest.h>
+
+#include "assign/evaluator.h"
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "common/rng.h"
+#include "workload/scenario.h"
+
+namespace mecsched {
+namespace {
+
+workload::ScenarioConfig random_config(Rng& rng) {
+  workload::ScenarioConfig cfg;
+  cfg.num_devices = static_cast<std::size_t>(rng.uniform_int(1, 40));
+  cfg.num_base_stations = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(cfg.num_devices)));
+  cfg.num_tasks = static_cast<std::size_t>(rng.uniform_int(0, 120));
+  cfg.max_input_kb = rng.uniform(10.0, 8000.0);
+  cfg.min_input_fraction = rng.uniform(0.01, 0.9);
+  cfg.external_ratio_max = rng.uniform(0.0, 1.5);
+  cfg.cross_cluster_prob = rng.uniform(0.0, 1.0);
+  cfg.wifi_prob = rng.uniform(0.0, 1.0);
+  cfg.deadline_slack_min = rng.uniform(0.2, 1.5);
+  cfg.deadline_slack_max =
+      cfg.deadline_slack_min + rng.uniform(0.0, 3.0);
+  cfg.resource_max_units = rng.uniform(0.5, 10.0);
+  cfg.device_capacity_min = rng.uniform(0.0, 3.0);
+  cfg.device_capacity_max =
+      cfg.device_capacity_min + rng.uniform(0.0, 10.0);
+  cfg.station_capacity_per_device = rng.uniform(0.1, 20.0);
+  if (rng.bernoulli(0.5)) {
+    cfg.result_kind = mec::ResultSizeKind::kConstant;
+    cfg.result_const_kb = rng.uniform(0.1, 500.0);
+  } else {
+    cfg.result_ratio = rng.uniform(0.01, 0.9);
+  }
+  if (rng.bernoulli(0.3)) {
+    cfg.rate_model = workload::ScenarioConfig::RateModel::kShannon;
+  }
+  cfg.seed = rng.uniform_int(0, 1 << 30);
+  return cfg;
+}
+
+class RobustnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RobustnessSweep, LpHtaIsFeasibleAndDeterministicEverywhere) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 9173 + 31);
+  for (int round = 0; round < 4; ++round) {
+    const workload::ScenarioConfig cfg = random_config(rng);
+    const workload::Scenario s = workload::make_scenario(cfg);
+    const assign::HtaInstance inst(s.topology, s.tasks);
+
+    assign::LpHtaReport report;
+    const assign::Assignment a =
+        assign::LpHta().assign_with_report(inst, report);
+    ASSERT_EQ(a.size(), inst.num_tasks());
+
+    const assign::FeasibilityReport feas = assign::check_feasibility(inst, a);
+    EXPECT_TRUE(feas.ok) << "seed " << GetParam() << " round " << round
+                         << ": "
+                         << (feas.problems.empty() ? "" : feas.problems[0]);
+
+    // Lemma 1 must hold in every regime with at least one placed task.
+    if (report.lp_objective > 0.0) {
+      EXPECT_LE(report.rounded_energy, 3.0 * report.lp_objective + 1e-6)
+          << "seed " << GetParam() << " round " << round;
+    }
+
+    // Determinism: a fresh run over freshly generated identical inputs.
+    const workload::Scenario s2 = workload::make_scenario(cfg);
+    const assign::HtaInstance inst2(s2.topology, s2.tasks);
+    EXPECT_EQ(assign::LpHta().assign(inst2).decisions, a.decisions)
+        << "seed " << GetParam() << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wide, RobustnessSweep, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mecsched

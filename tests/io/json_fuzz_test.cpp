@@ -1,0 +1,123 @@
+// Deterministic fuzzing of the JSON parser: random byte strings and
+// mutated valid documents must either parse or throw JsonError — never
+// crash, hang, or corrupt memory — and anything that parses must round-trip
+// through dump() -> parse() unchanged.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "io/json.h"
+
+namespace mecsched::io {
+namespace {
+
+std::string random_bytes(mecsched::Rng& rng, std::size_t max_len) {
+  const auto len = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(max_len)));
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s += static_cast<char>(rng.uniform_int(1, 127));
+  }
+  return s;
+}
+
+// A syntactically valid random document to mutate.
+Json random_document(mecsched::Rng& rng, int depth = 0) {
+  const int kind = static_cast<int>(rng.uniform_int(0, depth >= 3 ? 3 : 5));
+  switch (kind) {
+    case 0:
+      return Json(nullptr);
+    case 1:
+      return Json(rng.bernoulli(0.5));
+    case 2:
+      return Json(rng.uniform(-1e6, 1e6));
+    case 3:
+      return Json(random_bytes(rng, 12));
+    case 4: {
+      JsonArray arr;
+      const auto n = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      for (std::size_t i = 0; i < n; ++i) {
+        arr.push_back(random_document(rng, depth + 1));
+      }
+      return Json(std::move(arr));
+    }
+    default: {
+      JsonObject obj;
+      const auto n = static_cast<std::size_t>(rng.uniform_int(0, 4));
+      for (std::size_t i = 0; i < n; ++i) {
+        obj["k" + std::to_string(i)] = random_document(rng, depth + 1);
+      }
+      return Json(std::move(obj));
+    }
+  }
+}
+
+class JsonFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(JsonFuzz, RandomBytesNeverCrash) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1009 + 7);
+  for (int i = 0; i < 200; ++i) {
+    const std::string input = random_bytes(rng, 60);
+    try {
+      const Json parsed = Json::parse(input);
+      // If it parsed, it must round-trip exactly.
+      EXPECT_EQ(Json::parse(parsed.dump()), parsed) << input;
+    } catch (const JsonError&) {
+      // expected for almost all random inputs
+    }
+  }
+}
+
+TEST_P(JsonFuzz, MutatedValidDocumentsNeverCrash) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 2003 + 13);
+  for (int i = 0; i < 100; ++i) {
+    std::string text = random_document(rng).dump();
+    // flip / insert / delete a few characters
+    const int mutations = static_cast<int>(rng.uniform_int(1, 4));
+    for (int m = 0; m < mutations && !text.empty(); ++m) {
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(text.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          text[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:
+          text.insert(pos, 1, static_cast<char>(rng.uniform_int(32, 126)));
+          break;
+        default:
+          text.erase(pos, 1);
+          break;
+      }
+    }
+    try {
+      const Json parsed = Json::parse(text);
+      EXPECT_EQ(Json::parse(parsed.dump()), parsed);
+    } catch (const JsonError&) {
+    }
+  }
+}
+
+TEST_P(JsonFuzz, GeneratedDocumentsAlwaysRoundTrip) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 3001 + 29);
+  for (int i = 0; i < 100; ++i) {
+    const Json doc = random_document(rng);
+    EXPECT_EQ(Json::parse(doc.dump()), doc);
+    EXPECT_EQ(Json::parse(doc.dump(2)), doc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Range(0, 10));
+
+TEST(JsonFuzzDepth, DeeplyNestedInputDoesNotOverflowQuickly) {
+  // 10k nested arrays: parse must either succeed or throw, in bounded
+  // time. (Recursive descent; depth is bounded by input size.)
+  std::string deep(10'000, '[');
+  deep += std::string(10'000, ']');
+  const Json j = Json::parse(deep);
+  EXPECT_TRUE(j.is_array());
+}
+
+}  // namespace
+}  // namespace mecsched::io

@@ -1,0 +1,122 @@
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+namespace mecsched::io {
+namespace {
+
+TEST(JsonValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json(3.25).as_number(), 3.25);
+  EXPECT_DOUBLE_EQ(Json(7).as_number(), 7.0);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+  EXPECT_TRUE(Json(JsonArray{}).is_array());
+  EXPECT_TRUE(Json(JsonObject{}).is_object());
+}
+
+TEST(JsonValueTest, TypeMismatchThrows) {
+  EXPECT_THROW(Json(1.0).as_string(), JsonError);
+  EXPECT_THROW(Json("x").as_number(), JsonError);
+  EXPECT_THROW(Json(true).as_array(), JsonError);
+  EXPECT_THROW(Json().as_object(), JsonError);
+}
+
+TEST(JsonValueTest, ObjectAccess) {
+  JsonObject o;
+  o["a"] = 1.5;
+  const Json j(std::move(o));
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("b"));
+  EXPECT_DOUBLE_EQ(j.at("a").as_number(), 1.5);
+  EXPECT_THROW(j.at("b"), JsonError);
+  EXPECT_DOUBLE_EQ(j.number_or("a", 9.0), 1.5);
+  EXPECT_DOUBLE_EQ(j.number_or("b", 9.0), 9.0);
+}
+
+TEST(JsonDumpTest, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3.5).dump(), "-3.5");
+  EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonDumpTest, Containers) {
+  JsonObject o;
+  o["b"] = Json(JsonArray{Json(1), Json(2)});
+  o["a"] = Json("x");
+  EXPECT_EQ(Json(o).dump(), "{\"a\":\"x\",\"b\":[1,2]}");  // sorted keys
+  EXPECT_EQ(Json(JsonArray{}).dump(), "[]");
+  EXPECT_EQ(Json(JsonObject{}).dump(), "{}");
+}
+
+TEST(JsonDumpTest, PrettyPrint) {
+  JsonObject o;
+  o["a"] = 1;
+  const std::string s = Json(o).dump(2);
+  EXPECT_NE(s.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(JsonDumpTest, RejectsNonFinite) {
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()).dump(),
+               JsonError);
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse(" true ").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250.0);
+  EXPECT_EQ(Json::parse("\"hey\"").as_string(), "hey");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const Json j = Json::parse(R"({"a": [1, {"b": null}, "s"], "c": true})");
+  EXPECT_EQ(j.at("a").as_array().size(), 3u);
+  EXPECT_TRUE(j.at("a").as_array()[1].at("b").is_null());
+  EXPECT_TRUE(j.at("c").as_bool());
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\t\n\"\\b\/")").as_string(), "a\t\n\"\\b/");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");     // é
+  EXPECT_EQ(Json::parse(R"("中")").as_string(), "\xe4\xb8\xad"); // 中
+  // surrogate pair: U+1F600
+  EXPECT_EQ(Json::parse(R"("😀")").as_string(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, Whitespace) {
+  EXPECT_DOUBLE_EQ(Json::parse(" \n\t[ 1 ,\r 2 ] ").as_array()[1].as_number(),
+                   2.0);
+}
+
+TEST(JsonParseTest, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "01x", "\"unterminated", "{\"a\" 1}",
+        "[1] trailing", "{\"a\":}", "\"\\u12\"", "\"\\ud800\"",
+        "\"bad\\q\"", "nan", "--1"}) {
+    EXPECT_THROW(Json::parse(bad), JsonError) << bad;
+  }
+}
+
+TEST(JsonRoundTripTest, DumpParseIdentity) {
+  JsonObject o;
+  o["name"] = "mecsched";
+  o["version"] = 1.0;
+  o["tags"] = Json(JsonArray{Json("edge"), Json("lp")});
+  JsonObject nested;
+  nested["deep"] = Json(JsonArray{Json(1), Json(true), Json(nullptr)});
+  o["nested"] = Json(std::move(nested));
+  const Json original(std::move(o));
+
+  EXPECT_EQ(Json::parse(original.dump()), original);
+  EXPECT_EQ(Json::parse(original.dump(2)), original);
+}
+
+}  // namespace
+}  // namespace mecsched::io

@@ -1,0 +1,75 @@
+#include "io/shared_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "dta/pipeline.h"
+#include "workload/shared_data.h"
+
+namespace mecsched::io {
+namespace {
+
+dta::SharedDataScenario sample() {
+  workload::SharedDataConfig cfg;
+  cfg.seed = 44;
+  cfg.num_devices = 8;
+  cfg.num_base_stations = 2;
+  cfg.num_tasks = 10;
+  cfg.num_items = 30;
+  return workload::make_shared_scenario(cfg);
+}
+
+TEST(SharedCodecTest, DivisibleTaskRoundTrip) {
+  dta::DivisibleTask t;
+  t.id = {2, 5};
+  t.items = {1, 4, 9};
+  t.op_bytes = 512.0;
+  t.cycles_per_byte = 400.0;
+  t.result_kind = mec::ResultSizeKind::kConstant;
+  t.result_const_bytes = 99.0;
+  t.resource = 1.5;
+  t.deadline_s = 3.0;
+  const dta::DivisibleTask r = divisible_task_from_json(divisible_task_to_json(t));
+  EXPECT_EQ(r.id, t.id);
+  EXPECT_EQ(r.items, t.items);
+  EXPECT_DOUBLE_EQ(r.op_bytes, t.op_bytes);
+  EXPECT_EQ(r.result_kind, t.result_kind);
+  EXPECT_DOUBLE_EQ(r.deadline_s, t.deadline_s);
+}
+
+TEST(SharedCodecTest, ScenarioRoundTripPreservesPipelineResults) {
+  const auto s = sample();
+  const auto restored = shared_scenario_from_json(shared_scenario_to_json(s));
+
+  // equality of the pieces
+  EXPECT_EQ(restored.ownership, s.ownership);
+  ASSERT_EQ(restored.tasks.size(), s.tasks.size());
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    EXPECT_EQ(restored.tasks[i].items, s.tasks[i].items);
+  }
+  // and of the derived computation
+  const dta::DtaResult a = dta::run_dta(s);
+  const dta::DtaResult b = dta::run_dta(restored);
+  EXPECT_EQ(a.assignment.decisions, b.assignment.decisions);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.involved_devices, b.involved_devices);
+}
+
+TEST(SharedCodecTest, ResultSerializesAggregates) {
+  const auto s = sample();
+  const dta::DtaResult r = dta::run_dta(s);
+  const Json j = dta_result_to_json(r);
+  EXPECT_DOUBLE_EQ(j.at("total_energy_j").as_number(), r.total_energy_j);
+  EXPECT_DOUBLE_EQ(j.at("involved_devices").as_number(),
+                   static_cast<double>(r.involved_devices));
+  EXPECT_EQ(j.at("share_sizes").as_array().size(),
+            s.topology.num_devices());
+}
+
+TEST(SharedCodecTest, BadResultKindRejected) {
+  Json j = divisible_task_to_json(dta::DivisibleTask{});
+  j.as_object()["result_kind"] = Json("blob");
+  EXPECT_THROW(divisible_task_from_json(j), JsonError);
+}
+
+}  // namespace
+}  // namespace mecsched::io

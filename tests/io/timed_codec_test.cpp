@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "assign/online.h"
+#include "io/codec.h"
+#include "workload/arrivals.h"
+
+namespace mecsched::io {
+namespace {
+
+workload::TimedScenario sample() {
+  workload::ArrivalConfig cfg;
+  cfg.scenario.seed = 91;
+  cfg.scenario.num_tasks = 18;
+  cfg.scenario.num_devices = 6;
+  cfg.scenario.num_base_stations = 2;
+  cfg.arrival_rate_per_s = 10.0;
+  return workload::make_timed_scenario(cfg);
+}
+
+TEST(TimedCodecTest, RoundTripPreservesReleasesAndTasks) {
+  const auto s = sample();
+  const auto restored =
+      timed_scenario_from_json(timed_scenario_to_json(s));
+  ASSERT_EQ(restored.tasks.size(), s.tasks.size());
+  for (std::size_t i = 0; i < s.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.tasks[i].release_s, s.tasks[i].release_s);
+    EXPECT_DOUBLE_EQ(restored.tasks[i].task.local_bytes,
+                     s.tasks[i].task.local_bytes);
+    EXPECT_DOUBLE_EQ(restored.tasks[i].task.deadline_s,
+                     s.tasks[i].task.deadline_s);
+  }
+}
+
+TEST(TimedCodecTest, RoundTripPreservesOnlineScheduling) {
+  const auto s = sample();
+  const auto restored = timed_scenario_from_json(timed_scenario_to_json(s));
+  const auto a = assign::OnlineScheduler().run(s.topology, s.tasks);
+  const auto b =
+      assign::OnlineScheduler().run(restored.topology, restored.tasks);
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].decision, b.outcomes[i].decision);
+  }
+}
+
+TEST(TimedCodecTest, OnlineResultSerializes) {
+  const auto s = sample();
+  const auto r = assign::OnlineScheduler().run(s.topology, s.tasks);
+  const Json j = online_result_to_json(r);
+  EXPECT_EQ(j.at("outcomes").as_array().size(), s.tasks.size());
+  EXPECT_DOUBLE_EQ(j.at("total_energy_j").as_number(), r.total_energy_j);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+}
+
+}  // namespace
+}  // namespace mecsched::io

@@ -1,0 +1,71 @@
+#include "io/trace_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/lp_hta.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+namespace mecsched::io {
+namespace {
+
+sim::SimResult run_sim(bool contention) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = 8;
+  cfg.num_tasks = 20;
+  cfg.num_devices = 8;
+  cfg.num_base_stations = 2;
+  const auto s = workload::make_scenario(cfg);
+  const assign::HtaInstance inst(s.topology, s.tasks);
+  const auto plan = assign::LpHta().assign(inst);
+  sim::SimOptions opts;
+  opts.model_contention = contention;
+  return sim::simulate(inst, plan, opts);
+}
+
+TEST(TraceCodecTest, ExportsTimeline) {
+  const sim::SimResult r = run_sim(false);
+  const Json j = sim_result_to_json(r);
+  EXPECT_DOUBLE_EQ(j.at("makespan_s").as_number(), r.makespan_s);
+  EXPECT_EQ(j.at("timeline").as_array().size(), r.timelines.size());
+  EXPECT_FALSE(j.contains("utilization"));  // no contention data
+}
+
+TEST(TraceCodecTest, ContentionAddsUtilization) {
+  const sim::SimResult r = run_sim(true);
+  const Json j = sim_result_to_json(r);
+  ASSERT_TRUE(j.contains("utilization"));
+  const Json& u = j.at("utilization");
+  EXPECT_EQ(u.at("device_cpu_busy_s").as_array().size(), 8u);
+  EXPECT_EQ(u.at("station_cpu_busy_s").as_array().size(), 2u);
+  EXPECT_GT(u.at("peak_utilization").as_number(), 0.0);
+  EXPECT_LE(u.at("peak_utilization").as_number(), 1.0 + 1e-9);
+}
+
+TEST(TraceCodecTest, OutputIsParsableJson) {
+  const Json j = sim_result_to_json(run_sim(true));
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(Json::parse(j.dump(2)), j);
+}
+
+TEST(SimUtilizationTest, BusyTimesNeverExceedMakespan) {
+  const sim::SimResult r = run_sim(true);
+  for (const auto* v :
+       {&r.device_uplink_busy_s, &r.device_downlink_busy_s,
+        &r.device_cpu_busy_s, &r.station_cpu_busy_s}) {
+    for (double b : *v) {
+      EXPECT_GE(b, 0.0);
+      EXPECT_LE(b, r.makespan_s + 1e-9);
+    }
+  }
+  EXPECT_LE(r.wan_busy_s, r.makespan_s + 1e-9);
+}
+
+TEST(SimUtilizationTest, NoContentionLeavesStatsEmpty) {
+  const sim::SimResult r = run_sim(false);
+  EXPECT_TRUE(r.device_cpu_busy_s.empty());
+  EXPECT_DOUBLE_EQ(r.peak_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace mecsched::io

@@ -1,0 +1,106 @@
+// Property tests: the simplex and interior-point solvers must agree on the
+// optimal objective of random feasible LPs, and every reported optimum must
+// be primal-feasible. Random instances are built to be feasible by
+// construction (constraints are anchored on a known interior point).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/interior_point.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace mecsched::lp {
+namespace {
+
+// Generates a random LP with n variables in [0, ub] and m "<=" constraints
+// that are all satisfied with slack by a random interior point x0, ensuring
+// feasibility and (because variables are boxed) boundedness.
+Problem random_boxed_lp(mecsched::Rng& rng, std::size_t n, std::size_t m) {
+  Problem p;
+  std::vector<double> x0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ub = rng.uniform(0.5, 3.0);
+    p.add_variable(rng.uniform(-5.0, 5.0), 0.0, ub);
+    x0[i] = rng.uniform(0.0, ub);
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<Term> terms;
+    double lhs_at_x0 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.bernoulli(0.6)) continue;
+      const double c = rng.uniform(-2.0, 2.0);
+      terms.push_back({i, c});
+      lhs_at_x0 += c * x0[i];
+    }
+    if (terms.empty()) continue;
+    p.add_constraint(std::move(terms), Relation::kLessEqual,
+                     lhs_at_x0 + rng.uniform(0.1, 2.0));
+  }
+  return p;
+}
+
+class SolverAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverAgreement, SimplexAndIpmMatchOnRandomLps) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 25));
+  const auto m = static_cast<std::size_t>(rng.uniform_int(1, 20));
+  const Problem p = random_boxed_lp(rng, n, m);
+
+  const Solution sx = SimplexSolver().solve(p);
+  const Solution ip = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(sx.optimal()) << "simplex failed on seed " << GetParam();
+  ASSERT_TRUE(ip.optimal()) << "IPM failed on seed " << GetParam();
+
+  const double scale = 1.0 + std::abs(sx.objective);
+  EXPECT_NEAR(sx.objective, ip.objective, 1e-5 * scale)
+      << "objective mismatch on seed " << GetParam();
+  EXPECT_LE(p.max_violation(sx.x), 1e-6);
+  EXPECT_LE(p.max_violation(ip.x), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SolverAgreement, ::testing::Range(0, 40));
+
+class EqualityAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(EqualityAgreement, AssignmentStyleLpsMatch) {
+  // LPs shaped like the HTA relaxation: "pick one of 3" equality rows plus
+  // capacity rows — the structure LP-HTA feeds the solver.
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+  const auto tasks = static_cast<std::size_t>(rng.uniform_int(2, 12));
+  Problem p;
+  std::vector<std::array<std::size_t, 3>> vars(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    for (int l = 0; l < 3; ++l) {
+      vars[t][static_cast<std::size_t>(l)] =
+          p.add_variable(rng.uniform(0.1, 10.0), 0.0, 1.0);
+    }
+    p.add_constraint({{vars[t][0], 1.0}, {vars[t][1], 1.0}, {vars[t][2], 1.0}},
+                     Relation::kEqual, 1.0);
+  }
+  // capacity on option 0 across tasks; generous enough to stay feasible
+  std::vector<Term> cap;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    cap.push_back({vars[t][0], rng.uniform(0.5, 2.0)});
+  }
+  p.add_constraint(std::move(cap), Relation::kLessEqual,
+                   static_cast<double>(tasks));
+
+  const Solution sx = SimplexSolver().solve(p);
+  const Solution ip = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(sx.optimal());
+  ASSERT_TRUE(ip.optimal());
+  const double scale = 1.0 + std::abs(sx.objective);
+  EXPECT_NEAR(sx.objective, ip.objective, 1e-5 * scale);
+  // Every equality row must hold exactly for the simplex vertex.
+  EXPECT_LE(p.max_violation(sx.x), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(AssignmentLps, EqualityAgreement,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace mecsched::lp

@@ -1,0 +1,142 @@
+// Dual-value property tests: strong duality, dual feasibility signs,
+// complementary slackness, and simplex/IPM dual agreement on LPs without
+// finite upper bounds (where the reported row duals are the whole story).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/interior_point.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace mecsched::lp {
+namespace {
+
+TEST(DualityTest, KnownLpDuals) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (as min of negation).
+  // Known optimal duals of the max problem: (0, 3/2, 1); for our min form
+  // the signs flip: y = (0, -3/2, -1).
+  Problem p;
+  const auto x = p.add_variable(-3.0, 0.0, kInfinity);
+  const auto y = p.add_variable(-5.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  ASSERT_EQ(s.duals.size(), 3u);
+  EXPECT_NEAR(s.duals[0], 0.0, 1e-8);
+  EXPECT_NEAR(s.duals[1], -1.5, 1e-8);
+  EXPECT_NEAR(s.duals[2], -1.0, 1e-8);
+  // strong duality: c'x = b'y
+  const double by = 4.0 * s.duals[0] + 12.0 * s.duals[1] + 18.0 * s.duals[2];
+  EXPECT_NEAR(s.objective, by, 1e-8);
+}
+
+// Random feasible bounded min-LPs with x >= 0 only (no finite ubs):
+// "<=" rows anchored at an interior point, plus a bounding row that keeps
+// the objective finite.
+Problem random_unbounded_above_lp(mecsched::Rng& rng, std::size_t n,
+                                  std::size_t m) {
+  Problem p;
+  std::vector<double> x0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.add_variable(rng.uniform(0.5, 4.0), 0.0, kInfinity);  // positive costs
+    x0[i] = rng.uniform(0.0, 2.0);
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<Term> terms;
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.bernoulli(0.6)) continue;
+      const double c = rng.uniform(0.1, 2.0);
+      terms.push_back({i, c});
+      lhs += c * x0[i];
+    }
+    if (terms.empty()) continue;
+    // ">=" rows force a nontrivial optimum away from the origin.
+    p.add_constraint(std::move(terms), Relation::kGreaterEqual,
+                     lhs * rng.uniform(0.3, 0.9));
+  }
+  return p;
+}
+
+class DualProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualProperties, StrongDualityAndComplementarySlackness) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 137 + 41);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+  const auto m = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  const Problem p = random_unbounded_above_lp(rng, n, m);
+
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal()) << "seed " << GetParam();
+  ASSERT_EQ(s.duals.size(), p.num_constraints());
+
+  // strong duality: with only x >= 0 bounds, objective == b'y.
+  double by = 0.0;
+  for (std::size_t r = 0; r < p.num_constraints(); ++r) {
+    by += p.constraint(r).rhs * s.duals[r];
+  }
+  EXPECT_NEAR(s.objective, by, 1e-6 * (1.0 + std::fabs(s.objective)))
+      << "seed " << GetParam();
+
+  for (std::size_t r = 0; r < p.num_constraints(); ++r) {
+    const Constraint& c = p.constraint(r);
+    double lhs = 0.0;
+    for (const Term& t : c.terms) lhs += t.coeff * s.x[t.var];
+    // dual sign: ">=" rows have y >= 0
+    EXPECT_GE(s.duals[r], -1e-8) << "seed " << GetParam() << " row " << r;
+    // complementary slackness: slack > 0 => dual == 0
+    if (lhs > c.rhs + 1e-6) {
+      EXPECT_NEAR(s.duals[r], 0.0, 1e-6)
+          << "seed " << GetParam() << " row " << r;
+    }
+  }
+
+  // dual feasibility: reduced costs c_j - y'A_j >= 0 for all variables.
+  for (std::size_t v = 0; v < p.num_variables(); ++v) {
+    double reduced = p.cost(v);
+    for (std::size_t r = 0; r < p.num_constraints(); ++r) {
+      for (const Term& t : p.constraint(r).terms) {
+        if (t.var == v) reduced -= s.duals[r] * t.coeff;
+      }
+    }
+    EXPECT_GE(reduced, -1e-6) << "seed " << GetParam() << " var " << v;
+    // ... and complementary slackness on variables: x_v > 0 => reduced 0.
+    if (s.x[v] > 1e-6) {
+      EXPECT_NEAR(reduced, 0.0, 1e-6) << "seed " << GetParam() << " var " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DualProperties, ::testing::Range(0, 30));
+
+class DualAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualAgreement, SimplexAndIpmDualObjectivesMatch) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 211 + 3);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 10));
+  const auto m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  const Problem p = random_unbounded_above_lp(rng, n, m);
+
+  const Solution sx = SimplexSolver().solve(p);
+  const Solution ip = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(sx.optimal());
+  ASSERT_TRUE(ip.optimal());
+  // Duals may differ at degenerate optima, but the dual objective b'y is
+  // unique-valued at optimality.
+  double by_s = 0.0, by_i = 0.0;
+  for (std::size_t r = 0; r < p.num_constraints(); ++r) {
+    by_s += p.constraint(r).rhs * sx.duals[r];
+    by_i += p.constraint(r).rhs * ip.duals[r];
+  }
+  EXPECT_NEAR(by_s, by_i, 1e-4 * (1.0 + std::fabs(by_s)))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DualAgreement, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace mecsched::lp

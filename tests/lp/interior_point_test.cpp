@@ -1,0 +1,83 @@
+#include "lp/interior_point.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/problem.h"
+
+namespace mecsched::lp {
+namespace {
+
+TEST(InteriorPointTest, EmptyProblemIsOptimal) {
+  EXPECT_TRUE(InteriorPointSolver().solve(Problem{}).optimal());
+}
+
+TEST(InteriorPointTest, ClassicTwoVariableLP) {
+  Problem p;
+  const auto x = p.add_variable(-3.0, 0.0, kInfinity);
+  const auto y = p.add_variable(-5.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2.0, 1e-5);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-5);
+  EXPECT_NEAR(s.objective, -36.0, 1e-5);
+}
+
+TEST(InteriorPointTest, EqualityConstraints) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, kInfinity);
+  const auto y = p.add_variable(2.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 3.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0);
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 4.0, 1e-5);
+}
+
+TEST(InteriorPointTest, BoxBoundsRespected) {
+  Problem p;
+  std::vector<std::size_t> v;
+  for (double c : {-1.0, -2.0, -3.0}) v.push_back(p.add_variable(c, 0.0, 1.0));
+  p.add_constraint({{v[0], 1.0}, {v[1], 1.0}, {v[2], 1.0}},
+                   Relation::kLessEqual, 2.0);
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -5.0, 1e-5);
+  EXPECT_LE(p.max_violation(s.x), 1e-5);
+}
+
+TEST(InteriorPointTest, ShiftedLowerBounds) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 2.0, 10.0);
+  const auto y = p.add_variable(1.0, 3.0, 10.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 7.0);
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 7.0, 1e-5);
+}
+
+TEST(InteriorPointTest, DegenerateOptimumStillConverges) {
+  // Multiple optima: min x + y s.t. x + y >= 1, x,y in [0,1].
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, 1.0);
+  const auto y = p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 1.0);
+  const Solution s = InteriorPointSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 1.0, 1e-5);
+}
+
+TEST(InteriorPointTest, ReportsNonConvergenceOnInfeasible) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  const Solution s = InteriorPointSolver().solve(p);
+  // IPMs detect infeasibility heuristically; either verdict is acceptable
+  // as long as the solver does not claim optimality.
+  EXPECT_FALSE(s.optimal());
+}
+
+}  // namespace
+}  // namespace mecsched::lp

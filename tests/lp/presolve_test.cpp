@@ -1,0 +1,145 @@
+#include "lp/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace mecsched::lp {
+namespace {
+
+TEST(PresolveTest, FixedVariablesSubstitutedOut) {
+  Problem p;
+  const auto x = p.add_variable(2.0, 3.0, 3.0);  // pinned at 3
+  const auto y = p.add_variable(1.0, 0.0, 10.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 5.0);
+
+  const Presolved pre = presolve(p);
+  ASSERT_FALSE(pre.infeasible());
+  EXPECT_EQ(pre.fixed_variables(), 1u);
+  EXPECT_EQ(pre.reduced().num_variables(), 1u);
+
+  const Solution reduced = SimplexSolver().solve(pre.reduced());
+  const Solution full = pre.restore(reduced);
+  ASSERT_TRUE(full.optimal());
+  EXPECT_NEAR(full.x[0], 3.0, 1e-12);
+  EXPECT_NEAR(full.x[1], 2.0, 1e-8);     // y >= 5 - 3
+  EXPECT_NEAR(full.objective, 8.0, 1e-8);
+}
+
+TEST(PresolveTest, SingletonRowsBecomeBounds) {
+  Problem p;
+  const auto x = p.add_variable(-1.0, 0.0, kInfinity);
+  p.add_constraint({{x, 2.0}}, Relation::kLessEqual, 6.0);  // x <= 3
+  const Presolved pre = presolve(p);
+  EXPECT_EQ(pre.dropped_constraints(), 1u);
+  EXPECT_EQ(pre.tightened_bounds(), 1u);
+  EXPECT_EQ(pre.reduced().num_constraints(), 0u);
+  EXPECT_DOUBLE_EQ(pre.reduced().upper(0), 3.0);
+}
+
+TEST(PresolveTest, NegativeCoefficientSingletonFlipsDirection) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, 100.0);
+  p.add_constraint({{x, -1.0}}, Relation::kLessEqual, -5.0);  // x >= 5
+  const Presolved pre = presolve(p);
+  EXPECT_DOUBLE_EQ(pre.reduced().lower(0), 5.0);
+}
+
+TEST(PresolveTest, SingletonBoundCanFixAndDetectInfeasibility) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);  // x >= 2 > ub
+  const Presolved pre = presolve(p);
+  EXPECT_TRUE(pre.infeasible());
+}
+
+TEST(PresolveTest, EmptyRowHandling) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({}, Relation::kLessEqual, 1.0);  // vacuous
+  const Presolved ok = presolve(p);
+  EXPECT_FALSE(ok.infeasible());
+  EXPECT_EQ(ok.dropped_constraints(), 1u);
+
+  Problem q;
+  q.add_variable(1.0, 0.0, 1.0);
+  q.add_constraint({}, Relation::kGreaterEqual, 1.0);  // 0 >= 1
+  EXPECT_TRUE(presolve(q).infeasible());
+}
+
+TEST(PresolveTest, RowReferencingOnlyFixedVariables) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 2.0, 2.0);
+  p.add_variable(1.0, 0.0, 5.0);
+  p.add_constraint({{x, 1.0}}, Relation::kEqual, 2.0);  // satisfied by fix
+  const Presolved ok = presolve(p);
+  EXPECT_FALSE(ok.infeasible());
+
+  Problem q;
+  const auto z = q.add_variable(1.0, 2.0, 2.0);
+  q.add_constraint({{z, 1.0}}, Relation::kEqual, 3.0);  // 2 != 3
+  EXPECT_TRUE(presolve(q).infeasible());
+}
+
+class PresolveEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresolveEquivalence, ReducedAndOriginalAgreeOnRandomLps) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 61 + 29);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 15));
+  Problem p;
+  std::vector<double> x0(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // A third of the variables are pinned; the rest are boxed.
+    if (rng.bernoulli(0.33)) {
+      const double v = rng.uniform(0.0, 2.0);
+      p.add_variable(rng.uniform(-3.0, 3.0), v, v);
+      x0[i] = v;
+    } else {
+      const double ub = rng.uniform(0.5, 3.0);
+      p.add_variable(rng.uniform(-3.0, 3.0), 0.0, ub);
+      x0[i] = rng.uniform(0.0, ub);
+    }
+  }
+  const auto m = static_cast<std::size_t>(rng.uniform_int(1, 10));
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<Term> terms;
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.bernoulli(0.5)) continue;
+      const double c = rng.uniform(-2.0, 2.0);
+      terms.push_back({i, c});
+      lhs += c * x0[i];
+    }
+    if (terms.empty()) continue;
+    p.add_constraint(std::move(terms), Relation::kLessEqual,
+                     lhs + rng.uniform(0.1, 1.5));
+  }
+
+  const SimplexSolver solver;
+  const Solution direct = solver.solve(p);
+  const Presolved pre = presolve(p);
+  ASSERT_FALSE(pre.infeasible());
+  const Solution restored = pre.restore(solver.solve(pre.reduced()));
+
+  ASSERT_TRUE(direct.optimal());
+  ASSERT_TRUE(restored.optimal());
+  EXPECT_NEAR(direct.objective, restored.objective,
+              1e-6 * (1.0 + std::abs(direct.objective)))
+      << "seed " << GetParam();
+  EXPECT_LE(p.max_violation(restored.x), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PresolveEquivalence, ::testing::Range(0, 30));
+
+TEST(PresolveTest, RestorePropagatesNonOptimalStatus) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  const Presolved pre = presolve(p);
+  Solution bad;
+  bad.status = SolveStatus::kIterationLimit;
+  EXPECT_EQ(pre.restore(bad).status, SolveStatus::kIterationLimit);
+}
+
+}  // namespace
+}  // namespace mecsched::lp

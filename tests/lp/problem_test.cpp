@@ -1,0 +1,112 @@
+#include "lp/problem.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "lp/standard_form.h"
+
+namespace mecsched::lp {
+namespace {
+
+TEST(ProblemTest, BuildsVariablesAndConstraints) {
+  Problem p;
+  const auto x = p.add_variable(2.0, 0.0, 1.0, "x");
+  const auto y = p.add_variable(-1.0, 0.0, kInfinity, "y");
+  EXPECT_EQ(x, 0u);
+  EXPECT_EQ(y, 1u);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEqual, 4.0, "c0");
+  EXPECT_EQ(p.num_variables(), 2u);
+  EXPECT_EQ(p.num_constraints(), 1u);
+  EXPECT_DOUBLE_EQ(p.cost(x), 2.0);
+  EXPECT_DOUBLE_EQ(p.upper(y), kInfinity);
+  EXPECT_EQ(p.variable_name(0), "x");
+  EXPECT_EQ(p.constraint(0).name, "c0");
+}
+
+TEST(ProblemTest, RejectsBadBoundsAndIndices) {
+  Problem p;
+  EXPECT_THROW(p.add_variable(0.0, 1.0, 0.0), ModelError);   // lo > hi
+  EXPECT_THROW(p.add_variable(0.0, kInfinity, kInfinity), ModelError);
+  p.add_variable(0.0, 0.0, 1.0);
+  EXPECT_THROW(p.add_constraint({{5, 1.0}}, Relation::kEqual, 0.0), ModelError);
+  EXPECT_THROW(p.add_constraint({{0, 1.0}, {0, 2.0}}, Relation::kEqual, 0.0),
+               ModelError);  // duplicate variable
+}
+
+TEST(ProblemTest, ObjectiveValue) {
+  Problem p;
+  p.add_variable(3.0, 0.0, 10.0);
+  p.add_variable(-2.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(p.objective_value({1.0, 2.0}), -1.0);
+}
+
+TEST(ProblemTest, MaxViolationFlagsEachConstraintKind) {
+  Problem p;
+  const auto x = p.add_variable(0.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEqual, 0.5);
+  EXPECT_DOUBLE_EQ(p.max_violation({0.3}), 0.0);
+  EXPECT_NEAR(p.max_violation({0.8}), 0.3, 1e-12);
+
+  Problem q;
+  const auto z = q.add_variable(0.0, 0.0, 1.0);
+  q.add_constraint({{z, 1.0}}, Relation::kGreaterEqual, 0.5);
+  EXPECT_NEAR(q.max_violation({0.2}), 0.3, 1e-12);
+
+  Problem r;
+  const auto w = r.add_variable(0.0, 0.0, 1.0);
+  r.add_constraint({{w, 1.0}}, Relation::kEqual, 0.5);
+  EXPECT_NEAR(r.max_violation({0.8}), 0.3, 1e-12);
+  // bound violation
+  EXPECT_NEAR(r.max_violation({1.4}), 0.9, 1e-12);
+}
+
+TEST(StandardFormTest, ShiftsLowerBounds) {
+  Problem p;
+  const auto x = p.add_variable(2.0, 3.0, 5.0);  // x in [3,5]
+  p.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  const StandardForm sf = to_standard_form(p);
+  // x' = x - 3 in [0, 2]; row becomes x' + slack = 1; ub row x' + s = 2.
+  EXPECT_EQ(sf.n_original, 1u);
+  EXPECT_DOUBLE_EQ(sf.objective_offset, 6.0);
+  EXPECT_DOUBLE_EQ(sf.b[0], 1.0);
+  // one original row + one upper-bound row
+  EXPECT_EQ(sf.a.rows(), 2u);
+  const auto rec = sf.recover({0.5, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(rec[0], 3.5);
+}
+
+TEST(StandardFormTest, GreaterEqualGetsSurplus) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  const StandardForm sf = to_standard_form(p);
+  EXPECT_EQ(sf.a.rows(), 1u);   // no upper-bound rows
+  EXPECT_EQ(sf.a.cols(), 2u);   // x + surplus
+  EXPECT_DOUBLE_EQ(sf.a(0, 1), -1.0);
+}
+
+TEST(StandardFormTest, StandardSolutionSatisfiesOriginal) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 1.0, 4.0);
+  const auto y = p.add_variable(1.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 5.0);
+  const StandardForm sf = to_standard_form(p);
+  // pick x' = 2 (x = 3), y = 2 -> equality row holds: check via recover +
+  // max_violation
+  std::vector<double> std_x(sf.a.cols(), 0.0);
+  std_x[0] = 2.0;  // x' = x - 1
+  std_x[1] = 2.0;  // y
+  // remaining columns are slacks; compute the ub slack for x: 3 - x' = 1
+  // (layout: [x, y, ub-slack(x)])
+  std_x[2] = 1.0;
+  const auto rec = sf.recover(std_x);
+  EXPECT_DOUBLE_EQ(p.max_violation(rec), 0.0);
+  // and A std_x == b
+  const auto ax = sf.a.multiply(std_x);
+  for (std::size_t r = 0; r < sf.b.size(); ++r) {
+    EXPECT_NEAR(ax[r], sf.b[r], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace mecsched::lp

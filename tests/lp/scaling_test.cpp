@@ -1,0 +1,136 @@
+#include "lp/scaling.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace mecsched::lp {
+namespace {
+
+TEST(ScalingTest, IdentityOnWellScaledProblem) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  const ScaledProblem sp = equilibrate(p);
+  EXPECT_NEAR(sp.row_scale()[0], 1.0, 1e-12);
+  EXPECT_NEAR(sp.col_scale()[0], 1.0, 1e-12);
+}
+
+TEST(ScalingTest, CoefficientsPulledTowardOne) {
+  Problem p;
+  const auto x = p.add_variable(1e-6, 0.0, kInfinity);
+  const auto y = p.add_variable(1e6, 0.0, kInfinity);
+  p.add_constraint({{x, 1e8}, {y, 1e-8}}, Relation::kLessEqual, 1.0);
+  p.add_constraint({{x, 1e4}, {y, 1e-2}}, Relation::kGreaterEqual, 1e-3);
+  const ScaledProblem sp = equilibrate(p);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < sp.problem().num_constraints(); ++r) {
+    for (const Term& t : sp.problem().constraint(r).terms) {
+      worst = std::max(worst, std::fabs(std::log10(std::fabs(t.coeff))));
+    }
+  }
+  // original spread is 16 orders of magnitude; scaled should be tiny
+  EXPECT_LT(worst, 3.0);
+}
+
+TEST(ScalingTest, ObjectiveAndSolutionPreserved) {
+  // Badly scaled version of a simple LP whose answer we know.
+  // min 1e-6*u + 1e6*v  s.t. 1e6*u + 1e-6*v >= 2, u,v >= 0
+  // substitute u = U*1e-6... simplest: check scaled-solved == direct-solved.
+  Problem p;
+  const auto u = p.add_variable(1e-6, 0.0, kInfinity);
+  const auto v = p.add_variable(1e6, 0.0, kInfinity);
+  p.add_constraint({{u, 1e6}, {v, 1e-6}}, Relation::kGreaterEqual, 2.0);
+
+  const SimplexSolver solver;
+  const Solution direct = solver.solve(p);
+  const ScaledProblem sp = equilibrate(p);
+  const Solution restored = sp.unscale(solver.solve(sp.problem()), p);
+
+  ASSERT_TRUE(direct.optimal());
+  ASSERT_TRUE(restored.optimal());
+  EXPECT_NEAR(direct.objective, restored.objective,
+              1e-9 * (1.0 + std::fabs(direct.objective)));
+  EXPECT_LE(p.max_violation(restored.x), 1e-9);
+}
+
+TEST(ScalingTest, DualsUnscaleCorrectly) {
+  // max 3x+5y form from the duality test, rows multiplied by wild factors.
+  Problem p;
+  const auto x = p.add_variable(-3.0, 0.0, kInfinity);
+  const auto y = p.add_variable(-5.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1e5}}, Relation::kLessEqual, 4e5);
+  p.add_constraint({{y, 2e-5}}, Relation::kLessEqual, 12e-5);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+
+  const SimplexSolver solver;
+  const ScaledProblem sp = equilibrate(p);
+  const Solution restored = sp.unscale(solver.solve(sp.problem()), p);
+  ASSERT_TRUE(restored.optimal());
+  // strong duality in original units: c'x == b'y
+  double by = 0.0;
+  for (std::size_t r = 0; r < p.num_constraints(); ++r) {
+    by += p.constraint(r).rhs * restored.duals[r];
+  }
+  EXPECT_NEAR(restored.objective, by, 1e-6 * (1.0 + std::fabs(by)));
+}
+
+class ScalingEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScalingEquivalence, RandomBadlyScaledLpsMatchDirectSolve) {
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 401 + 19);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 10));
+  Problem p;
+  std::vector<double> x0(n);
+  std::vector<double> col_mag(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    col_mag[i] = std::pow(10.0, rng.uniform(-5.0, 5.0));
+    const double ub = rng.uniform(0.5, 2.0) / col_mag[i];
+    p.add_variable(rng.uniform(0.1, 3.0) * col_mag[i], 0.0, ub);
+    x0[i] = rng.uniform(0.0, ub);
+  }
+  const auto m = static_cast<std::size_t>(rng.uniform_int(1, 6));
+  for (std::size_t r = 0; r < m; ++r) {
+    const double row_mag = std::pow(10.0, rng.uniform(-4.0, 4.0));
+    std::vector<Term> terms;
+    double lhs = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.bernoulli(0.6)) continue;
+      const double c = rng.uniform(0.1, 2.0) * row_mag * col_mag[i];
+      terms.push_back({i, c});
+      lhs += c * x0[i];
+    }
+    if (terms.empty()) continue;
+    p.add_constraint(std::move(terms), Relation::kLessEqual,
+                     lhs + rng.uniform(0.1, 1.0) * row_mag);
+  }
+
+  const SimplexSolver solver;
+  const Solution direct = solver.solve(p);
+  const ScaledProblem sp = equilibrate(p);
+  const Solution restored = sp.unscale(solver.solve(sp.problem()), p);
+  ASSERT_TRUE(direct.optimal()) << "seed " << GetParam();
+  ASSERT_TRUE(restored.optimal()) << "seed " << GetParam();
+  EXPECT_NEAR(direct.objective, restored.objective,
+              1e-6 * (1.0 + std::fabs(direct.objective)))
+      << "seed " << GetParam();
+  EXPECT_LE(p.max_violation(restored.x),
+            1e-6 * (1.0 + std::fabs(direct.objective)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ScalingEquivalence, ::testing::Range(0, 25));
+
+TEST(ScalingTest, NonOptimalStatusPassesThrough) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 1.0);
+  const ScaledProblem sp = equilibrate(p);
+  Solution limit;
+  limit.status = SolveStatus::kIterationLimit;
+  EXPECT_EQ(sp.unscale(limit, p).status, SolveStatus::kIterationLimit);
+}
+
+}  // namespace
+}  // namespace mecsched::lp

@@ -1,0 +1,164 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/problem.h"
+
+namespace mecsched::lp {
+namespace {
+
+TEST(SimplexTest, EmptyProblemIsOptimal) {
+  const Solution s = SimplexSolver().solve(Problem{});
+  EXPECT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(SimplexTest, UnconstrainedBoundedVariablesSitAtBestBound) {
+  Problem p;
+  p.add_variable(1.0, 0.0, 5.0);    // min +x  -> 0
+  p.add_variable(-2.0, 1.0, 3.0);   // min -2y -> y = 3
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(s.objective, -6.0, 1e-9);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLP) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (Hillier-Lieberman)
+  // optimum (2, 6), value 36.
+  Problem p;
+  const auto x = p.add_variable(-3.0, 0.0, kInfinity);
+  const auto y = p.add_variable(-5.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 6.0, 1e-8);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 3, x - y = 1 -> x=2, y=1, obj=4.
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, kInfinity);
+  const auto y = p.add_variable(2.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 3.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-8);
+  EXPECT_NEAR(s.objective, 4.0, 1e-8);
+}
+
+TEST(SimplexTest, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> (4,0)? obj 8 vs y=3,x=1 obj 11.
+  Problem p;
+  const auto x = p.add_variable(2.0, 0.0, kInfinity);
+  const auto y = p.add_variable(3.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 4.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 1.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 8.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-8);
+}
+
+TEST(SimplexTest, DetectsInfeasibility) {
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);  // x<=1 forced >=2
+  const Solution s = SimplexSolver().solve(p);
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsInfeasibleEqualitySystem) {
+  Problem p;
+  const auto x = p.add_variable(0.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}}, Relation::kEqual, 1.0);
+  p.add_constraint({{x, 1.0}}, Relation::kEqual, 2.0);
+  EXPECT_EQ(SimplexSolver().solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  Problem p;
+  const auto x = p.add_variable(-1.0, 0.0, kInfinity);  // min -x, x free up
+  p.add_constraint({{x, -1.0}}, Relation::kLessEqual, 0.0);  // -x <= 0 (no cap)
+  const Solution s = SimplexSolver().solve(p);
+  EXPECT_EQ(s.status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, UpperBoundedVariablesUseBoundFlips) {
+  // max x1 + 2x2 + 3x3, xi in [0,1], x1+x2+x3 <= 2
+  // -> x3=1, x2=1, x1=0; obj -5.
+  Problem p;
+  std::vector<std::size_t> v;
+  for (double c : {-1.0, -2.0, -3.0}) v.push_back(p.add_variable(c, 0.0, 1.0));
+  p.add_constraint({{v[0], 1.0}, {v[1], 1.0}, {v[2], 1.0}},
+                   Relation::kLessEqual, 2.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -5.0, 1e-8);
+  EXPECT_NEAR(s.x[0], 0.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 1.0, 1e-8);
+  EXPECT_NEAR(s.x[2], 1.0, 1e-8);
+}
+
+TEST(SimplexTest, NonzeroLowerBounds) {
+  // min x + y, x in [2, 10], y in [3, 10], x + y >= 7 -> (2,5) or (4,3): obj 7.
+  Problem p;
+  const auto x = p.add_variable(1.0, 2.0, 10.0);
+  const auto y = p.add_variable(1.0, 3.0, 10.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 7.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 7.0, 1e-8);
+  EXPECT_GE(s.x[0], 2.0 - 1e-9);
+  EXPECT_GE(s.x[1], 3.0 - 1e-9);
+}
+
+TEST(SimplexTest, DegenerateLpTerminates) {
+  // A classically degenerate LP (multiple constraints active at origin).
+  Problem p;
+  const auto x = p.add_variable(-0.75, 0.0, kInfinity);
+  const auto y = p.add_variable(150.0, 0.0, kInfinity);
+  const auto z = p.add_variable(-0.02, 0.0, kInfinity);
+  const auto w = p.add_variable(6.0, 0.0, kInfinity);
+  // Beale's cycling example.
+  p.add_constraint({{x, 0.25}, {y, -60.0}, {z, -0.04}, {w, 9.0}},
+                   Relation::kLessEqual, 0.0);
+  p.add_constraint({{x, 0.5}, {y, -90.0}, {z, -0.02}, {w, 3.0}},
+                   Relation::kLessEqual, 0.0);
+  p.add_constraint({{z, 1.0}}, Relation::kLessEqual, 1.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -0.05, 1e-8);
+}
+
+TEST(SimplexTest, SolutionIsAlwaysFeasible) {
+  Problem p;
+  const auto x = p.add_variable(-1.0, 0.0, 2.0);
+  const auto y = p.add_variable(-1.0, 0.0, 2.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 3.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_LE(p.max_violation(s.x), 1e-7);
+  EXPECT_NEAR(s.objective, -3.0, 1e-8);
+}
+
+TEST(SimplexTest, FixedVariableViaEqualBounds) {
+  Problem p;
+  const auto x = p.add_variable(5.0, 2.0, 2.0);  // pinned to 2
+  const auto y = p.add_variable(1.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 5.0);
+  const Solution s = SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace mecsched::lp

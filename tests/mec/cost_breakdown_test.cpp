@@ -1,0 +1,104 @@
+// The breakdown's legs must sum exactly to the CostModel totals for every
+// placement and task shape — otherwise the explanation lies.
+#include "mec/cost_breakdown.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "mec/parameters.h"
+
+namespace mecsched::mec {
+namespace {
+
+using units::gigahertz;
+
+Topology topo() {
+  std::vector<Device> devices = {
+      {0, 0, gigahertz(1.0), k4G, 10.0},
+      {1, 0, gigahertz(2.0), kWiFi, 10.0},
+      {2, 1, gigahertz(1.5), k4G, 10.0},
+  };
+  std::vector<BaseStation> stations = {{0, gigahertz(4.0), 50.0},
+                                       {1, gigahertz(4.0), 50.0}};
+  return Topology(std::move(devices), std::move(stations),
+                  SystemParameters{});
+}
+
+class BreakdownMatchesModel : public ::testing::TestWithParam<int> {};
+
+TEST_P(BreakdownMatchesModel, LegsSumToTotalsForRandomTasks) {
+  const Topology t = topo();
+  const CostModel model(t);
+  mecsched::Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 1);
+
+  for (int i = 0; i < 20; ++i) {
+    Task task;
+    task.id = {static_cast<std::size_t>(rng.uniform_int(0, 2)), 0};
+    task.local_bytes = rng.uniform(0.0, 3e6);
+    task.external_bytes = rng.bernoulli(0.3) ? 0.0 : rng.uniform(0.0, 1e6);
+    do {
+      task.external_owner = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    } while (task.external_owner == task.id.user && task.external_bytes > 0);
+    task.deadline_s = 100.0;
+
+    for (Placement p : kAllPlacements) {
+      const CostBreakdown b = explain(t, task, p);
+      const CostEntry e = model.evaluate(task, p);
+      EXPECT_NEAR(b.total_energy(), e.energy_j, 1e-9 * (1.0 + e.energy_j))
+          << to_string(p) << " i=" << i;
+      EXPECT_NEAR(b.total_time(), e.latency_s(),
+                  1e-9 * (1.0 + e.latency_s()))
+          << to_string(p) << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BreakdownMatchesModel, ::testing::Range(0, 8));
+
+TEST(CostBreakdownTest, LegsAreLabelled) {
+  const Topology t = topo();
+  Task task;
+  task.id = {0, 0};
+  task.local_bytes = 1e6;
+  task.external_bytes = 5e5;
+  task.external_owner = 2;  // cross-cluster
+  const CostBreakdown local = explain(t, task, Placement::kLocal);
+  bool saw_backhaul = false, saw_compute = false;
+  for (const CostLeg& leg : local.legs) {
+    saw_backhaul = saw_backhaul || leg.label.find("backhaul") != std::string::npos;
+    saw_compute = saw_compute || leg.label.find("compute") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_backhaul);
+  EXPECT_TRUE(saw_compute);
+}
+
+TEST(CostBreakdownTest, ParallelLegsOnlyForOffloadedPlacements) {
+  const Topology t = topo();
+  Task task;
+  task.id = {0, 0};
+  task.local_bytes = 1e6;
+  task.external_bytes = 5e5;
+  task.external_owner = 1;
+  for (const CostLeg& leg : explain(t, task, Placement::kLocal).legs) {
+    EXPECT_FALSE(leg.parallel) << leg.label;
+  }
+  int parallel = 0;
+  for (const CostLeg& leg : explain(t, task, Placement::kEdge).legs) {
+    parallel += leg.parallel ? 1 : 0;
+  }
+  EXPECT_EQ(parallel, 2);  // beta path || alpha uplink
+}
+
+TEST(CostBreakdownTest, PureLocalTaskIsOneLeg) {
+  const Topology t = topo();
+  Task task;
+  task.id = {1, 0};
+  task.local_bytes = 1e6;
+  const CostBreakdown b = explain(t, task, Placement::kLocal);
+  ASSERT_EQ(b.legs.size(), 1u);
+  EXPECT_EQ(b.legs[0].label, "device compute");
+}
+
+}  // namespace
+}  // namespace mecsched::mec

@@ -1,0 +1,135 @@
+// Property tests on the Sec. II cost model: monotonicity in data volume,
+// radio ordering, and cross-cluster premiums — the structural facts the
+// paper's analysis leans on beyond the single ordering E1 < E2 < E3.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "mec/cost_model.h"
+#include "mec/parameters.h"
+
+namespace mecsched::mec {
+namespace {
+
+using units::gigahertz;
+using units::kilobytes;
+
+Topology make_topo() {
+  std::vector<Device> devices = {
+      {0, 0, gigahertz(1.5), k4G, 10.0},
+      {1, 0, gigahertz(1.5), kWiFi, 10.0},
+      {2, 1, gigahertz(1.5), k4G, 10.0},
+  };
+  std::vector<BaseStation> stations = {{0, gigahertz(4.0), 50.0},
+                                       {1, gigahertz(4.0), 50.0}};
+  return Topology(std::move(devices), std::move(stations),
+                  SystemParameters{});
+}
+
+Task task_of(std::size_t user, double alpha_kb, double beta_kb,
+             std::size_t owner) {
+  Task t;
+  t.id = {user, 0};
+  t.local_bytes = kilobytes(alpha_kb);
+  t.external_bytes = kilobytes(beta_kb);
+  t.external_owner = owner;
+  t.deadline_s = 1e9;
+  return t;
+}
+
+class VolumeMonotonic : public ::testing::TestWithParam<int> {};
+
+TEST_P(VolumeMonotonic, EnergyAndLatencyGrowWithLocalData) {
+  const Topology topo = make_topo();
+  const CostModel model(topo);
+  const Placement p = kAllPlacements[static_cast<std::size_t>(GetParam())];
+  double prev_e = -1.0, prev_t = -1.0;
+  for (double alpha : {200.0, 500.0, 1000.0, 2000.0, 4000.0}) {
+    const CostEntry e = model.evaluate(task_of(0, alpha, 300.0, 1), p);
+    EXPECT_GT(e.energy_j, prev_e) << "alpha=" << alpha;
+    EXPECT_GT(e.latency_s(), prev_t) << "alpha=" << alpha;
+    prev_e = e.energy_j;
+    prev_t = e.latency_s();
+  }
+}
+
+TEST_P(VolumeMonotonic, EnergyGrowsWithExternalData) {
+  const Topology topo = make_topo();
+  const CostModel model(topo);
+  const Placement p = kAllPlacements[static_cast<std::size_t>(GetParam())];
+  double prev = -1.0;
+  for (double beta : {0.0, 100.0, 400.0, 1000.0}) {
+    const CostEntry e = model.evaluate(task_of(0, 1000.0, beta, 1), p);
+    EXPECT_GT(e.energy_j, prev) << "beta=" << beta;
+    prev = e.energy_j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Placements, VolumeMonotonic, ::testing::Range(0, 3));
+
+TEST(CostPropertiesTest, WifiIssuerCheaperUplinkThanFourG) {
+  // Same α, same compute; the Wi-Fi device's faster uplink makes its edge
+  // upload both faster and (despite the higher TX power) cheaper per task
+  // of this size: t = X/r and E = P·t, Wi-Fi's r advantage (2.2x up)
+  // exceeds its P premium (2.1x), so check time strictly and energy >=.
+  const Topology topo = make_topo();
+  const CostModel model(topo);
+  const CostEntry on_4g = model.evaluate(task_of(0, 2000.0, 0.0, 1),
+                                         Placement::kEdge);
+  const CostEntry on_wifi = model.evaluate(task_of(1, 2000.0, 0.0, 0),
+                                           Placement::kEdge);
+  EXPECT_LT(on_wifi.transfer_s, on_4g.transfer_s);
+}
+
+TEST(CostPropertiesTest, CrossClusterFetchIsNeverCheaper) {
+  const Topology topo = make_topo();
+  const CostModel model(topo);
+  // owner 2 sits in the other cluster; same radio (4G) as this cluster's
+  // device 0, so the only difference is the backhaul hop.
+  const Task same = task_of(1, 1000.0, 400.0, 0);
+  const Task cross = task_of(1, 1000.0, 400.0, 2);
+  for (Placement p : {Placement::kLocal, Placement::kEdge}) {
+    const CostEntry e_same = model.evaluate(same, p);
+    const CostEntry e_cross = model.evaluate(cross, p);
+    EXPECT_GE(e_cross.energy_j, e_same.energy_j) << to_string(p);
+    EXPECT_GE(e_cross.latency_s(), e_same.latency_s()) << to_string(p);
+  }
+  // for the cloud the paper routes the fetch straight over the WAN: equal
+  const CostEntry c_same = model.evaluate(same, Placement::kCloud);
+  const CostEntry c_cross = model.evaluate(cross, Placement::kCloud);
+  EXPECT_NEAR(c_same.energy_j, c_cross.energy_j, 1e-12);
+}
+
+TEST(CostPropertiesTest, FasterDeviceCpuCutsLocalTimeButCostsEnergy) {
+  // E^(C) = κλX f²: doubling f halves time and quadruples energy.
+  std::vector<Device> devices = {
+      {0, 0, gigahertz(1.0), k4G, 10.0},
+      {1, 0, gigahertz(2.0), k4G, 10.0},
+  };
+  std::vector<BaseStation> stations = {{0, gigahertz(4.0), 50.0}};
+  const Topology topo(devices, stations, SystemParameters{});
+  const CostModel model(topo);
+  const CostEntry slow = model.evaluate(task_of(0, 1000.0, 0.0, 1),
+                                        Placement::kLocal);
+  const CostEntry fast = model.evaluate(task_of(1, 1000.0, 0.0, 0),
+                                        Placement::kLocal);
+  EXPECT_NEAR(fast.compute_s, slow.compute_s / 2.0, 1e-12);
+  EXPECT_NEAR(fast.energy_j, slow.energy_j * 4.0, 1e-9);
+}
+
+TEST(CostPropertiesTest, ResultRatioOnlyAffectsOffloadedPlacements) {
+  const Topology topo = make_topo();
+  const CostModel model(topo);
+  Task small = task_of(0, 1000.0, 0.0, 1);
+  small.result_ratio = 0.05;
+  Task big = task_of(0, 1000.0, 0.0, 1);
+  big.result_ratio = 0.4;
+  EXPECT_DOUBLE_EQ(model.evaluate(small, Placement::kLocal).energy_j,
+                   model.evaluate(big, Placement::kLocal).energy_j);
+  EXPECT_LT(model.evaluate(small, Placement::kEdge).energy_j,
+            model.evaluate(big, Placement::kEdge).energy_j);
+  EXPECT_LT(model.evaluate(small, Placement::kCloud).energy_j,
+            model.evaluate(big, Placement::kCloud).energy_j);
+}
+
+}  // namespace
+}  // namespace mecsched::mec

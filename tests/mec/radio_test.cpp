@@ -1,0 +1,51 @@
+#include "mec/radio.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mec/parameters.h"
+
+namespace mecsched::mec {
+namespace {
+
+TEST(ShannonTest, ZeroGainGivesZeroRate) {
+  EXPECT_DOUBLE_EQ(shannon_rate(1e6, 0.0, 1.0, 1e-9), 0.0);
+}
+
+TEST(ShannonTest, UnitSnrGivesBandwidth) {
+  // log2(1 + 1) = 1, so rate == bandwidth.
+  EXPECT_DOUBLE_EQ(shannon_rate(20e6, 1e-7, 1.0, 1e-7), 20e6);
+}
+
+TEST(ShannonTest, RateGrowsWithPower) {
+  const double lo = shannon_rate(1e6, 1e-6, 0.5, 1e-7);
+  const double hi = shannon_rate(1e6, 1e-6, 2.0, 1e-7);
+  EXPECT_GT(hi, lo);
+}
+
+TEST(ShannonTest, RateIsLinearInBandwidth) {
+  const double r1 = shannon_rate(1e6, 1e-6, 1.0, 1e-7);
+  const double r2 = shannon_rate(2e6, 1e-6, 1.0, 1e-7);
+  EXPECT_NEAR(r2, 2.0 * r1, 1e-6);
+}
+
+TEST(ShannonTest, ValidatesInputs) {
+  EXPECT_THROW(shannon_rate(0.0, 1.0, 1.0, 1.0), ModelError);
+  EXPECT_THROW(shannon_rate(1e6, -1.0, 1.0, 1.0), ModelError);
+  EXPECT_THROW(shannon_rate(1e6, 1.0, -1.0, 1.0), ModelError);
+  EXPECT_THROW(shannon_rate(1e6, 1.0, 1.0, 0.0), ModelError);
+}
+
+TEST(RadioProfileTest, TableOneValues) {
+  EXPECT_DOUBLE_EQ(k4G.download_bps, 13.76e6);
+  EXPECT_DOUBLE_EQ(k4G.upload_bps, 5.85e6);
+  EXPECT_DOUBLE_EQ(k4G.tx_power_w, 7.32);
+  EXPECT_DOUBLE_EQ(k4G.rx_power_w, 1.6);
+  EXPECT_DOUBLE_EQ(kWiFi.download_bps, 54.97e6);
+  EXPECT_DOUBLE_EQ(kWiFi.upload_bps, 12.88e6);
+  EXPECT_DOUBLE_EQ(kWiFi.tx_power_w, 15.7);
+  EXPECT_DOUBLE_EQ(kWiFi.rx_power_w, 2.7);
+}
+
+}  // namespace
+}  // namespace mecsched::mec

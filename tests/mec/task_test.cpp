@@ -1,0 +1,48 @@
+#include "mec/task.h"
+
+#include <gtest/gtest.h>
+
+namespace mecsched::mec {
+namespace {
+
+TEST(TaskTest, InputBytesSumsLocalAndExternal) {
+  Task t;
+  t.local_bytes = 1000.0;
+  t.external_bytes = 500.0;
+  EXPECT_DOUBLE_EQ(t.input_bytes(), 1500.0);
+}
+
+TEST(TaskTest, ProportionalResultSize) {
+  Task t;
+  t.local_bytes = 1000.0;
+  t.result_ratio = 0.2;
+  EXPECT_DOUBLE_EQ(t.result_bytes(), 200.0);
+}
+
+TEST(TaskTest, ConstantResultSize) {
+  Task t;
+  t.local_bytes = 1000.0;
+  t.result_kind = ResultSizeKind::kConstant;
+  t.result_const_bytes = 42.0;
+  EXPECT_DOUBLE_EQ(t.result_bytes(), 42.0);
+}
+
+TEST(TaskTest, CyclesUseLinearModel) {
+  Task t;
+  t.local_bytes = 100.0;
+  t.external_bytes = 50.0;
+  t.cycles_per_byte = 330.0;
+  EXPECT_DOUBLE_EQ(t.cycles(), 330.0 * 150.0);
+}
+
+TEST(TaskIdTest, EqualityAndToString) {
+  const TaskId a{3, 7};
+  const TaskId b{3, 7};
+  const TaskId c{3, 8};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(to_string(a), "T(3,7)");
+}
+
+}  // namespace
+}  // namespace mecsched::mec

@@ -1,0 +1,77 @@
+#include "mec/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mecsched::mec {
+namespace {
+
+using units::gigahertz;
+
+std::vector<Device> three_devices() {
+  return {
+      {0, 0, gigahertz(1.0), k4G, 5.0},
+      {1, 0, gigahertz(2.0), kWiFi, 5.0},
+      {2, 1, gigahertz(1.5), k4G, 5.0},
+  };
+}
+
+std::vector<BaseStation> two_stations() {
+  return {{0, gigahertz(4.0), 50.0}, {1, gigahertz(4.0), 50.0}};
+}
+
+TEST(TopologyTest, BuildsClusters) {
+  const Topology t(three_devices(), two_stations(), SystemParameters{});
+  EXPECT_EQ(t.num_devices(), 3u);
+  EXPECT_EQ(t.num_base_stations(), 2u);
+  EXPECT_EQ(t.cluster(0).size(), 2u);
+  EXPECT_EQ(t.cluster(1).size(), 1u);
+  EXPECT_EQ(t.cluster(1)[0], 2u);
+}
+
+TEST(TopologyTest, SameClusterQueries) {
+  const Topology t(three_devices(), two_stations(), SystemParameters{});
+  EXPECT_TRUE(t.same_cluster(0, 1));
+  EXPECT_FALSE(t.same_cluster(0, 2));
+  EXPECT_TRUE(t.same_cluster(2, 2));
+}
+
+TEST(TopologyTest, AccessorsValidateIndices) {
+  const Topology t(three_devices(), two_stations(), SystemParameters{});
+  EXPECT_THROW(t.device(3), ModelError);
+  EXPECT_THROW(t.base_station(2), ModelError);
+  EXPECT_THROW(t.cluster(2), ModelError);
+}
+
+TEST(TopologyTest, RejectsNonDenseDeviceIds) {
+  auto devs = three_devices();
+  devs[1].id = 7;
+  EXPECT_THROW(Topology(devs, two_stations(), SystemParameters{}), ModelError);
+}
+
+TEST(TopologyTest, RejectsUnknownBaseStation) {
+  auto devs = three_devices();
+  devs[0].base_station = 9;
+  EXPECT_THROW(Topology(devs, two_stations(), SystemParameters{}), ModelError);
+}
+
+TEST(TopologyTest, RejectsZeroFrequency) {
+  auto devs = three_devices();
+  devs[0].cpu_hz = 0.0;
+  EXPECT_THROW(Topology(devs, two_stations(), SystemParameters{}), ModelError);
+}
+
+TEST(TopologyTest, RejectsEmptyStations) {
+  EXPECT_THROW(Topology({}, {}, SystemParameters{}), ModelError);
+}
+
+TEST(TopologyTest, EmptyDeviceListIsValid) {
+  const Topology t({}, two_stations(), SystemParameters{});
+  EXPECT_EQ(t.num_devices(), 0u);
+  EXPECT_TRUE(t.cluster(0).empty());
+}
+
+}  // namespace
+}  // namespace mecsched::mec

@@ -1,0 +1,136 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/baselines.h"
+#include "assign/hgos.h"
+#include "assign/lp_hta.h"
+#include "workload/scenario.h"
+
+namespace mecsched::sim {
+namespace {
+
+using assign::Assignment;
+using assign::Decision;
+using assign::HtaInstance;
+
+workload::Scenario scenario(std::uint64_t seed, std::size_t tasks = 40) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = tasks;
+  cfg.num_devices = 15;
+  cfg.num_base_stations = 3;
+  return workload::make_scenario(cfg);
+}
+
+Assignment uniform(const HtaInstance& inst, Decision d) {
+  Assignment a;
+  a.decisions.assign(inst.num_tasks(), d);
+  return a;
+}
+
+// The core validation: with no contention, the simulator must reproduce
+// the analytic Sec. II latency and energy of every task exactly.
+class SimVsAnalytic : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimVsAnalytic, MatchesCostModelWithoutContention) {
+  const auto s = scenario(static_cast<std::uint64_t>(GetParam()) + 1);
+  const HtaInstance inst(s.topology, s.tasks);
+
+  for (Decision d : {Decision::kLocal, Decision::kEdge, Decision::kCloud}) {
+    const Assignment a = uniform(inst, d);
+    const SimResult r = simulate(inst, a);
+    ASSERT_EQ(r.timelines.size(), inst.num_tasks());
+    for (std::size_t t = 0; t < inst.num_tasks(); ++t) {
+      const auto p = assign::to_placement(d);
+      EXPECT_NEAR(r.timelines[t].latency_s(), inst.latency(t, p),
+                  1e-9 * (1.0 + inst.latency(t, p)))
+          << "task " << t << " placement " << mec::to_string(p);
+      EXPECT_NEAR(r.timelines[t].energy_j, inst.energy(t, p),
+                  1e-9 * (1.0 + inst.energy(t, p)))
+          << "task " << t << " placement " << mec::to_string(p);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimVsAnalytic, ::testing::Range(0, 5));
+
+TEST(SimulatorTest, MixedAssignmentFromLpHtaMatchesEvaluator) {
+  const auto s = scenario(42);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = assign::LpHta().assign(inst);
+  const SimResult r = simulate(inst, a);
+
+  double expected_energy = 0.0;
+  for (std::size_t t = 0; t < inst.num_tasks(); ++t) {
+    if (a.decisions[t] == Decision::kCancelled) {
+      EXPECT_FALSE(r.timelines[t].placed);
+      continue;
+    }
+    expected_energy += inst.energy(t, assign::to_placement(a.decisions[t]));
+  }
+  EXPECT_NEAR(r.total_energy_j, expected_energy,
+              1e-6 * (1.0 + expected_energy));
+}
+
+TEST(SimulatorTest, ContentionNeverBeatsTheAnalyticModel) {
+  const auto s = scenario(7, 60);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = assign::Hgos().assign(inst);
+
+  SimOptions ideal_opts, loaded_opts;
+  loaded_opts.model_contention = true;
+  const SimResult ideal = simulate(inst, a, ideal_opts);
+  const SimResult loaded = simulate(inst, a, loaded_opts);
+  // Queueing can only delay; energy (work done) is identical.
+  EXPECT_GE(loaded.makespan_s, ideal.makespan_s - 1e-9);
+  EXPECT_NEAR(loaded.total_energy_j, ideal.total_energy_j, 1e-6);
+  for (std::size_t t = 0; t < inst.num_tasks(); ++t) {
+    if (!ideal.timelines[t].placed) continue;
+    EXPECT_GE(loaded.timelines[t].latency_s(),
+              ideal.timelines[t].latency_s() - 1e-9)
+        << "task " << t;
+  }
+}
+
+TEST(SimulatorTest, ContentionSerializesSharedDeviceCpu) {
+  // Two local tasks on the same device must run back to back.
+  workload::ScenarioConfig cfg;
+  cfg.seed = 3;
+  cfg.num_devices = 1;
+  cfg.num_base_stations = 1;
+  cfg.num_tasks = 2;
+  cfg.external_ratio_max = 0.0;  // keep them pure-compute
+  const auto s = workload::make_scenario(cfg);
+  const HtaInstance inst(s.topology, s.tasks);
+  Assignment a = uniform(inst, Decision::kLocal);
+  SimOptions contention;
+  contention.model_contention = true;
+  const SimResult r = simulate(inst, a, contention);
+  const double l0 = inst.latency(0, mec::Placement::kLocal);
+  const double l1 = inst.latency(1, mec::Placement::kLocal);
+  EXPECT_NEAR(r.makespan_s, l0 + l1, 1e-9 * (1.0 + l0 + l1));
+}
+
+TEST(SimulatorTest, CancelledTasksConsumeNothing) {
+  const auto s = scenario(9, 10);
+  const HtaInstance inst(s.topology, s.tasks);
+  Assignment a = uniform(inst, Decision::kCancelled);
+  const SimResult r = simulate(inst, a);
+  EXPECT_DOUBLE_EQ(r.total_energy_j, 0.0);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 0.0);
+  EXPECT_EQ(r.events_processed, 0u);
+}
+
+TEST(SimulatorTest, MakespanIsMaxTaskFinish) {
+  const auto s = scenario(11, 20);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment a = uniform(inst, Decision::kEdge);
+  const SimResult r = simulate(inst, a);
+  double mx = 0.0;
+  for (const auto& tl : r.timelines) mx = std::max(mx, tl.finish_s);
+  EXPECT_DOUBLE_EQ(r.makespan_s, mx);
+}
+
+}  // namespace
+}  // namespace mecsched::sim

@@ -1,0 +1,181 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "mec/cost_model.h"
+
+namespace mecsched::workload {
+namespace {
+
+TEST(ScenarioTest, GeneratesRequestedCounts) {
+  ScenarioConfig cfg;
+  cfg.num_devices = 20;
+  cfg.num_base_stations = 4;
+  cfg.num_tasks = 57;
+  const Scenario s = make_scenario(cfg);
+  EXPECT_EQ(s.topology.num_devices(), 20u);
+  EXPECT_EQ(s.topology.num_base_stations(), 4u);
+  EXPECT_EQ(s.tasks.size(), 57u);
+}
+
+TEST(ScenarioTest, DeterministicForSameSeed) {
+  ScenarioConfig cfg;
+  cfg.seed = 77;
+  const Scenario a = make_scenario(cfg);
+  const Scenario b = make_scenario(cfg);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].local_bytes, b.tasks[i].local_bytes);
+    EXPECT_DOUBLE_EQ(a.tasks[i].deadline_s, b.tasks[i].deadline_s);
+    EXPECT_EQ(a.tasks[i].external_owner, b.tasks[i].external_owner);
+  }
+}
+
+TEST(ScenarioTest, DifferentSeedsDiffer) {
+  ScenarioConfig cfg;
+  cfg.seed = 1;
+  const Scenario a = make_scenario(cfg);
+  cfg.seed = 2;
+  const Scenario b = make_scenario(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.tasks.size() && !any_diff; ++i) {
+    any_diff = a.tasks[i].local_bytes != b.tasks[i].local_bytes;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ScenarioTest, TaskSizesRespectConfiguredRange) {
+  ScenarioConfig cfg;
+  cfg.max_input_kb = 3000.0;
+  cfg.num_tasks = 200;
+  const Scenario s = make_scenario(cfg);
+  for (const mec::Task& t : s.tasks) {
+    EXPECT_LE(t.input_bytes(), units::kilobytes(3000.0) + 1e-6);
+    EXPECT_GE(t.input_bytes(),
+              units::kilobytes(3000.0) * cfg.min_input_fraction - 1e-6);
+    // β ≤ 0.5 α (paper: external data is 0–0.5× the local data)
+    EXPECT_LE(t.external_bytes, 0.5 * t.local_bytes + 1e-6);
+  }
+}
+
+TEST(ScenarioTest, ExternalOwnerIsNeverTheIssuer) {
+  ScenarioConfig cfg;
+  cfg.num_tasks = 300;
+  const Scenario s = make_scenario(cfg);
+  for (const mec::Task& t : s.tasks) {
+    if (t.external_bytes > 0.0) {
+      EXPECT_NE(t.external_owner, t.id.user);
+    }
+  }
+}
+
+TEST(ScenarioTest, TasksSpreadAcrossUsers) {
+  ScenarioConfig cfg;
+  cfg.num_devices = 10;
+  cfg.num_tasks = 100;
+  const Scenario s = make_scenario(cfg);
+  std::vector<int> counts(10, 0);
+  for (const mec::Task& t : s.tasks) counts[t.id.user]++;
+  for (int c : counts) EXPECT_EQ(c, 10);  // exactly m = 10 tasks per user
+}
+
+TEST(ScenarioTest, EveryTaskHasAFeasiblePlacement) {
+  // With slack_min > 1 the deadline always admits the best placement.
+  ScenarioConfig cfg;
+  cfg.num_tasks = 150;
+  const Scenario s = make_scenario(cfg);
+  const mec::CostModel cost(s.topology);
+  for (const mec::Task& t : s.tasks) {
+    const mec::TaskCosts c = cost.evaluate(t);
+    bool feasible = false;
+    for (mec::Placement p : mec::kAllPlacements) {
+      feasible = feasible || c.latency(p) <= t.deadline_s;
+    }
+    EXPECT_TRUE(feasible) << mec::to_string(t.id);
+  }
+}
+
+TEST(ScenarioTest, DeviceFrequenciesInConfiguredBand) {
+  ScenarioConfig cfg;
+  const Scenario s = make_scenario(cfg);
+  for (std::size_t i = 0; i < s.topology.num_devices(); ++i) {
+    const double f = s.topology.device(i).cpu_hz;
+    EXPECT_GE(f, cfg.params.device_min_hz);
+    EXPECT_LE(f, cfg.params.device_max_hz);
+  }
+}
+
+TEST(ScenarioTest, MixesRadioProfiles) {
+  ScenarioConfig cfg;
+  cfg.num_devices = 100;
+  cfg.wifi_prob = 0.5;
+  const Scenario s = make_scenario(cfg);
+  int wifi = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (s.topology.device(i).radio.upload_bps == mec::kWiFi.upload_bps) ++wifi;
+  }
+  EXPECT_GT(wifi, 20);
+  EXPECT_LT(wifi, 80);
+}
+
+TEST(ScenarioTest, ShannonRateModelProducesVariedPositiveRates) {
+  ScenarioConfig cfg;
+  cfg.rate_model = ScenarioConfig::RateModel::kShannon;
+  cfg.num_devices = 40;
+  cfg.seed = 6;
+  const Scenario s = make_scenario(cfg);
+  double min_up = 1e300, max_up = 0.0;
+  for (std::size_t i = 0; i < 40; ++i) {
+    const mec::RadioProfile& r = s.topology.device(i).radio;
+    EXPECT_GT(r.upload_bps, 0.0);
+    EXPECT_GT(r.download_bps, 0.0);
+    min_up = std::min(min_up, r.upload_bps);
+    max_up = std::max(max_up, r.upload_bps);
+    // powers still come from the Table I profile
+    EXPECT_TRUE(r.tx_power_w == mec::k4G.tx_power_w ||
+                r.tx_power_w == mec::kWiFi.tx_power_w);
+  }
+  // channel-driven rates actually vary (unlike the two fixed profiles)
+  EXPECT_GT(max_up, 2.0 * min_up);
+}
+
+TEST(ScenarioTest, ShannonScenarioRunsThroughTheWholeStack) {
+  ScenarioConfig cfg;
+  cfg.rate_model = ScenarioConfig::RateModel::kShannon;
+  cfg.num_tasks = 30;
+  cfg.seed = 7;
+  const Scenario s = make_scenario(cfg);
+  const mec::CostModel cost(s.topology);
+  for (const mec::Task& t : s.tasks) {
+    for (mec::Placement p : mec::kAllPlacements) {
+      EXPECT_GT(cost.evaluate(t, p).energy_j, 0.0);
+    }
+  }
+}
+
+TEST(ScenarioTest, RejectsDegenerateConfigs) {
+  ScenarioConfig cfg;
+  cfg.num_devices = 0;
+  EXPECT_THROW(make_scenario(cfg), ModelError);
+  cfg.num_devices = 2;
+  cfg.num_base_stations = 5;
+  EXPECT_THROW(make_scenario(cfg), ModelError);
+}
+
+TEST(ScenarioTest, ConstantResultKindPropagates) {
+  ScenarioConfig cfg;
+  cfg.result_kind = mec::ResultSizeKind::kConstant;
+  cfg.result_const_kb = 50.0;
+  const Scenario s = make_scenario(cfg);
+  for (const mec::Task& t : s.tasks) {
+    EXPECT_EQ(t.result_kind, mec::ResultSizeKind::kConstant);
+    EXPECT_DOUBLE_EQ(t.result_bytes(), units::kilobytes(50.0));
+  }
+}
+
+}  // namespace
+}  // namespace mecsched::workload

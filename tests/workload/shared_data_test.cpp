@@ -1,0 +1,109 @@
+#include "workload/shared_data.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace mecsched::workload {
+namespace {
+
+TEST(SharedDataTest, GeneratesConsistentScenario) {
+  SharedDataConfig cfg;
+  cfg.num_devices = 15;
+  cfg.num_base_stations = 3;
+  cfg.num_tasks = 25;
+  cfg.num_items = 100;
+  const auto s = make_shared_scenario(cfg);  // validate() runs inside
+  EXPECT_EQ(s.topology.num_devices(), 15u);
+  EXPECT_EQ(s.ownership.size(), 15u);
+  EXPECT_EQ(s.tasks.size(), 25u);
+  EXPECT_EQ(s.universe.num_items(), 100u);
+}
+
+TEST(SharedDataTest, EveryItemHasAnOwner) {
+  SharedDataConfig cfg;
+  cfg.num_items = 200;
+  const auto s = make_shared_scenario(cfg);
+  std::vector<bool> owned(200, false);
+  for (const auto& d : s.ownership) {
+    for (std::size_t r : d) owned[r] = true;
+  }
+  for (std::size_t r = 0; r < 200; ++r) EXPECT_TRUE(owned[r]) << r;
+}
+
+TEST(SharedDataTest, Deterministic) {
+  SharedDataConfig cfg;
+  cfg.seed = 5;
+  const auto a = make_shared_scenario(cfg);
+  const auto b = make_shared_scenario(cfg);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].items, b.tasks[i].items);
+  }
+  EXPECT_EQ(a.ownership, b.ownership);
+}
+
+TEST(SharedDataTest, TaskVolumeTracksConfig) {
+  SharedDataConfig cfg;
+  cfg.max_input_kb = 2000.0;
+  cfg.item_kb = 100.0;
+  cfg.num_items = 300;
+  const auto s = make_shared_scenario(cfg);
+  for (const auto& t : s.tasks) {
+    const double bytes = s.universe.total_bytes(t.items);
+    EXPECT_LE(bytes, units::kilobytes(2000.0) + units::kilobytes(50.0));
+    EXPECT_GE(bytes, units::kilobytes(100.0) - 1.0);  // at least one item
+  }
+}
+
+TEST(SharedDataTest, HeterogeneousBlockSizes) {
+  SharedDataConfig cfg;
+  cfg.item_kb = 100.0;
+  cfg.item_size_spread = 10.0;
+  cfg.num_items = 200;
+  cfg.seed = 3;
+  const auto s = make_shared_scenario(cfg);
+  double lo = 1e300, hi = 0.0;
+  for (std::size_t r = 0; r < 200; ++r) {
+    const double b = s.universe.item_size(r);
+    EXPECT_GE(b, units::kilobytes(100.0) - 1e-6);
+    EXPECT_LE(b, units::kilobytes(1000.0) + 1e-6);
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  EXPECT_GT(hi, 3.0 * lo);  // genuinely heterogeneous
+}
+
+TEST(SharedDataTest, SpreadOfOneKeepsEqualBlocks) {
+  SharedDataConfig cfg;
+  cfg.item_size_spread = 1.0;
+  const auto s = make_shared_scenario(cfg);
+  for (std::size_t r = 0; r < s.universe.num_items(); ++r) {
+    EXPECT_DOUBLE_EQ(s.universe.item_size(r), units::kilobytes(cfg.item_kb));
+  }
+}
+
+TEST(SharedDataTest, OwnershipSetsAreSortedUnique) {
+  const auto s = make_shared_scenario(SharedDataConfig{});
+  for (const auto& d : s.ownership) {
+    EXPECT_TRUE(dta::is_sorted_unique(d));
+  }
+}
+
+TEST(SharedDataTest, ReplicationBoundedByConfig) {
+  SharedDataConfig cfg;
+  cfg.max_extra_owners = 2;
+  cfg.num_items = 150;
+  const auto s = make_shared_scenario(cfg);
+  std::vector<int> copies(150, 0);
+  for (const auto& d : s.ownership) {
+    for (std::size_t r : d) ++copies[r];
+  }
+  for (int c : copies) {
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 3);
+  }
+}
+
+}  // namespace
+}  // namespace mecsched::workload

@@ -1,0 +1,113 @@
+// Robustness property tests on the adversarial scenario builders: every
+// algorithm must stay constraint-feasible and non-crashing under hotspot
+// pressure, knife-edge deadlines and degenerate data ownership.
+#include "workload/stress.h"
+
+#include <gtest/gtest.h>
+
+#include "assign/baselines.h"
+#include "assign/best_response.h"
+#include "assign/evaluator.h"
+#include "assign/hgos.h"
+#include "assign/lp_hta.h"
+#include "dta/pipeline.h"
+
+namespace mecsched::workload {
+namespace {
+
+TEST(HotspotTest, AllDevicesLandInClusterZero) {
+  const Scenario s = make_hotspot_scenario(20, 4, 60, 1);
+  EXPECT_EQ(s.topology.cluster(0).size(), 20u);
+  for (std::size_t b = 1; b < 4; ++b) {
+    EXPECT_TRUE(s.topology.cluster(b).empty());
+  }
+}
+
+TEST(HotspotTest, LpHtaStaysFeasibleUnderHotspotPressure) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Scenario s = make_hotspot_scenario(20, 4, 120, seed);
+    const assign::HtaInstance inst(s.topology, s.tasks);
+    const auto plan = assign::LpHta().assign(inst);
+    EXPECT_TRUE(assign::check_feasibility(inst, plan).ok) << "seed " << seed;
+  }
+}
+
+TEST(HotspotTest, HotspotCostsMoreThanSpreadLoad) {
+  const Scenario hot = make_hotspot_scenario(20, 4, 120, 3);
+  ScenarioConfig cfg;
+  cfg.num_devices = 20;
+  cfg.num_base_stations = 4;
+  cfg.num_tasks = 120;
+  cfg.seed = 3;
+  const Scenario spread = make_scenario(cfg);
+
+  const assign::HtaInstance hi(hot.topology, hot.tasks);
+  const assign::HtaInstance si(spread.topology, spread.tasks);
+  const auto hm = assign::evaluate(hi, assign::LpHta().assign(hi));
+  const auto sm = assign::evaluate(si, assign::LpHta().assign(si));
+  // One station for everyone cannot beat four.
+  EXPECT_GE(hm.unsatisfied_rate() + 1e-9, sm.unsatisfied_rate());
+}
+
+TEST(KnifeEdgeTest, ManyTasksAreHopelessButLpHtaStaysFeasible) {
+  const Scenario s = make_knife_edge_scenario(100, 5);
+  const assign::HtaInstance inst(s.topology, s.tasks);
+  assign::LpHtaReport rep;
+  const auto plan = assign::LpHta().assign_with_report(inst, rep);
+  EXPECT_GT(rep.cancelled_infeasible, 0u);  // some tasks can't run anywhere
+  EXPECT_TRUE(assign::check_feasibility(inst, plan).ok);
+  // but not everything dies
+  EXPECT_LT(plan.cancelled(), inst.num_tasks());
+}
+
+TEST(KnifeEdgeTest, EveryAlgorithmSurvives) {
+  const Scenario s = make_knife_edge_scenario(60, 9);
+  const assign::HtaInstance inst(s.topology, s.tasks);
+  (void)assign::Hgos().assign(inst);
+  (void)assign::AllToCloud().assign(inst);
+  (void)assign::AllOffload().assign(inst);
+  (void)assign::LocalFirst().assign(inst);
+  (void)assign::BestResponse().assign(inst);
+  SUCCEED();
+}
+
+TEST(SingleOwnerTest, DtaUsesExactlyOneDevice) {
+  const auto scenario = make_single_owner_scenario(8, 12, 2);
+  for (dta::DtaStrategy strat :
+       {dta::DtaStrategy::kWorkload, dta::DtaStrategy::kNumber}) {
+    const auto r = dta::run_dta(scenario, dta::DtaOptions{strat});
+    EXPECT_EQ(r.involved_devices, 1u) << dta::to_string(strat);
+    EXPECT_FALSE(r.coverage.assigned[0].empty());
+  }
+}
+
+TEST(MiniatureTest, IsDeterministicWithoutAnyRng) {
+  const Scenario a = make_miniature_scenario();
+  const Scenario b = make_miniature_scenario();
+  ASSERT_EQ(a.tasks.size(), 6u);
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].local_bytes, b.tasks[i].local_bytes);
+  }
+  const assign::HtaInstance ia(a.topology, a.tasks);
+  const assign::HtaInstance ib(b.topology, b.tasks);
+  EXPECT_EQ(assign::LpHta().assign(ia).decisions,
+            assign::LpHta().assign(ib).decisions);
+}
+
+TEST(MiniatureTest, GoldenAssignmentProperties) {
+  // Regression guard on the miniature system: the plan is feasible, places
+  // every task, and the totals stay in a narrow window. (Not exact-value
+  // golden: the window survives legitimate solver tie-break changes.)
+  const Scenario s = make_miniature_scenario();
+  const assign::HtaInstance inst(s.topology, s.tasks);
+  const auto plan = assign::LpHta().assign(inst);
+  EXPECT_EQ(plan.cancelled(), 0u);
+  EXPECT_TRUE(assign::check_feasibility(inst, plan).ok);
+  const auto m = assign::evaluate(inst, plan);
+  EXPECT_GT(m.total_energy_j, 10.0);
+  EXPECT_LT(m.total_energy_j, 200.0);
+  EXPECT_LT(m.mean_latency_s, 5.0);
+}
+
+}  // namespace
+}  // namespace mecsched::workload

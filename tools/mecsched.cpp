@@ -1,0 +1,17 @@
+// mecsched — command-line front end of the library.
+//
+//   mecsched generate --tasks 100 --out scenario.json
+//   mecsched assign   --scenario scenario.json --algorithm lp-hta --out plan.json
+//   mecsched evaluate --scenario scenario.json --plan plan.json
+//   mecsched simulate --scenario scenario.json --plan plan.json --contention
+//   mecsched compare  --scenario scenario.json
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return mecsched::cli::run(args, std::cout, std::cerr);
+}
