@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_best_response"
+  "../bench/abl_best_response.pdb"
+  "CMakeFiles/abl_best_response.dir/abl_best_response.cpp.o"
+  "CMakeFiles/abl_best_response.dir/abl_best_response.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_best_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

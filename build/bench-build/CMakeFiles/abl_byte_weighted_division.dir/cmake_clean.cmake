@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_byte_weighted_division"
+  "../bench/abl_byte_weighted_division.pdb"
+  "CMakeFiles/abl_byte_weighted_division.dir/abl_byte_weighted_division.cpp.o"
+  "CMakeFiles/abl_byte_weighted_division.dir/abl_byte_weighted_division.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_byte_weighted_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

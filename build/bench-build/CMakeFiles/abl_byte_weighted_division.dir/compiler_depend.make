@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_byte_weighted_division.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_byte_weighted_division.
+# This may be replaced when dependencies are built.

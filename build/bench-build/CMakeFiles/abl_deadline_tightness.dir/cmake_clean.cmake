@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_deadline_tightness"
+  "../bench/abl_deadline_tightness.pdb"
+  "CMakeFiles/abl_deadline_tightness.dir/abl_deadline_tightness.cpp.o"
+  "CMakeFiles/abl_deadline_tightness.dir/abl_deadline_tightness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_deadline_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

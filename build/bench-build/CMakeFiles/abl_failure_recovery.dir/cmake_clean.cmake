@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_failure_recovery"
+  "../bench/abl_failure_recovery.pdb"
+  "CMakeFiles/abl_failure_recovery.dir/abl_failure_recovery.cpp.o"
+  "CMakeFiles/abl_failure_recovery.dir/abl_failure_recovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_online_vs_offline"
+  "../bench/abl_online_vs_offline.pdb"
+  "CMakeFiles/abl_online_vs_offline.dir/abl_online_vs_offline.cpp.o"
+  "CMakeFiles/abl_online_vs_offline.dir/abl_online_vs_offline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_online_vs_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

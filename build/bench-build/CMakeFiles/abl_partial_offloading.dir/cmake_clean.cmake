@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_partial_offloading"
+  "../bench/abl_partial_offloading.pdb"
+  "CMakeFiles/abl_partial_offloading.dir/abl_partial_offloading.cpp.o"
+  "CMakeFiles/abl_partial_offloading.dir/abl_partial_offloading.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partial_offloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_ratio_bound.cpp" "bench-build/CMakeFiles/abl_ratio_bound.dir/abl_ratio_bound.cpp.o" "gcc" "bench-build/CMakeFiles/abl_ratio_bound.dir/abl_ratio_bound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/mecsched_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/dta/CMakeFiles/mecsched_dta.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mecsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mecsched_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mecsched_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecsched_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

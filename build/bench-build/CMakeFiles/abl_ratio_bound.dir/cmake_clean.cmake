@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_ratio_bound"
+  "../bench/abl_ratio_bound.pdb"
+  "CMakeFiles/abl_ratio_bound.dir/abl_ratio_bound.cpp.o"
+  "CMakeFiles/abl_ratio_bound.dir/abl_ratio_bound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ratio_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

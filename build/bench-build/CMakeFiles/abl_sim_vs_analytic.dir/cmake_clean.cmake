@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_sim_vs_analytic"
+  "../bench/abl_sim_vs_analytic.pdb"
+  "CMakeFiles/abl_sim_vs_analytic.dir/abl_sim_vs_analytic.cpp.o"
+  "CMakeFiles/abl_sim_vs_analytic.dir/abl_sim_vs_analytic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sim_vs_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

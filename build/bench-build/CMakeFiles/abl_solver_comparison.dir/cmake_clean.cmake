@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_solver_comparison"
+  "../bench/abl_solver_comparison.pdb"
+  "CMakeFiles/abl_solver_comparison.dir/abl_solver_comparison.cpp.o"
+  "CMakeFiles/abl_solver_comparison.dir/abl_solver_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_solver_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2a_energy_vs_tasks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_energy_vs_datasize"
+  "../bench/fig2b_energy_vs_datasize.pdb"
+  "CMakeFiles/fig2b_energy_vs_datasize.dir/fig2b_energy_vs_datasize.cpp.o"
+  "CMakeFiles/fig2b_energy_vs_datasize.dir/fig2b_energy_vs_datasize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_energy_vs_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

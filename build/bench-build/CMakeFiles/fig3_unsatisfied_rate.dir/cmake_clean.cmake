@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_unsatisfied_rate"
+  "../bench/fig3_unsatisfied_rate.pdb"
+  "CMakeFiles/fig3_unsatisfied_rate.dir/fig3_unsatisfied_rate.cpp.o"
+  "CMakeFiles/fig3_unsatisfied_rate.dir/fig3_unsatisfied_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_unsatisfied_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

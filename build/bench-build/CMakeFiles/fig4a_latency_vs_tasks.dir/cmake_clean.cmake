@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_latency_vs_tasks"
+  "../bench/fig4a_latency_vs_tasks.pdb"
+  "CMakeFiles/fig4a_latency_vs_tasks.dir/fig4a_latency_vs_tasks.cpp.o"
+  "CMakeFiles/fig4a_latency_vs_tasks.dir/fig4a_latency_vs_tasks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_latency_vs_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

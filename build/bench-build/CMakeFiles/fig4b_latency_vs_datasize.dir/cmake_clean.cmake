@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_latency_vs_datasize"
+  "../bench/fig4b_latency_vs_datasize.pdb"
+  "CMakeFiles/fig4b_latency_vs_datasize.dir/fig4b_latency_vs_datasize.cpp.o"
+  "CMakeFiles/fig4b_latency_vs_datasize.dir/fig4b_latency_vs_datasize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_latency_vs_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4b_latency_vs_datasize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5a_dta_energy_vs_tasks"
+  "../bench/fig5a_dta_energy_vs_tasks.pdb"
+  "CMakeFiles/fig5a_dta_energy_vs_tasks.dir/fig5a_dta_energy_vs_tasks.cpp.o"
+  "CMakeFiles/fig5a_dta_energy_vs_tasks.dir/fig5a_dta_energy_vs_tasks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_dta_energy_vs_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5a_dta_energy_vs_tasks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5b_dta_energy_vs_result_size"
+  "../bench/fig5b_dta_energy_vs_result_size.pdb"
+  "CMakeFiles/fig5b_dta_energy_vs_result_size.dir/fig5b_dta_energy_vs_result_size.cpp.o"
+  "CMakeFiles/fig5b_dta_energy_vs_result_size.dir/fig5b_dta_energy_vs_result_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_dta_energy_vs_result_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

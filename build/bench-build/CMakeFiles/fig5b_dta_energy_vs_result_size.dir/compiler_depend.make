@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5b_dta_energy_vs_result_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_dta_processing_time"
+  "../bench/fig6a_dta_processing_time.pdb"
+  "CMakeFiles/fig6a_dta_processing_time.dir/fig6a_dta_processing_time.cpp.o"
+  "CMakeFiles/fig6a_dta_processing_time.dir/fig6a_dta_processing_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_dta_processing_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

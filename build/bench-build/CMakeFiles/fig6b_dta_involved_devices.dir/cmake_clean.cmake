@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_dta_involved_devices"
+  "../bench/fig6b_dta_involved_devices.pdb"
+  "CMakeFiles/fig6b_dta_involved_devices.dir/fig6b_dta_involved_devices.cpp.o"
+  "CMakeFiles/fig6b_dta_involved_devices.dir/fig6b_dta_involved_devices.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_dta_involved_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_tracking.dir/object_tracking.cpp.o"
+  "CMakeFiles/object_tracking.dir/object_tracking.cpp.o.d"
+  "object_tracking"
+  "object_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

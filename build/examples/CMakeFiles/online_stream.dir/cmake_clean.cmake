@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_stream.dir/online_stream.cpp.o"
+  "CMakeFiles/online_stream.dir/online_stream.cpp.o.d"
+  "online_stream"
+  "online_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

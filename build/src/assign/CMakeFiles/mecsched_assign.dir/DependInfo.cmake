@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/assignment.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/assignment.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/assignment.cpp.o.d"
+  "/root/repo/src/assign/baselines.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/baselines.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/baselines.cpp.o.d"
+  "/root/repo/src/assign/best_response.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/best_response.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/best_response.cpp.o.d"
+  "/root/repo/src/assign/cluster_lp.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/cluster_lp.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/cluster_lp.cpp.o.d"
+  "/root/repo/src/assign/evaluator.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/evaluator.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/evaluator.cpp.o.d"
+  "/root/repo/src/assign/exact.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/exact.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/exact.cpp.o.d"
+  "/root/repo/src/assign/hgos.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/hgos.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/hgos.cpp.o.d"
+  "/root/repo/src/assign/hta_instance.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/hta_instance.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/hta_instance.cpp.o.d"
+  "/root/repo/src/assign/lp_hta.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/lp_hta.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/lp_hta.cpp.o.d"
+  "/root/repo/src/assign/online.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/online.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/online.cpp.o.d"
+  "/root/repo/src/assign/partial.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/partial.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/partial.cpp.o.d"
+  "/root/repo/src/assign/portfolio.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/portfolio.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/portfolio.cpp.o.d"
+  "/root/repo/src/assign/recovery.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/recovery.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/recovery.cpp.o.d"
+  "/root/repo/src/assign/sensitivity.cpp" "src/assign/CMakeFiles/mecsched_assign.dir/sensitivity.cpp.o" "gcc" "src/assign/CMakeFiles/mecsched_assign.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mec/CMakeFiles/mecsched_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mecsched_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

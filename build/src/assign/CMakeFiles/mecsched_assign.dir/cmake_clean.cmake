@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_assign.dir/assignment.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/assignment.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/baselines.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/baselines.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/best_response.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/best_response.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/cluster_lp.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/cluster_lp.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/evaluator.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/evaluator.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/exact.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/exact.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/hgos.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/hgos.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/hta_instance.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/hta_instance.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/lp_hta.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/lp_hta.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/online.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/online.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/partial.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/partial.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/portfolio.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/portfolio.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/recovery.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/recovery.cpp.o.d"
+  "CMakeFiles/mecsched_assign.dir/sensitivity.cpp.o"
+  "CMakeFiles/mecsched_assign.dir/sensitivity.cpp.o.d"
+  "libmecsched_assign.a"
+  "libmecsched_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

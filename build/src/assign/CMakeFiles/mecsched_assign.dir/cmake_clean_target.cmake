@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmecsched_assign.a"
+)

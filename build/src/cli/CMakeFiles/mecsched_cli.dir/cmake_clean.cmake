@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_cli.dir/args.cpp.o"
+  "CMakeFiles/mecsched_cli.dir/args.cpp.o.d"
+  "CMakeFiles/mecsched_cli.dir/commands.cpp.o"
+  "CMakeFiles/mecsched_cli.dir/commands.cpp.o.d"
+  "libmecsched_cli.a"
+  "libmecsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_common.dir/csv.cpp.o"
+  "CMakeFiles/mecsched_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mecsched_common.dir/rng.cpp.o"
+  "CMakeFiles/mecsched_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mecsched_common.dir/stats.cpp.o"
+  "CMakeFiles/mecsched_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mecsched_common.dir/table.cpp.o"
+  "CMakeFiles/mecsched_common.dir/table.cpp.o.d"
+  "libmecsched_common.a"
+  "libmecsched_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dta/coverage.cpp" "src/dta/CMakeFiles/mecsched_dta.dir/coverage.cpp.o" "gcc" "src/dta/CMakeFiles/mecsched_dta.dir/coverage.cpp.o.d"
+  "/root/repo/src/dta/data_model.cpp" "src/dta/CMakeFiles/mecsched_dta.dir/data_model.cpp.o" "gcc" "src/dta/CMakeFiles/mecsched_dta.dir/data_model.cpp.o.d"
+  "/root/repo/src/dta/pipeline.cpp" "src/dta/CMakeFiles/mecsched_dta.dir/pipeline.cpp.o" "gcc" "src/dta/CMakeFiles/mecsched_dta.dir/pipeline.cpp.o.d"
+  "/root/repo/src/dta/set_cover.cpp" "src/dta/CMakeFiles/mecsched_dta.dir/set_cover.cpp.o" "gcc" "src/dta/CMakeFiles/mecsched_dta.dir/set_cover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/mecsched_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecsched_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mecsched_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

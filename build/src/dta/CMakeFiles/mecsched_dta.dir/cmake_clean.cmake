@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_dta.dir/coverage.cpp.o"
+  "CMakeFiles/mecsched_dta.dir/coverage.cpp.o.d"
+  "CMakeFiles/mecsched_dta.dir/data_model.cpp.o"
+  "CMakeFiles/mecsched_dta.dir/data_model.cpp.o.d"
+  "CMakeFiles/mecsched_dta.dir/pipeline.cpp.o"
+  "CMakeFiles/mecsched_dta.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mecsched_dta.dir/set_cover.cpp.o"
+  "CMakeFiles/mecsched_dta.dir/set_cover.cpp.o.d"
+  "libmecsched_dta.a"
+  "libmecsched_dta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_dta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_ilp.dir/branch_bound.cpp.o"
+  "CMakeFiles/mecsched_ilp.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/mecsched_ilp.dir/knapsack.cpp.o"
+  "CMakeFiles/mecsched_ilp.dir/knapsack.cpp.o.d"
+  "libmecsched_ilp.a"
+  "libmecsched_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

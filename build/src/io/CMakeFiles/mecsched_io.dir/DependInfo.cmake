@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/codec.cpp" "src/io/CMakeFiles/mecsched_io.dir/codec.cpp.o" "gcc" "src/io/CMakeFiles/mecsched_io.dir/codec.cpp.o.d"
+  "/root/repo/src/io/json.cpp" "src/io/CMakeFiles/mecsched_io.dir/json.cpp.o" "gcc" "src/io/CMakeFiles/mecsched_io.dir/json.cpp.o.d"
+  "/root/repo/src/io/shared_codec.cpp" "src/io/CMakeFiles/mecsched_io.dir/shared_codec.cpp.o" "gcc" "src/io/CMakeFiles/mecsched_io.dir/shared_codec.cpp.o.d"
+  "/root/repo/src/io/trace_codec.cpp" "src/io/CMakeFiles/mecsched_io.dir/trace_codec.cpp.o" "gcc" "src/io/CMakeFiles/mecsched_io.dir/trace_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/mecsched_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/dta/CMakeFiles/mecsched_dta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mecsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mecsched_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecsched_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_io.dir/codec.cpp.o"
+  "CMakeFiles/mecsched_io.dir/codec.cpp.o.d"
+  "CMakeFiles/mecsched_io.dir/json.cpp.o"
+  "CMakeFiles/mecsched_io.dir/json.cpp.o.d"
+  "CMakeFiles/mecsched_io.dir/shared_codec.cpp.o"
+  "CMakeFiles/mecsched_io.dir/shared_codec.cpp.o.d"
+  "CMakeFiles/mecsched_io.dir/trace_codec.cpp.o"
+  "CMakeFiles/mecsched_io.dir/trace_codec.cpp.o.d"
+  "libmecsched_io.a"
+  "libmecsched_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/cholesky.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/cholesky.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/cholesky.cpp.o.d"
+  "/root/repo/src/lp/interior_point.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/interior_point.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/interior_point.cpp.o.d"
+  "/root/repo/src/lp/matrix.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/matrix.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/matrix.cpp.o.d"
+  "/root/repo/src/lp/presolve.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/presolve.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/presolve.cpp.o.d"
+  "/root/repo/src/lp/problem.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/problem.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/problem.cpp.o.d"
+  "/root/repo/src/lp/scaling.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/scaling.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/scaling.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/simplex.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/simplex.cpp.o.d"
+  "/root/repo/src/lp/solution.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/solution.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/solution.cpp.o.d"
+  "/root/repo/src/lp/standard_form.cpp" "src/lp/CMakeFiles/mecsched_lp.dir/standard_form.cpp.o" "gcc" "src/lp/CMakeFiles/mecsched_lp.dir/standard_form.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

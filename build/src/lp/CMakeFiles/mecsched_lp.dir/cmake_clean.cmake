@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_lp.dir/cholesky.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/cholesky.cpp.o.d"
+  "CMakeFiles/mecsched_lp.dir/interior_point.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/interior_point.cpp.o.d"
+  "CMakeFiles/mecsched_lp.dir/matrix.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/matrix.cpp.o.d"
+  "CMakeFiles/mecsched_lp.dir/presolve.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/mecsched_lp.dir/problem.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/mecsched_lp.dir/scaling.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/scaling.cpp.o.d"
+  "CMakeFiles/mecsched_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/mecsched_lp.dir/solution.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/solution.cpp.o.d"
+  "CMakeFiles/mecsched_lp.dir/standard_form.cpp.o"
+  "CMakeFiles/mecsched_lp.dir/standard_form.cpp.o.d"
+  "libmecsched_lp.a"
+  "libmecsched_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mec/cost_breakdown.cpp" "src/mec/CMakeFiles/mecsched_mec.dir/cost_breakdown.cpp.o" "gcc" "src/mec/CMakeFiles/mecsched_mec.dir/cost_breakdown.cpp.o.d"
+  "/root/repo/src/mec/cost_model.cpp" "src/mec/CMakeFiles/mecsched_mec.dir/cost_model.cpp.o" "gcc" "src/mec/CMakeFiles/mecsched_mec.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mec/radio.cpp" "src/mec/CMakeFiles/mecsched_mec.dir/radio.cpp.o" "gcc" "src/mec/CMakeFiles/mecsched_mec.dir/radio.cpp.o.d"
+  "/root/repo/src/mec/task.cpp" "src/mec/CMakeFiles/mecsched_mec.dir/task.cpp.o" "gcc" "src/mec/CMakeFiles/mecsched_mec.dir/task.cpp.o.d"
+  "/root/repo/src/mec/topology.cpp" "src/mec/CMakeFiles/mecsched_mec.dir/topology.cpp.o" "gcc" "src/mec/CMakeFiles/mecsched_mec.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_mec.dir/cost_breakdown.cpp.o"
+  "CMakeFiles/mecsched_mec.dir/cost_breakdown.cpp.o.d"
+  "CMakeFiles/mecsched_mec.dir/cost_model.cpp.o"
+  "CMakeFiles/mecsched_mec.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mecsched_mec.dir/radio.cpp.o"
+  "CMakeFiles/mecsched_mec.dir/radio.cpp.o.d"
+  "CMakeFiles/mecsched_mec.dir/task.cpp.o"
+  "CMakeFiles/mecsched_mec.dir/task.cpp.o.d"
+  "CMakeFiles/mecsched_mec.dir/topology.cpp.o"
+  "CMakeFiles/mecsched_mec.dir/topology.cpp.o.d"
+  "libmecsched_mec.a"
+  "libmecsched_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

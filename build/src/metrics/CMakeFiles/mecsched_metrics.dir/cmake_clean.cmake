@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_metrics.dir/series.cpp.o"
+  "CMakeFiles/mecsched_metrics.dir/series.cpp.o.d"
+  "libmecsched_metrics.a"
+  "libmecsched_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

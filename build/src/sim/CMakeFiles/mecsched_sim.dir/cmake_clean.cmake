@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mecsched_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mecsched_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mecsched_sim.dir/simulator.cpp.o.d"
+  "libmecsched_sim.a"
+  "libmecsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

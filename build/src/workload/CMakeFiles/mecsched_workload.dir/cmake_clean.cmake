@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched_workload.dir/arrivals.cpp.o"
+  "CMakeFiles/mecsched_workload.dir/arrivals.cpp.o.d"
+  "CMakeFiles/mecsched_workload.dir/scenario.cpp.o"
+  "CMakeFiles/mecsched_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/mecsched_workload.dir/shared_data.cpp.o"
+  "CMakeFiles/mecsched_workload.dir/shared_data.cpp.o.d"
+  "CMakeFiles/mecsched_workload.dir/stress.cpp.o"
+  "CMakeFiles/mecsched_workload.dir/stress.cpp.o.d"
+  "libmecsched_workload.a"
+  "libmecsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/assign/baselines_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/baselines_test.cpp.o.d"
+  "/root/repo/tests/assign/best_response_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/best_response_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/best_response_test.cpp.o.d"
+  "/root/repo/tests/assign/evaluator_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/evaluator_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/evaluator_test.cpp.o.d"
+  "/root/repo/tests/assign/exact_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/exact_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/exact_test.cpp.o.d"
+  "/root/repo/tests/assign/hgos_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/hgos_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/hgos_test.cpp.o.d"
+  "/root/repo/tests/assign/lp_hta_hygiene_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/lp_hta_hygiene_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/lp_hta_hygiene_test.cpp.o.d"
+  "/root/repo/tests/assign/lp_hta_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/lp_hta_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/lp_hta_test.cpp.o.d"
+  "/root/repo/tests/assign/online_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/online_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/online_test.cpp.o.d"
+  "/root/repo/tests/assign/parallel_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/parallel_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/parallel_test.cpp.o.d"
+  "/root/repo/tests/assign/partial_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/partial_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/partial_test.cpp.o.d"
+  "/root/repo/tests/assign/portfolio_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/portfolio_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/portfolio_test.cpp.o.d"
+  "/root/repo/tests/assign/sensitivity_test.cpp" "tests/CMakeFiles/assign_test.dir/assign/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/assign_test.dir/assign/sensitivity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/mecsched_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mecsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dta/CMakeFiles/mecsched_dta.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mecsched_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecsched_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_test.dir/assign/baselines_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/baselines_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/best_response_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/best_response_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/evaluator_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/evaluator_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/exact_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/exact_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/hgos_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/hgos_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/lp_hta_hygiene_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/lp_hta_hygiene_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/lp_hta_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/lp_hta_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/online_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/online_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/parallel_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/parallel_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/partial_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/partial_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/portfolio_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/portfolio_test.cpp.o.d"
+  "CMakeFiles/assign_test.dir/assign/sensitivity_test.cpp.o"
+  "CMakeFiles/assign_test.dir/assign/sensitivity_test.cpp.o.d"
+  "assign_test"
+  "assign_test.pdb"
+  "assign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

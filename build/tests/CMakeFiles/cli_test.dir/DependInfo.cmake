@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli/args_test.cpp" "tests/CMakeFiles/cli_test.dir/cli/args_test.cpp.o" "gcc" "tests/CMakeFiles/cli_test.dir/cli/args_test.cpp.o.d"
+  "/root/repo/tests/cli/commands_test.cpp" "tests/CMakeFiles/cli_test.dir/cli/commands_test.cpp.o" "gcc" "tests/CMakeFiles/cli_test.dir/cli/commands_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/mecsched_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mecsched_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mecsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dta/CMakeFiles/mecsched_dta.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/mecsched_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/mecsched_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/mecsched_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lp/cholesky_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/cholesky_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/cholesky_test.cpp.o.d"
+  "/root/repo/tests/lp/cross_check_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/cross_check_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/cross_check_test.cpp.o.d"
+  "/root/repo/tests/lp/devex_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/devex_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/devex_test.cpp.o.d"
+  "/root/repo/tests/lp/duality_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/duality_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/duality_test.cpp.o.d"
+  "/root/repo/tests/lp/interior_point_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/interior_point_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/interior_point_test.cpp.o.d"
+  "/root/repo/tests/lp/matrix_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/matrix_test.cpp.o.d"
+  "/root/repo/tests/lp/presolve_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/presolve_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/presolve_test.cpp.o.d"
+  "/root/repo/tests/lp/problem_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/problem_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/problem_test.cpp.o.d"
+  "/root/repo/tests/lp/scaling_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/scaling_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/scaling_test.cpp.o.d"
+  "/root/repo/tests/lp/simplex_options_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/simplex_options_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/simplex_options_test.cpp.o.d"
+  "/root/repo/tests/lp/simplex_test.cpp" "tests/CMakeFiles/lp_test.dir/lp/simplex_test.cpp.o" "gcc" "tests/CMakeFiles/lp_test.dir/lp/simplex_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/mecsched_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_test.dir/lp/cholesky_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/cholesky_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/cross_check_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/cross_check_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/devex_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/devex_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/duality_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/duality_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/interior_point_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/interior_point_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/matrix_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/matrix_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/presolve_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/presolve_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/problem_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/problem_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/scaling_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/scaling_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/simplex_options_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/simplex_options_test.cpp.o.d"
+  "CMakeFiles/lp_test.dir/lp/simplex_test.cpp.o"
+  "CMakeFiles/lp_test.dir/lp/simplex_test.cpp.o.d"
+  "lp_test"
+  "lp_test.pdb"
+  "lp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mec/cost_breakdown_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/cost_breakdown_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/cost_breakdown_test.cpp.o.d"
+  "/root/repo/tests/mec/cost_model_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/cost_model_test.cpp.o.d"
+  "/root/repo/tests/mec/cost_properties_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/cost_properties_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/cost_properties_test.cpp.o.d"
+  "/root/repo/tests/mec/radio_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/radio_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/radio_test.cpp.o.d"
+  "/root/repo/tests/mec/task_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/task_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/task_test.cpp.o.d"
+  "/root/repo/tests/mec/topology_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/topology_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mec/CMakeFiles/mecsched_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mecsched_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mec_test.dir/mec/cost_breakdown_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/cost_breakdown_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/cost_model_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/cost_model_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/cost_properties_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/cost_properties_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/radio_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/radio_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/task_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/task_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/topology_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/topology_test.cpp.o.d"
+  "mec_test"
+  "mec_test.pdb"
+  "mec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

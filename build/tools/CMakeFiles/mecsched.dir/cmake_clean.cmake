@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsched.dir/mecsched.cpp.o"
+  "CMakeFiles/mecsched.dir/mecsched.cpp.o.d"
+  "mecsched"
+  "mecsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
