@@ -13,12 +13,22 @@ HtaInstance::HtaInstance(const mec::Topology& topology,
   for (std::size_t t = 0; t < tasks_.size(); ++t) {
     const mec::Task& task = tasks_[t];
     MECSCHED_REQUIRE(task.id.user < topology.num_devices(),
-                     "task issued by unknown device");
-    MECSCHED_REQUIRE(task.external_owner < topology.num_devices(),
-                     "external data owned by unknown device");
+                     "task " + std::to_string(t) + " issued by unknown device " +
+                         std::to_string(task.id.user) + " (topology has " +
+                         std::to_string(topology.num_devices()) + " devices)");
+    MECSCHED_REQUIRE(
+        task.external_owner < topology.num_devices(),
+        "task " + std::to_string(t) + ": external data owned by unknown device " +
+            std::to_string(task.external_owner) + " (topology has " +
+            std::to_string(topology.num_devices()) + " devices)");
     MECSCHED_REQUIRE(task.local_bytes >= 0.0 && task.external_bytes >= 0.0,
-                     "negative data size");
-    MECSCHED_REQUIRE(task.resource >= 0.0, "negative resource occupation");
+                     "task " + std::to_string(t) + ": negative data size (local " +
+                         std::to_string(task.local_bytes) + " B, external " +
+                         std::to_string(task.external_bytes) + " B)");
+    MECSCHED_REQUIRE(task.resource >= 0.0,
+                     "task " + std::to_string(t) +
+                         ": negative resource occupation (" +
+                         std::to_string(task.resource) + ")");
     costs_.push_back(model.evaluate(task));
     tasks_by_cluster_[topology.device(task.id.user).base_station].push_back(t);
   }

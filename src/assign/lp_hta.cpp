@@ -28,14 +28,19 @@ constexpr std::array<Placement, 3> kPlacements = mec::kAllPlacements;
 // Each task owns 4 consecutive columns: local, edge, cloud, cancel-slack.
 std::size_t column(std::size_t idx, std::size_t l) { return idx * 4 + l; }
 
-lp::Solution solve_exact(const lp::Problem& p, LpEngine engine) {
-  if (engine == LpEngine::kInteriorPoint) {
-    const lp::Solution s = lp::InteriorPointSolver().solve(p);
+lp::Solution solve_exact(const lp::Problem& p, const LpHtaOptions& options) {
+  const std::size_t budget = options.max_lp_iterations;
+  if (options.engine == LpEngine::kInteriorPoint) {
+    lp::InteriorPointOptions ipm;
+    if (budget > 0) ipm.max_iterations = budget;
+    const lp::Solution s = lp::InteriorPointSolver(ipm).solve(p);
     if (s.optimal()) return s;
     // The IPM certifies optimality but cannot always prove feasibility
     // issues; the simplex solver is the fallback arbiter.
   }
-  const lp::Solution s = lp::SimplexSolver().solve(p);
+  lp::SimplexOptions smx;
+  if (budget > 0) smx.max_iterations = budget;
+  const lp::Solution s = lp::SimplexSolver(smx).solve(p);
   if (!s.optimal()) {
     throw SolverError("LP-HTA: cluster relaxation not optimal (" +
                       lp::to_string(s.status) + ")");
@@ -53,16 +58,16 @@ lp::Solution solve_relaxation(const lp::Problem& p,
     }
     if (options.equilibrate) {
       const lp::ScaledProblem sp = lp::equilibrate(pre.reduced());
-      return pre.restore(sp.unscale(solve_exact(sp.problem(), options.engine),
+      return pre.restore(sp.unscale(solve_exact(sp.problem(), options),
                                     pre.reduced()));
     }
-    return pre.restore(solve_exact(pre.reduced(), options.engine));
+    return pre.restore(solve_exact(pre.reduced(), options));
   }
   if (options.equilibrate) {
     const lp::ScaledProblem sp = lp::equilibrate(p);
-    return sp.unscale(solve_exact(sp.problem(), options.engine), p);
+    return sp.unscale(solve_exact(sp.problem(), options), p);
   }
-  return solve_exact(p, options.engine);
+  return solve_exact(p, options);
 }
 
 // Everything one cluster contributes: its tasks' decisions plus its share

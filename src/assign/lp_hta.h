@@ -40,6 +40,11 @@ struct LpHtaOptions {
   // conditioned solves. Off by default to keep Step 1 literally P2.
   bool presolve = false;
   bool equilibrate = false;
+  // Per-cluster LP iteration budget (simplex pivots / IPM steps). 0 keeps
+  // the engine defaults. A too-small budget makes Step 1 throw SolverError
+  // ("not optimal (iteration-limit)") — callers that must never abort wrap
+  // LP-HTA in a control::FallbackChain.
+  std::size_t max_lp_iterations = 0;
 };
 
 struct LpHtaReport {

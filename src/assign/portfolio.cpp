@@ -47,8 +47,18 @@ Assignment Portfolio::assign_with_report(const HtaInstance& instance,
 
   Assignment best;
   Score best_score;
+  std::string last_error;
   for (const auto& candidate : candidates_) {
-    Assignment plan = candidate->assign(instance);
+    Assignment plan;
+    try {
+      plan = candidate->assign(instance);
+    } catch (const SolverError& e) {
+      // A solver blowup in one candidate must not take down the portfolio:
+      // skip it and let the others compete.
+      ++report.candidates_failed;
+      last_error = candidate->name() + ": " + e.what();
+      continue;
+    }
     const Metrics m = evaluate(instance, plan);
     Score score;
     score.unsatisfied = m.cancelled + m.deadline_violations;
@@ -61,6 +71,10 @@ Assignment Portfolio::assign_with_report(const HtaInstance& instance,
       report.winner = candidate->name();
       report.winner_energy_j = m.total_energy_j;
     }
+  }
+  if (report.candidates_tried == 0) {
+    throw SolverError("portfolio: every candidate failed; last error: " +
+                      last_error);
   }
   return best;
 }

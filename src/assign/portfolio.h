@@ -18,6 +18,10 @@ struct PortfolioReport {
   std::string winner;
   double winner_energy_j = 0.0;
   std::size_t candidates_tried = 0;
+  // Candidates whose assign() threw SolverError; they are skipped and the
+  // remaining candidates still compete. Only if *every* candidate fails
+  // does the portfolio rethrow.
+  std::size_t candidates_failed = 0;
 };
 
 class Portfolio : public Assigner {

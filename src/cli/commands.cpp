@@ -16,6 +16,8 @@
 #include "cli/args.h"
 #include "common/error.h"
 #include "common/table.h"
+#include "control/fallback.h"
+#include "control/resilient.h"
 #include "dta/pipeline.h"
 #include "io/codec.h"
 #include "mec/cost_breakdown.h"
@@ -23,6 +25,7 @@
 #include "io/trace_codec.h"
 #include "sim/simulator.h"
 #include "workload/arrivals.h"
+#include "workload/faults.h"
 #include "workload/scenario.h"
 #include "workload/shared_data.h"
 
@@ -91,6 +94,10 @@ std::string usage() {
       "  recover   --scenario s.json --plan p.json --device D [--out p2.json]\n"
       "  generate-arrivals --tasks N --rate R [--out timed.json]\n"
       "  online    --scenario timed.json [--epoch-s E] [--out result.json]\n"
+      "  churn     --tasks N --devices N --stations N --seed S [--rate R]\n"
+      "            [--horizon H] [--mtbf S] [--mttr S] [--outage-rate R]\n"
+      "            [--outage-duration S] [--correlated-prob P] [--fade-rate R]\n"
+      "            [--epoch-s E] [--max-attempts K] [--out result.json]\n"
       "  generate-shared --tasks N --devices N --stations N --items N\n"
       "            --seed S [--out shared.json]\n"
       "  dta       --scenario shared.json [--strategy workload|workload-bytes"
@@ -408,6 +415,76 @@ int cmd_dta(const std::vector<std::string>& tokens, std::ostream& out) {
   return 0;
 }
 
+int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"tasks", "devices", "stations", "seed", "rate", "horizon",
+                  "mtbf", "mttr", "outage-rate", "outage-duration",
+                  "correlated-prob", "fade-rate", "epoch-s", "max-attempts",
+                  "out"},
+                 {});
+  args.parse(tokens);
+
+  workload::ArrivalConfig arrivals;
+  arrivals.scenario.num_tasks = static_cast<std::size_t>(args.get_num(
+      "tasks", static_cast<double>(arrivals.scenario.num_tasks)));
+  arrivals.scenario.num_devices = static_cast<std::size_t>(args.get_num(
+      "devices", static_cast<double>(arrivals.scenario.num_devices)));
+  arrivals.scenario.num_base_stations = static_cast<std::size_t>(args.get_num(
+      "stations", static_cast<double>(arrivals.scenario.num_base_stations)));
+  arrivals.scenario.seed = static_cast<std::uint64_t>(
+      args.get_num("seed", static_cast<double>(arrivals.scenario.seed)));
+  arrivals.arrival_rate_per_s =
+      args.get_num("rate", arrivals.arrival_rate_per_s);
+  const workload::TimedScenario scenario =
+      workload::make_timed_scenario(arrivals);
+
+  workload::FaultModelConfig faults_cfg;
+  faults_cfg.seed = arrivals.scenario.seed + 1;  // independent stream
+  faults_cfg.horizon_s = args.get_num("horizon", faults_cfg.horizon_s);
+  faults_cfg.device_mtbf_s = args.get_num("mtbf", 20.0);
+  faults_cfg.device_mttr_s = args.get_num("mttr", faults_cfg.device_mttr_s);
+  faults_cfg.station_outage_rate_per_s =
+      args.get_num("outage-rate", faults_cfg.station_outage_rate_per_s);
+  faults_cfg.station_outage_duration_s =
+      args.get_num("outage-duration", faults_cfg.station_outage_duration_s);
+  faults_cfg.correlated_device_prob =
+      args.get_num("correlated-prob", faults_cfg.correlated_device_prob);
+  faults_cfg.link_fade_rate_per_s =
+      args.get_num("fade-rate", faults_cfg.link_fade_rate_per_s);
+  const sim::FaultSchedule faults =
+      workload::make_fault_schedule(faults_cfg, scenario.topology);
+
+  control::ResilientOptions opts;
+  opts.epoch_s = args.get_num("epoch-s", opts.epoch_s);
+  opts.max_attempts = static_cast<std::size_t>(
+      args.get_num("max-attempts", static_cast<double>(opts.max_attempts)));
+  const control::ResilientResult r =
+      control::ResilientController(opts).run(scenario.topology, scenario.tasks,
+                                             faults);
+
+  io::JsonObject o;
+  o["tasks"] = scenario.tasks.size();
+  o["fault_events"] = faults.size();
+  o["device_failures"] = faults.device_failures();
+  o["station_failures"] = faults.station_failures();
+  o["completed"] = r.completed;
+  o["unsatisfied"] = r.unsatisfied;
+  o["unsatisfied_rate"] = r.unsatisfied_rate();
+  o["retries"] = r.retries;
+  o["orphaned"] = r.orphaned;
+  o["rescued_by_dta"] = r.rescued_by_dta;
+  o["epochs"] = r.epochs;
+  o["total_energy_j"] = r.total_energy_j;
+  o["makespan_s"] = r.makespan_s;
+  io::JsonObject rungs;
+  for (std::size_t i = 0; i < control::kNumRungs; ++i) {
+    const auto rung = static_cast<control::FallbackRung>(i);
+    rungs[control::to_string(rung)] = r.rungs.at(rung);
+  }
+  o["fallback_rungs"] = io::Json(std::move(rungs));
+  emit(io::Json(std::move(o)), args, out);
+  return 0;
+}
+
 int run(const std::vector<std::string>& argv, std::ostream& out,
         std::ostream& err) {
   if (argv.empty() || argv[0] == "--help" || argv[0] == "help") {
@@ -430,6 +507,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (command == "online") return cmd_online(rest, out);
     if (command == "trace") return cmd_trace(rest, out);
     if (command == "dta") return cmd_dta(rest, out);
+    if (command == "churn") return cmd_churn(rest, out);
     err << "unknown command: " << command << "\n\n" << usage();
     return 1;
   } catch (const std::exception& e) {

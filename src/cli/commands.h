@@ -15,6 +15,7 @@
 //   online          — run the rolling-horizon scheduler on a timed scenario
 //   breakdown       — itemized Sec. II cost legs of one task
 //   recover         — repair a plan after a device failure
+//   churn           — run the resilient controller under generated churn
 #pragma once
 
 #include <ostream>
@@ -44,6 +45,7 @@ int cmd_generate_arrivals(const std::vector<std::string>& tokens,
 int cmd_online(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_trace(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_dta(const std::vector<std::string>& tokens, std::ostream& out);
+int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out);
 
 std::string usage();
 

@@ -1,0 +1,56 @@
+#include "control/fallback.h"
+
+#include <numeric>
+
+#include "assign/baselines.h"
+#include "assign/hgos.h"
+#include "common/error.h"
+
+namespace mecsched::control {
+
+std::string to_string(FallbackRung r) {
+  switch (r) {
+    case FallbackRung::kLpHta:
+      return "LP-HTA";
+    case FallbackRung::kHgos:
+      return "HGOS";
+    case FallbackRung::kLocalFirst:
+      return "LocalFirst";
+  }
+  return "unknown";
+}
+
+std::size_t RungHistogram::total() const {
+  return std::accumulate(served.begin(), served.end(), std::size_t{0});
+}
+
+FallbackChain::FallbackChain(assign::LpHtaOptions lp) {
+  rungs_.push_back(std::make_shared<assign::LpHta>(lp));
+  rungs_.push_back(std::make_shared<assign::Hgos>());
+  rungs_.push_back(std::make_shared<assign::LocalFirst>());
+}
+
+FallbackChain::FallbackChain(
+    std::vector<std::shared_ptr<assign::Assigner>> rungs)
+    : rungs_(std::move(rungs)) {
+  MECSCHED_REQUIRE(!rungs_.empty() && rungs_.size() <= kNumRungs,
+                   "fallback chain needs 1.." + std::to_string(kNumRungs) +
+                       " rungs, got " + std::to_string(rungs_.size()));
+}
+
+assign::Assignment FallbackChain::assign(const assign::HtaInstance& instance,
+                                         FallbackRung& served) const {
+  std::string last_error;
+  for (std::size_t r = 0; r < rungs_.size(); ++r) {
+    try {
+      assign::Assignment plan = rungs_[r]->assign(instance);
+      served = static_cast<FallbackRung>(r);
+      return plan;
+    } catch (const SolverError& e) {
+      last_error = e.what();
+    }
+  }
+  throw SolverError("every fallback rung failed; last error: " + last_error);
+}
+
+}  // namespace mecsched::control

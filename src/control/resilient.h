@@ -1,0 +1,129 @@
+// Resilient rolling-horizon controller — the degradation-tolerant wrapper
+// around the online epoch scheduler (assign/online.h).
+//
+// The plain OnlineScheduler batches arrivals into epochs and runs LP-HTA on
+// each batch; it assumes the system it planned against still exists when
+// the tasks run. This controller drops that assumption. At every epoch
+// boundary it observes the FaultSchedule and
+//
+//   * cancels truly-lost tasks: the issuer died, so there is no radio left
+//     to upload data or receive a result;
+//   * re-admits orphaned tasks — tasks whose executor (edge/cloud path) or
+//     external data owner died mid-run — with *residual* deadlines (the
+//     wait so far is gone for good) and bounded retry: at most
+//     `max_attempts` admissions per task, re-admission delayed by an
+//     exponentially growing epoch backoff;
+//   * rescues orphaned *divisible* tasks whose external owner is down by
+//     re-dividing the task's data across the surviving owners through the
+//     DTA pipeline (graceful degradation instead of cancellation) — this
+//     needs the optional SharedDataView;
+//   * prices the system as it is *now*: dead devices and stations carry
+//     zero capacity, degraded links are re-priced at their current rates,
+//     and tasks in a cluster whose cell is down can only run locally until
+//     the cell recovers;
+//   * never aborts on a solver failure: every batch goes through the
+//     FallbackChain (LP-HTA budgeted -> HGOS -> LocalFirst), and the
+//     histogram of which rung served is reported.
+//
+// Modelling notes: execution is analytic (Sec. II costs), matching
+// OnlineScheduler — faults interrupt tasks at the granularity of whole
+// runs, not stages (the event simulator covers stage granularity). Energy
+// spent on an attempt that is later orphaned stays spent. Rescued tasks'
+// partial executors are not charged against the epoch capacity ledger (the
+// rescue path uses the generously-capacitated shared-data regime).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "assign/online.h"
+#include "control/fallback.h"
+#include "dta/data_model.h"
+#include "dta/pipeline.h"
+#include "mec/topology.h"
+#include "sim/fault_schedule.h"
+
+namespace mecsched::control {
+
+struct ResilientOptions {
+  double epoch_s = 0.5;
+  // Admissions per task: 1 = no retry. Each re-admission (orphaned, owner
+  // down, cell down, or cancelled by the scheduler) consumes one attempt.
+  std::size_t max_attempts = 3;
+  // Re-admission after a failed attempt waits backoff_base_epochs *
+  // 2^(attempts-1) epochs.
+  std::size_t backoff_base_epochs = 1;
+  // Rung-0 configuration; lp.max_lp_iterations is the iteration budget
+  // that keeps a degenerate LP from stalling an epoch.
+  assign::LpHtaOptions lp{};
+  // Re-divide orphaned divisible tasks across surviving owners.
+  bool dta_rescue = true;
+  dta::DtaStrategy rescue_strategy = dta::DtaStrategy::kWorkload;
+};
+
+// Optional data-shared view of the workload: per-item sizes, per-device
+// ownership (with replicas), and each task's item set (empty = the task is
+// holistic-only and cannot be rescued by re-division).
+struct SharedDataView {
+  std::vector<double> item_bytes;
+  std::vector<dta::ItemSet> ownership;   // one per device
+  std::vector<dta::ItemSet> task_items;  // one per task
+};
+
+enum class TaskFate {
+  kPending = 0,         // never admitted (internal; absent from results)
+  kCompleted,
+  kRescuedByDta,        // completed via re-division across survivors
+  kLostIssuer,          // issuer device dead at admission or mid-run
+  kDeadlineExpired,     // residual slack gone before a successful attempt
+  kRetriesExhausted,    // max_attempts consumed without completing
+};
+
+std::string to_string(TaskFate f);
+
+struct ResilientTaskOutcome {
+  TaskFate fate = TaskFate::kPending;
+  assign::Decision decision = assign::Decision::kCancelled;
+  double start_s = 0.0;   // epoch boundary of the successful admission
+  double finish_s = 0.0;  // completion (0 when unsatisfied)
+  std::size_t attempts = 0;
+};
+
+struct ResilientResult {
+  std::vector<ResilientTaskOutcome> outcomes;  // aligned with input order
+
+  std::size_t completed = 0;      // includes rescued_by_dta
+  std::size_t unsatisfied = 0;    // tasks - completed
+  std::size_t retries = 0;        // re-admissions beyond first attempts
+  std::size_t orphaned = 0;       // running tasks interrupted by a fault
+  std::size_t rescued_by_dta = 0;
+  RungHistogram rungs;            // which fallback rung served each epoch
+
+  double total_energy_j = 0.0;    // all attempts, wasted work included
+  double makespan_s = 0.0;
+  std::size_t epochs = 0;
+
+  double unsatisfied_rate() const {
+    return outcomes.empty() ? 0.0
+                            : static_cast<double>(unsatisfied) /
+                                  static_cast<double>(outcomes.size());
+  }
+};
+
+class ResilientController {
+ public:
+  explicit ResilientController(ResilientOptions options = {})
+      : options_(options) {}
+
+  // `shared` may be nullptr (no DTA rescue). The fault schedule's targets
+  // are validated against the topology.
+  ResilientResult run(const mec::Topology& topology,
+                      const std::vector<assign::TimedTask>& tasks,
+                      const sim::FaultSchedule& faults,
+                      const SharedDataView* shared = nullptr) const;
+
+ private:
+  ResilientOptions options_;
+};
+
+}  // namespace mecsched::control

@@ -241,7 +241,12 @@ class Parser {
     }
   }
 
+  // Recursive descent: containers deeper than this are rejected instead of
+  // risking a stack overflow (frames are much larger under sanitizers).
+  static constexpr std::size_t kMaxDepth = 512;
+
   Json parse_object() {
+    const DepthGuard guard(this);
     expect('{');
     JsonObject obj;
     skip_ws();
@@ -264,6 +269,7 @@ class Parser {
   }
 
   Json parse_array() {
+    const DepthGuard guard(this);
     expect('[');
     JsonArray arr;
     skip_ws();
@@ -400,8 +406,19 @@ class Parser {
     }
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) {
+      if (++parser->depth_ > kMaxDepth) {
+        parser->fail("nesting deeper than " + std::to_string(kMaxDepth));
+      }
+    }
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

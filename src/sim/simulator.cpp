@@ -27,6 +27,11 @@ struct Stage {
   // radio); stages on base stations / WAN / cloud carry no device and are
   // immune to device-failure injection.
   std::optional<std::size_t> device;
+  // The base station whose CPU or forwarding path this stage needs; a
+  // station outage at the stage's start kills the task.
+  std::optional<std::size_t> station;
+  // Radio stages are subject to the device's link-degradation factor.
+  bool radio = false;
 };
 
 using Chain = std::vector<Stage>;
@@ -46,36 +51,43 @@ struct TaskState {
   Chain suffix;
 };
 
-// Device-failure injection parameters shared by all chains of one run.
-struct FailureSpec {
-  std::optional<std::size_t> device;
-  double at_s = 0.0;
-};
-
 // Runs `chain[idx..]` starting at the current event time, then calls
 // `done`. All captured state is by value (shared_ptr / copies), so no
-// callback ever references a dead stack frame.
+// callback ever references a dead stack frame. `faults` outlives the
+// queue run (it lives in simulate()'s frame).
 void run_chain(EventQueue& queue, std::shared_ptr<const Chain> chain,
                std::size_t idx, double now, TaskTimeline* timeline,
-               FailureSpec failure, std::function<void(double)> done) {
+               const FaultSchedule* faults, std::function<void(double)> done) {
   if (idx == chain->size()) {
     done(now);
     return;
   }
   const Stage& s = (*chain)[idx];
+  // Link degradation stretches a radio stage's service time and energy;
+  // the factor is sampled when the stage is requested.
+  double duration = s.duration;
+  double energy = s.energy;
+  if (s.radio && s.device.has_value()) {
+    const double factor = faults->link_factor(*s.device, now);
+    duration /= factor;
+    energy /= factor;
+  }
   const double start =
-      s.resource != nullptr ? s.resource->acquire(now, s.duration) : now;
-  if (failure.device.has_value() && s.device == failure.device &&
-      start >= failure.at_s) {
+      s.resource != nullptr ? s.resource->acquire(now, duration) : now;
+  const bool device_dead =
+      s.device.has_value() && !faults->device_up(*s.device, start);
+  const bool station_dead =
+      s.station.has_value() && !faults->station_up(*s.station, start);
+  if (device_dead || station_dead) {
     // The hardware died before this stage could begin: the task is lost.
     timeline->failed = true;
     return;
   }
-  timeline->energy_j += s.energy;
-  queue.schedule(start + s.duration + s.latency,
-                 [&queue, chain, idx, timeline, failure,
+  timeline->energy_j += energy;
+  queue.schedule(start + duration + s.latency,
+                 [&queue, chain, idx, timeline, faults,
                   done = std::move(done)](double when) {
-                   run_chain(queue, chain, idx + 1, when, timeline, failure,
+                   run_chain(queue, chain, idx + 1, when, timeline, faults,
                              std::move(done));
                  });
 }
@@ -140,12 +152,16 @@ SimResult simulate(const assign::HtaInstance& instance,
     Chain fetch_leg;
     if (fetch_needed) {
       fetch_leg.push_back({up(owner), cost.upload_seconds(owner, beta), 0.0,
-                           cost.upload_energy(owner, beta), owner});
+                           cost.upload_energy(owner, beta), owner,
+                           std::nullopt, true});
       if (cross && d != Decision::kCloud) {
+        // The backhaul hop lands at the issuer's station; an outage there
+        // leaves the fetched data undeliverable.
         fetch_leg.push_back({backhaul,
                              transfer_seconds(beta, params.bs_to_bs_rate_bps),
                              params.bs_to_bs_latency_s,
-                             cost.bs_to_bs_energy(beta), std::nullopt});
+                             cost.bs_to_bs_energy(beta), std::nullopt, bs,
+                             false});
       }
     }
 
@@ -154,12 +170,14 @@ SimResult simulate(const assign::HtaInstance& instance,
         Chain leg = fetch_leg;
         if (fetch_needed) {
           leg.push_back({down(issuer), cost.download_seconds(issuer, beta),
-                         0.0, cost.download_energy(issuer, beta), issuer});
+                         0.0, cost.download_energy(issuer, beta), issuer,
+                         std::nullopt, true});
         }
         plan.legs.push_back(std::move(leg));
         const double f = topo.device(issuer).cpu_hz;
         plan.suffix.push_back({dev_cpu(issuer), task.cycles() / f, 0.0,
-                               params.kappa * task.cycles() * f * f, issuer});
+                               params.kappa * task.cycles() * f * f, issuer,
+                               std::nullopt, false});
         break;
       }
       case Decision::kEdge: {
@@ -167,17 +185,18 @@ SimResult simulate(const assign::HtaInstance& instance,
         Chain alpha_leg;
         if (alpha > 0.0) {
           alpha_leg.push_back({up(issuer), cost.upload_seconds(issuer, alpha),
-                               0.0, cost.upload_energy(issuer, alpha), issuer});
+                               0.0, cost.upload_energy(issuer, alpha), issuer,
+                               std::nullopt, true});
         }
         plan.legs.push_back(std::move(alpha_leg));
         plan.suffix.push_back(
             {bs_cpu(bs), task.cycles() / topo.base_station(bs).cpu_hz, 0.0,
-             0.0, std::nullopt});
+             0.0, std::nullopt, bs, false});
         plan.suffix.push_back({down(issuer),
                                cost.download_seconds(issuer, result_bytes),
                                0.0,
                                cost.download_energy(issuer, result_bytes),
-                               issuer});
+                               issuer, std::nullopt, true});
         break;
       }
       case Decision::kCloud: {
@@ -185,23 +204,26 @@ SimResult simulate(const assign::HtaInstance& instance,
         Chain alpha_leg;
         if (alpha > 0.0) {
           alpha_leg.push_back({up(issuer), cost.upload_seconds(issuer, alpha),
-                               0.0, cost.upload_energy(issuer, alpha), issuer});
+                               0.0, cost.upload_energy(issuer, alpha), issuer,
+                               std::nullopt, true});
         }
         plan.legs.push_back(std::move(alpha_leg));
         const double wan_bytes = alpha + beta + result_bytes;
+        // The issuer's station forwards everything over the WAN; its
+        // outage severs the cloud path for the whole cluster.
         plan.suffix.push_back(
             {wan, transfer_seconds(wan_bytes, params.bs_to_cloud_rate_bps),
              params.bs_to_cloud_latency_s, cost.bs_to_cloud_energy(wan_bytes),
-             std::nullopt});
+             std::nullopt, bs, false});
         // Cloud computation: width-unbounded, never a shared resource.
         plan.suffix.push_back(
             {nullptr, task.cycles() / params.cloud_hz, 0.0, 0.0,
-             std::nullopt});
+             std::nullopt, std::nullopt, false});
         plan.suffix.push_back({down(issuer),
                                cost.download_seconds(issuer, result_bytes),
                                0.0,
                                cost.download_energy(issuer, result_bytes),
-                               issuer});
+                               issuer, std::nullopt, true});
         break;
       }
       case Decision::kCancelled:
@@ -210,10 +232,20 @@ SimResult simulate(const assign::HtaInstance& instance,
   }
 
   // ---- Execute.
-  MECSCHED_REQUIRE(options.release_times.empty() ||
-                       options.release_times.size() == instance.num_tasks(),
-                   "release_times must be empty or one per task");
-  const FailureSpec failure{options.failed_device, options.failure_time_s};
+  MECSCHED_REQUIRE(
+      options.release_times.empty() ||
+          options.release_times.size() == instance.num_tasks(),
+      "release_times must be empty or one per task (got " +
+          std::to_string(options.release_times.size()) + " for " +
+          std::to_string(instance.num_tasks()) + " tasks)");
+  // Fold the legacy one-shot injection into the schedule.
+  FaultSchedule faults = options.faults;
+  if (options.failed_device.has_value()) {
+    faults = faults.merged_with(FaultSchedule::single_device_failure(
+        *options.failed_device, options.failure_time_s));
+  }
+  faults.validate_against(topo.num_devices(), topo.num_base_stations());
+  const FaultSchedule* failure = &faults;
 
   EventQueue queue;
   for (std::size_t t = 0; t < instance.num_tasks(); ++t) {

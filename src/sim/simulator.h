@@ -22,6 +22,7 @@
 
 #include "assign/assignment.h"
 #include "assign/hta_instance.h"
+#include "sim/fault_schedule.h"
 
 namespace mecsched::sim {
 
@@ -32,12 +33,21 @@ struct SimOptions {
   // released at t = 0. Used to replay online schedules.
   std::vector<double> release_times;
 
-  // Failure injection: device `failed_device` dies at `failure_time_s`.
-  // Any stage that would *start* using that device's CPU or radio at or
-  // after the failure instant never runs; the task is marked `failed` and
-  // its remaining stages (and energy) are skipped. Stages already in
-  // flight when the failure hits are allowed to complete (a transmission
-  // underway is modelled as already in the air).
+  // Fault injection: an ordered timeline of device failures/recoveries,
+  // base-station outages and link degradations (see fault_schedule.h).
+  // A stage that would *start* on dead hardware never runs; the task is
+  // marked `failed` and its remaining stages (and energy) are skipped.
+  // Stages already in flight when a failure hits are allowed to complete
+  // (a transmission underway is modelled as already in the air). A stage
+  // starting after the hardware *recovered* runs normally. Radio stages
+  // starting under a degraded link take 1/factor times as long and burn
+  // 1/factor times the energy (transmit power is constant; the factor is
+  // sampled at the stage's start).
+  FaultSchedule faults;
+
+  // Legacy single-failure injection: merged into `faults` as a
+  // kDeviceFail event. Kept so existing callers and serialized options
+  // keep working.
   std::optional<std::size_t> failed_device;
   double failure_time_s = 0.0;
 };
@@ -48,7 +58,7 @@ struct TaskTimeline {
   double finish_s = 0.0;
   double energy_j = 0.0;
   bool placed = false;
-  bool failed = false;      // killed by failure injection
+  bool failed = false;      // killed by fault injection
 
   double latency_s() const { return finish_s - start_s; }
 };

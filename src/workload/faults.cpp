@@ -1,0 +1,94 @@
+#include "workload/faults.h"
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace mecsched::workload {
+
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultSchedule;
+
+FaultSchedule make_fault_schedule(const FaultModelConfig& config,
+                                  const mec::Topology& topology) {
+  MECSCHED_REQUIRE(config.horizon_s > 0.0, "fault horizon must be positive");
+  MECSCHED_REQUIRE(config.device_mtbf_s >= 0.0 && config.device_mttr_s > 0.0,
+                   "device MTBF must be >= 0 and MTTR > 0");
+  MECSCHED_REQUIRE(
+      config.min_degrade_factor > 0.0 && config.min_degrade_factor <= 1.0,
+      "min_degrade_factor must be in (0, 1], got " +
+          std::to_string(config.min_degrade_factor));
+  MECSCHED_REQUIRE(config.correlated_device_prob >= 0.0 &&
+                       config.correlated_device_prob <= 1.0,
+                   "correlated_device_prob must be a probability, got " +
+                       std::to_string(config.correlated_device_prob));
+
+  const double horizon = config.horizon_s;
+  Rng rng(config.seed);
+  std::vector<FaultEvent> events;
+
+  // ---- Device churn: alternate exponential up/down intervals per device.
+  if (config.device_mtbf_s > 0.0) {
+    Rng churn = rng.fork(1);
+    for (std::size_t dev = 0; dev < topology.num_devices(); ++dev) {
+      Rng stream = churn.fork(dev);
+      double t = stream.exponential(config.device_mtbf_s);
+      while (t < horizon) {
+        events.push_back({t, FaultKind::kDeviceFail, dev, 1.0});
+        t += stream.exponential(config.device_mttr_s);
+        if (t >= horizon) break;
+        events.push_back({t, FaultKind::kDeviceRecover, dev, 1.0});
+        t += stream.exponential(config.device_mtbf_s);
+      }
+    }
+  }
+
+  // ---- Cell outages, optionally taking cluster devices down with them.
+  if (config.station_outage_rate_per_s > 0.0) {
+    Rng outage = rng.fork(2);
+    for (std::size_t bs = 0; bs < topology.num_base_stations(); ++bs) {
+      Rng stream = outage.fork(bs);
+      double t = stream.exponential(1.0 / config.station_outage_rate_per_s);
+      while (t < horizon) {
+        const double end = t + stream.exponential(config.station_outage_duration_s);
+        events.push_back({t, FaultKind::kStationFail, bs, 1.0});
+        if (end < horizon) {
+          events.push_back({end, FaultKind::kStationRecover, bs, 1.0});
+        }
+        for (std::size_t dev : topology.cluster(bs)) {
+          if (!stream.bernoulli(config.correlated_device_prob)) continue;
+          events.push_back({t, FaultKind::kDeviceFail, dev, 1.0});
+          if (end < horizon) {
+            events.push_back({end, FaultKind::kDeviceRecover, dev, 1.0});
+          }
+        }
+        t = end + stream.exponential(1.0 / config.station_outage_rate_per_s);
+      }
+    }
+  }
+
+  // ---- Link fading windows.
+  if (config.link_fade_rate_per_s > 0.0) {
+    Rng fade = rng.fork(3);
+    for (std::size_t dev = 0; dev < topology.num_devices(); ++dev) {
+      Rng stream = fade.fork(dev);
+      double t = stream.exponential(1.0 / config.link_fade_rate_per_s);
+      while (t < horizon) {
+        const double factor =
+            stream.uniform(config.min_degrade_factor, 1.0);
+        const double end = t + stream.exponential(config.link_fade_duration_s);
+        events.push_back({t, FaultKind::kLinkDegrade, dev, factor});
+        if (end < horizon) {
+          events.push_back({end, FaultKind::kLinkRestore, dev, 1.0});
+        }
+        t = end + stream.exponential(1.0 / config.link_fade_rate_per_s);
+      }
+    }
+  }
+
+  return FaultSchedule(std::move(events));
+}
+
+}  // namespace mecsched::workload

@@ -63,6 +63,48 @@ TEST(PortfolioTest, SingleCandidatePassesThrough) {
   EXPECT_EQ(plan.count(Decision::kCloud), inst.num_tasks());
 }
 
+class ThrowingCandidate : public Assigner {
+ public:
+  Assignment assign(const HtaInstance&) const override {
+    throw SolverError("candidate blowup");
+  }
+  std::string name() const override { return "Throwing"; }
+};
+
+TEST(PortfolioTest, SolverErrorCandidateIsSkipped) {
+  const auto s = scenario(15);
+  const HtaInstance inst(s.topology, s.tasks);
+  Portfolio p({std::make_shared<ThrowingCandidate>(),
+               std::make_shared<LocalFirst>()});
+  PortfolioReport rep;
+  const Assignment plan = p.assign_with_report(inst, rep);
+  EXPECT_EQ(rep.candidates_failed, 1u);
+  EXPECT_EQ(rep.candidates_tried, 1u);
+  EXPECT_EQ(rep.winner, "LocalFirst");
+  EXPECT_EQ(plan.size(), inst.num_tasks());
+}
+
+TEST(PortfolioTest, BudgetStarvedLpHtaStillYieldsAPlan) {
+  const auto s = scenario(16);
+  const HtaInstance inst(s.topology, s.tasks);
+  LpHtaOptions lp;
+  lp.max_lp_iterations = 1;  // forces SolverError from the LP rung
+  Portfolio p({std::make_shared<LpHta>(lp), std::make_shared<LocalFirst>()});
+  PortfolioReport rep;
+  const Assignment plan = p.assign_with_report(inst, rep);
+  EXPECT_EQ(rep.candidates_failed, 1u);
+  EXPECT_EQ(rep.winner, "LocalFirst");
+  EXPECT_EQ(plan.size(), inst.num_tasks());
+}
+
+TEST(PortfolioTest, AllCandidatesFailingRethrows) {
+  const auto s = scenario(17);
+  const HtaInstance inst(s.topology, s.tasks);
+  Portfolio p({std::make_shared<ThrowingCandidate>(),
+               std::make_shared<ThrowingCandidate>()});
+  EXPECT_THROW(p.assign(inst), SolverError);
+}
+
 TEST(PortfolioTest, PrefersFeasibleOverInfeasibleAtEqualUnsatisfied) {
   // AllToC violates many deadlines; a portfolio with AllToC + LP-HTA must
   // pick LP-HTA.

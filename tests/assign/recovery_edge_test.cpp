@@ -1,0 +1,134 @@
+// replan_after_device_failure edge cases: a device that is simultaneously
+// an issuer and an external data owner of *different* tasks, a device with
+// no tasks at all, double-role tasks counted once, and the repaired plan
+// replayed under the same FaultSchedule touching no dead hardware.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "assign/recovery.h"
+#include "sim/simulator.h"
+#include "workload/scenario.h"
+
+namespace mecsched::assign {
+namespace {
+
+mec::Topology topology(std::uint64_t seed = 31) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = 1;
+  cfg.num_devices = 8;
+  cfg.num_base_stations = 2;
+  return workload::make_scenario(cfg).topology;
+}
+
+mec::Task task(std::size_t issuer, std::size_t index, double beta_bytes,
+               std::size_t owner) {
+  mec::Task t;
+  t.id = {issuer, index};
+  t.local_bytes = 100e3;
+  t.external_bytes = beta_bytes;
+  t.external_owner = owner;
+  t.deadline_s = 60.0;
+  return t;
+}
+
+TEST(RecoveryEdgeTest, IssuerAndOwnerRolesOfOneDeviceAreBothCounted) {
+  const mec::Topology topo = topology();
+  // Device 2 issues task 0 and owns the external data of tasks 1 and 2;
+  // task 3 is untouched.
+  const std::vector<mec::Task> tasks = {
+      task(2, 0, 0.0, 2),     // issued by the failing device
+      task(3, 0, 50e3, 2),    // external data on the failing device
+      task(4, 0, 80e3, 2),    // ditto
+      task(5, 0, 20e3, 6),    // unrelated
+  };
+  const HtaInstance inst(topo, tasks);
+  Assignment plan;
+  plan.decisions.assign(tasks.size(), Decision::kLocal);
+
+  const RecoveryResult r = replan_after_device_failure(inst, plan, 2);
+  EXPECT_EQ(r.lost_issued, 1u);
+  EXPECT_EQ(r.lost_data, 2u);
+  EXPECT_EQ(r.assignment.decisions[0], Decision::kCancelled);
+  EXPECT_EQ(r.assignment.decisions[1], Decision::kCancelled);
+  EXPECT_EQ(r.assignment.decisions[2], Decision::kCancelled);
+  EXPECT_EQ(r.assignment.decisions[3], Decision::kLocal);
+}
+
+TEST(RecoveryEdgeTest, SelfOwnedTaskOfTheDeadDeviceCountsOnceAsIssued) {
+  const mec::Topology topo = topology();
+  // The failing device issues a task whose external data it also owns: the
+  // loss is recorded once, as an issued loss.
+  const std::vector<mec::Task> tasks = {task(2, 0, 70e3, 2)};
+  const HtaInstance inst(topo, tasks);
+  Assignment plan;
+  plan.decisions.assign(tasks.size(), Decision::kEdge);
+  const RecoveryResult r = replan_after_device_failure(inst, plan, 2);
+  EXPECT_EQ(r.lost_issued, 1u);
+  EXPECT_EQ(r.lost_data, 0u);
+}
+
+TEST(RecoveryEdgeTest, DeviceWithNoTasksLosesNothing) {
+  const mec::Topology topo = topology();
+  const std::vector<mec::Task> tasks = {
+      task(1, 0, 0.0, 1),
+      task(3, 0, 40e3, 4),
+  };
+  const HtaInstance inst(topo, tasks);
+  Assignment plan;
+  plan.decisions.assign(tasks.size(), Decision::kLocal);
+  const RecoveryResult r = replan_after_device_failure(inst, plan, 7);
+  EXPECT_EQ(r.lost_issued, 0u);
+  EXPECT_EQ(r.lost_data, 0u);
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    EXPECT_EQ(r.assignment.decisions[t], plan.decisions[t]);
+  }
+}
+
+TEST(RecoveryEdgeTest, AlreadyCancelledTasksAreNotDoubleCounted) {
+  const mec::Topology topo = topology();
+  const std::vector<mec::Task> tasks = {task(2, 0, 0.0, 2),
+                                        task(3, 0, 50e3, 2)};
+  const HtaInstance inst(topo, tasks);
+  Assignment plan;
+  plan.decisions = {Decision::kCancelled, Decision::kCancelled};
+  const RecoveryResult r = replan_after_device_failure(inst, plan, 2);
+  EXPECT_EQ(r.lost_issued, 0u);
+  EXPECT_EQ(r.lost_data, 0u);
+}
+
+TEST(RecoveryEdgeTest, RepairedPlanSurvivesTheSameFaultSchedule) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = 32;
+  cfg.num_tasks = 40;
+  cfg.num_devices = 10;
+  cfg.num_base_stations = 2;
+  const workload::Scenario s = workload::make_scenario(cfg);
+  const HtaInstance inst(s.topology, s.tasks);
+  const Assignment plan = LpHta().assign(inst);
+
+  const std::size_t dead = 3;
+  const RecoveryResult repaired = replan_after_device_failure(inst, plan, dead);
+
+  // Replay the repaired plan through a FaultSchedule (not the legacy
+  // single-failure fields) that also degrades every surviving link: no
+  // task may touch the dead hardware, so none may fail.
+  std::vector<sim::FaultEvent> events = {
+      {0.0, sim::FaultKind::kDeviceFail, dead, 1.0}};
+  for (std::size_t d = 0; d < s.topology.num_devices(); ++d) {
+    if (d != dead) events.push_back({0.0, sim::FaultKind::kLinkDegrade, d, 0.8});
+  }
+  sim::SimOptions opts;
+  opts.faults = sim::FaultSchedule(events);
+  const sim::SimResult r = sim::simulate(inst, repaired.assignment, opts);
+  EXPECT_EQ(r.failed_tasks, 0u);
+  std::size_t placed = 0;
+  for (const sim::TaskTimeline& tl : r.timelines) placed += tl.placed ? 1 : 0;
+  EXPECT_EQ(placed + repaired.assignment.cancelled(), inst.num_tasks());
+}
+
+}  // namespace
+}  // namespace mecsched::assign

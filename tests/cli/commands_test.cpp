@@ -236,6 +236,36 @@ TEST_F(CliTest, PortfolioAndBrdAlgorithms) {
   }
 }
 
+TEST_F(CliTest, ChurnCommandReportsResilienceCounters) {
+  ASSERT_EQ(run_cli({"churn", "--tasks", "30", "--devices", "10", "--stations",
+                     "2", "--seed", "3", "--mtbf", "6", "--outage-rate",
+                     "0.05", "--horizon", "20"}),
+            0)
+      << err_.str();
+  const io::Json j = io::Json::parse(out_.str());
+  EXPECT_DOUBLE_EQ(j.at("tasks").as_number(), 30.0);
+  EXPECT_GT(j.at("fault_events").as_number(), 0.0);
+  EXPECT_GE(j.at("device_failures").as_number(), 1.0);
+  EXPECT_GE(j.at("unsatisfied_rate").as_number(), 0.0);
+  EXPECT_LE(j.at("unsatisfied_rate").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      j.at("completed").as_number() + j.at("unsatisfied").as_number(), 30.0);
+  const io::Json& rungs = j.at("fallback_rungs");
+  EXPECT_TRUE(rungs.contains("LP-HTA"));
+  EXPECT_TRUE(rungs.contains("HGOS"));
+  EXPECT_TRUE(rungs.contains("LocalFirst"));
+}
+
+TEST_F(CliTest, ChurnCommandIsDeterministicPerSeed) {
+  const std::vector<std::string> argv = {"churn",  "--tasks", "20", "--seed",
+                                         "8",      "--mtbf",  "10", "--horizon",
+                                         "15"};
+  ASSERT_EQ(run_cli(argv), 0) << err_.str();
+  const std::string first = out_.str();
+  ASSERT_EQ(run_cli(argv), 0);
+  EXPECT_EQ(out_.str(), first);
+}
+
 TEST_F(CliTest, ExactAlgorithmOnTinyScenario) {
   ASSERT_EQ(run_cli({"generate", "--tasks", "6", "--devices", "3",
                      "--stations", "1", "--out", path("s.json")}),

@@ -1,0 +1,110 @@
+// FallbackChain tests: rung order, SolverError absorption, the forced
+// LP-HTA iteration-budget blowup, and the all-rungs-failed rethrow.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+
+#include "assign/assigner.h"
+#include "control/fallback.h"
+#include "workload/scenario.h"
+
+namespace mecsched::control {
+namespace {
+
+using assign::Assignment;
+using assign::Decision;
+using assign::HtaInstance;
+
+workload::Scenario scenario(std::uint64_t seed, std::size_t tasks = 30) {
+  workload::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = tasks;
+  cfg.num_devices = 10;
+  cfg.num_base_stations = 2;
+  return workload::make_scenario(cfg);
+}
+
+class ThrowingAssigner : public assign::Assigner {
+ public:
+  Assignment assign(const HtaInstance&) const override {
+    throw SolverError("stub blowup");
+  }
+  std::string name() const override { return "Throwing"; }
+};
+
+class AllLocalAssigner : public assign::Assigner {
+ public:
+  Assignment assign(const HtaInstance& instance) const override {
+    Assignment a;
+    a.decisions.assign(instance.num_tasks(), Decision::kLocal);
+    return a;
+  }
+  std::string name() const override { return "AllLocal"; }
+};
+
+TEST(FallbackChainTest, HealthyLpHtaServesRungZero) {
+  const auto s = scenario(1);
+  const HtaInstance inst(s.topology, s.tasks);
+  FallbackRung served = FallbackRung::kLocalFirst;
+  const Assignment plan = FallbackChain().assign(inst, served);
+  EXPECT_EQ(served, FallbackRung::kLpHta);
+  EXPECT_EQ(plan.size(), inst.num_tasks());
+}
+
+TEST(FallbackChainTest, IterationBudgetBlowupFallsThroughToHgos) {
+  const auto s = scenario(2, 60);
+  const HtaInstance inst(s.topology, s.tasks);
+  assign::LpHtaOptions lp;
+  lp.max_lp_iterations = 1;  // the cluster LPs cannot finish in one pivot
+  FallbackRung served = FallbackRung::kLpHta;
+  const Assignment plan = FallbackChain(lp).assign(inst, served);
+  EXPECT_EQ(served, FallbackRung::kHgos);
+  EXPECT_EQ(plan.size(), inst.num_tasks());
+}
+
+TEST(FallbackChainTest, ThrowingRungsAreSkippedInOrder) {
+  const auto s = scenario(3, 10);
+  const HtaInstance inst(s.topology, s.tasks);
+  FallbackChain chain({std::make_shared<ThrowingAssigner>(),
+                       std::make_shared<AllLocalAssigner>()});
+  FallbackRung served = FallbackRung::kLpHta;
+  const Assignment plan = chain.assign(inst, served);
+  EXPECT_EQ(served, FallbackRung::kHgos);  // slot 1 by position
+  EXPECT_EQ(plan.count(Decision::kLocal), inst.num_tasks());
+}
+
+TEST(FallbackChainTest, AllRungsFailingRethrows) {
+  const auto s = scenario(4, 5);
+  const HtaInstance inst(s.topology, s.tasks);
+  FallbackChain chain({std::make_shared<ThrowingAssigner>(),
+                       std::make_shared<ThrowingAssigner>()});
+  FallbackRung served = FallbackRung::kLpHta;
+  EXPECT_THROW(chain.assign(inst, served), SolverError);
+}
+
+TEST(FallbackChainTest, CustomChainSizeIsValidated) {
+  EXPECT_THROW(FallbackChain(std::vector<std::shared_ptr<assign::Assigner>>{}),
+               ModelError);
+  const std::vector<std::shared_ptr<assign::Assigner>> four(
+      4, std::make_shared<AllLocalAssigner>());
+  EXPECT_THROW(FallbackChain{four}, ModelError);
+}
+
+TEST(RungHistogramTest, TallyAndTotal) {
+  RungHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  h[FallbackRung::kLpHta] += 3;
+  h[FallbackRung::kLocalFirst] += 1;
+  EXPECT_EQ(h.at(FallbackRung::kLpHta), 3u);
+  EXPECT_EQ(h.at(FallbackRung::kHgos), 0u);
+  EXPECT_EQ(h.at(FallbackRung::kLocalFirst), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(to_string(FallbackRung::kLpHta), "LP-HTA");
+  EXPECT_EQ(to_string(FallbackRung::kHgos), "HGOS");
+  EXPECT_EQ(to_string(FallbackRung::kLocalFirst), "LocalFirst");
+}
+
+}  // namespace
+}  // namespace mecsched::control

@@ -1,0 +1,152 @@
+// Fault-schedule generator tests: determinism, churn alternation,
+// correlated cell outages, fading factors, and config validation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+
+#include "workload/faults.h"
+#include "workload/scenario.h"
+
+namespace mecsched::workload {
+namespace {
+
+using sim::FaultEvent;
+using sim::FaultKind;
+using sim::FaultSchedule;
+
+mec::Topology topology(std::uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.num_tasks = 1;
+  cfg.num_devices = 12;
+  cfg.num_base_stations = 3;
+  return make_scenario(cfg).topology;
+}
+
+TEST(FaultGenTest, DefaultConfigIsQuiet) {
+  const FaultSchedule s = make_fault_schedule(FaultModelConfig{}, topology());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FaultGenTest, DeterministicInSeed) {
+  const mec::Topology topo = topology();
+  FaultModelConfig cfg;
+  cfg.device_mtbf_s = 10.0;
+  cfg.station_outage_rate_per_s = 0.05;
+  cfg.correlated_device_prob = 0.3;
+  cfg.link_fade_rate_per_s = 0.1;
+  cfg.seed = 42;
+  const FaultSchedule a = make_fault_schedule(cfg, topo);
+  const FaultSchedule b = make_fault_schedule(cfg, topo);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time_s, b.events()[i].time_s);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].target, b.events()[i].target);
+  }
+  cfg.seed = 43;
+  const FaultSchedule c = make_fault_schedule(cfg, topo);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a.events()[i].time_s != c.events()[i].time_s;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultGenTest, DeviceChurnAlternatesPerDevice) {
+  const mec::Topology topo = topology();
+  FaultModelConfig cfg;
+  cfg.device_mtbf_s = 5.0;
+  cfg.device_mttr_s = 2.0;
+  cfg.horizon_s = 100.0;
+  const FaultSchedule s = make_fault_schedule(cfg, topo);
+  EXPECT_GT(s.device_failures(), 0u);
+
+  std::map<std::size_t, std::vector<FaultEvent>> per_device;
+  for (const FaultEvent& e : s.events()) {
+    ASSERT_LT(e.time_s, cfg.horizon_s);
+    ASSERT_GE(e.time_s, 0.0);
+    per_device[e.target].push_back(e);
+  }
+  for (const auto& [dev, events] : per_device) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const FaultKind expected =
+          i % 2 == 0 ? FaultKind::kDeviceFail : FaultKind::kDeviceRecover;
+      EXPECT_EQ(events[i].kind, expected) << "device " << dev << " event " << i;
+      if (i > 0) {
+        EXPECT_GT(events[i].time_s, events[i - 1].time_s);
+      }
+    }
+  }
+}
+
+TEST(FaultGenTest, CorrelatedOutagesDropTheWholeCluster) {
+  const mec::Topology topo = topology();
+  FaultModelConfig cfg;
+  cfg.station_outage_rate_per_s = 0.05;
+  cfg.correlated_device_prob = 1.0;  // every cluster device drops
+  cfg.horizon_s = 120.0;
+  const FaultSchedule s = make_fault_schedule(cfg, topo);
+  ASSERT_GT(s.station_failures(), 0u);
+
+  for (const FaultEvent& e : s.events()) {
+    if (e.kind != FaultKind::kStationFail) continue;
+    // Every device of the cluster must be down the instant the cell is.
+    for (std::size_t dev : topo.cluster(e.target)) {
+      EXPECT_FALSE(s.device_up(dev, e.time_s))
+          << "station " << e.target << " at t=" << e.time_s << " device "
+          << dev;
+    }
+  }
+}
+
+TEST(FaultGenTest, FadeFactorsRespectTheFloor) {
+  const mec::Topology topo = topology();
+  FaultModelConfig cfg;
+  cfg.link_fade_rate_per_s = 0.2;
+  cfg.min_degrade_factor = 0.4;
+  cfg.horizon_s = 80.0;
+  const FaultSchedule s = make_fault_schedule(cfg, topo);
+  bool saw_degrade = false;
+  for (const FaultEvent& e : s.events()) {
+    if (e.kind != FaultKind::kLinkDegrade) continue;
+    saw_degrade = true;
+    EXPECT_GE(e.factor, cfg.min_degrade_factor);
+    EXPECT_LT(e.factor, 1.0);
+  }
+  EXPECT_TRUE(saw_degrade);
+}
+
+TEST(FaultGenTest, ValidatesConfig) {
+  const mec::Topology topo = topology();
+  FaultModelConfig cfg;
+  cfg.horizon_s = 0.0;
+  EXPECT_THROW(make_fault_schedule(cfg, topo), ModelError);
+  cfg = FaultModelConfig{};
+  cfg.min_degrade_factor = 0.0;
+  EXPECT_THROW(make_fault_schedule(cfg, topo), ModelError);
+  cfg = FaultModelConfig{};
+  cfg.correlated_device_prob = 1.5;
+  EXPECT_THROW(make_fault_schedule(cfg, topo), ModelError);
+  cfg = FaultModelConfig{};
+  cfg.device_mtbf_s = 1.0;
+  cfg.device_mttr_s = 0.0;
+  EXPECT_THROW(make_fault_schedule(cfg, topo), ModelError);
+}
+
+TEST(FaultGenTest, TargetsFitTheGeneratingTopology) {
+  const mec::Topology topo = topology();
+  FaultModelConfig cfg;
+  cfg.device_mtbf_s = 4.0;
+  cfg.station_outage_rate_per_s = 0.05;
+  cfg.link_fade_rate_per_s = 0.1;
+  const FaultSchedule s = make_fault_schedule(cfg, topo);
+  EXPECT_NO_THROW(
+      s.validate_against(topo.num_devices(), topo.num_base_stations()));
+}
+
+}  // namespace
+}  // namespace mecsched::workload
