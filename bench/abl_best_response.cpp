@@ -13,6 +13,7 @@
 #include "workload/scenario.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_best_response");
   using namespace mecsched;
   bench::print_header("Ablation", "LP-HTA vs best-response dynamics (BRD)",
                       "tasks 100..400, 50 devices, 5 stations; BRD = selfish "

@@ -11,6 +11,7 @@
 #include "workload/shared_data.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_byte_weighted_division");
   using namespace mecsched;
   bench::print_header("Ablation", "count- vs byte-weighted DTA-Workload",
                       "block sizes U[100 kB, 100*spread kB]; 150 tasks, "

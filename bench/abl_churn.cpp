@@ -16,6 +16,7 @@
 #include "workload/faults.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_churn");
   using namespace mecsched;
   bench::print_header(
       "Ablation", "resilient controller vs one-shot replay under churn",

@@ -11,6 +11,7 @@
 #include "workload/scenario.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_deadline_tightness");
   using namespace mecsched;
   bench::print_header("Ablation", "deadline tightness vs LP-HTA behaviour",
                       "slack multiplier 0.8..3.0 on the best placement "

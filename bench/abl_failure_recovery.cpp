@@ -14,6 +14,7 @@
 #include "workload/scenario.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_failure_recovery");
   using namespace mecsched;
   bench::print_header("Ablation", "device failure blast radius and recovery",
                       "kill device 0 at t=0 under an LP-HTA plan; tasks "

@@ -12,6 +12,7 @@
 #include "workload/arrivals.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_online_vs_offline");
   using namespace mecsched;
   bench::print_header("Ablation", "online vs offline LP-HTA",
                       "200 tasks, Poisson arrivals 5..80 /s, epoch 0.5 s, "

@@ -12,6 +12,7 @@
 #include "workload/scenario.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_partial_offloading");
   using namespace mecsched;
   bench::print_header("Ablation", "binary LP-HTA vs fluid partial offloading",
                       "input 1000..5000 kB, 100 tasks; fluid = per-task "

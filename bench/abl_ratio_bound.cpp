@@ -12,6 +12,7 @@
 #include "workload/scenario.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_ratio_bound");
   using namespace mecsched;
   bench::print_header("Ablation", "LP-HTA empirical ratio vs exact optimum",
                       "8 devices, 2 stations, tasks 8..24, 5 seeds/cell; "

@@ -16,6 +16,7 @@
 #include "workload/scenario.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("abl_sim_vs_analytic");
   using namespace mecsched;
   bench::print_header("Ablation", "analytic model vs discrete-event sim",
                       "LP-HTA plans, tasks 50..250, 50 devices, 5 stations; "

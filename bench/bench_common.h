@@ -9,9 +9,13 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "metrics/series.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace mecsched::bench {
 
@@ -45,6 +49,56 @@ inline void maybe_write_csv(const metrics::SeriesCollector& series,
   series.write_csv(path);
   std::cout << "csv: " << path << '\n';
 }
+
+inline std::string env_or_empty(const char* key) {
+  const char* v = std::getenv(key);
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+// Times the whole binary under an obs::ScopedTimer (so the wall-clock the
+// bench prints and the `bench.<name>` span in a trace agree by
+// construction) and, mirroring the CLI's global flags, honors
+//
+//   MECSCHED_TRACE_OUT=trace.json   write a Chrome trace of the run
+//   MECSCHED_METRICS_OUT=m.prom     write the registry as Prometheus text
+//   MECSCHED_OBS_SUMMARY=1          print the metric summary table
+//
+// Declare one at the top of main(); everything happens on destruction.
+class ObsSession {
+ public:
+  explicit ObsSession(std::string name) : name_(std::move(name)) {
+    trace_path_ = env_or_empty("MECSCHED_TRACE_OUT");
+    metrics_path_ = env_or_empty("MECSCHED_METRICS_OUT");
+    summary_ = !env_or_empty("MECSCHED_OBS_SUMMARY").empty();
+    if (!trace_path_.empty()) obs::Tracer::global().enable();
+    timer_.emplace("bench." + name_, "bench");
+  }
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  ~ObsSession() {
+    std::cout << "wall: " << timer_->elapsed_s() << " s\n";
+    timer_.reset();  // close the span so it lands in the trace + registry
+    if (!trace_path_.empty()) {
+      obs::write_chrome_trace(obs::Tracer::global(), trace_path_);
+      obs::Tracer::global().disable();
+      std::cout << "trace: " << trace_path_ << '\n';
+    }
+    if (!metrics_path_.empty()) {
+      obs::write_prometheus(obs::Registry::global(), metrics_path_);
+      std::cout << "metrics: " << metrics_path_ << '\n';
+    }
+    if (summary_) std::cout << obs::summary_table(obs::Registry::global());
+  }
+
+ private:
+  std::string name_;
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool summary_ = false;
+  std::optional<obs::ScopedTimer> timer_;
+};
 
 // Prints a PASS/FAIL line for one expected qualitative relationship. The
 // binaries exit non-zero if any expectation fails, so `for b in

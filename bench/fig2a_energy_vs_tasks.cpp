@@ -10,6 +10,7 @@
 #include "bench/holistic_sweep.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("fig2a_energy_vs_tasks");
   using namespace mecsched;
   bench::print_header("Fig. 2(a)", "energy cost vs number of tasks",
                       "tasks 100..450, max input 3000 kB, 50 devices, "

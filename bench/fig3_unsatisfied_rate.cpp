@@ -11,6 +11,7 @@
 #include "bench/holistic_sweep.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("fig3_unsatisfied_rate");
   using namespace mecsched;
   bench::print_header("Fig. 3", "unsatisfied task rate vs number of tasks",
                       "tasks 100..450, max input 3000 kB, 50 devices, "

@@ -9,6 +9,7 @@
 #include "bench/holistic_sweep.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("fig4a_latency_vs_tasks");
   using namespace mecsched;
   bench::print_header("Fig. 4(a)", "average latency vs number of tasks",
                       "tasks 100..450, max input 3000 kB, 50 devices, "

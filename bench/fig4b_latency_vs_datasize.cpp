@@ -9,6 +9,7 @@
 #include "bench/holistic_sweep.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("fig4b_latency_vs_datasize");
   using namespace mecsched;
   bench::print_header("Fig. 4(b)", "average latency vs max input data size",
                       "input 1000..5000 kB, 100 tasks, 50 devices, "

@@ -16,6 +16,7 @@
 #include "workload/shared_data.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("fig5a_dta_energy_vs_tasks");
   using namespace mecsched;
   bench::print_header("Fig. 5(a)", "energy cost vs number of tasks (DTA)",
                       "tasks 100..450, max input 3000 kB, eta 0.2, "

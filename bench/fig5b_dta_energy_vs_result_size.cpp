@@ -18,6 +18,7 @@
 #include "workload/shared_data.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("fig5b_dta_energy_vs_result_size");
   using namespace mecsched;
   bench::print_header("Fig. 5(b)", "energy cost vs result size (DTA)",
                       "result = {0.4X, 0.2X, 0.1X, 0.05X, const 1 kB}; "

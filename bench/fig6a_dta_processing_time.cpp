@@ -11,6 +11,7 @@
 #include "workload/shared_data.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("fig6a_dta_processing_time");
   using namespace mecsched;
   bench::print_header("Fig. 6(a)", "processing time (DTA-Workload vs Number)",
                       "input 1200..2000 kB, 200 tasks, 50 devices, "

@@ -11,6 +11,7 @@
 #include "workload/shared_data.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("fig6b_dta_involved_devices");
   using namespace mecsched;
   bench::print_header("Fig. 6(b)", "involved devices (DTA-Workload vs Number)",
                       "tasks 100..900, max input 2000 kB, 50 devices, "

@@ -9,6 +9,7 @@
 #include "mec/parameters.h"
 
 int main() {
+  const mecsched::bench::ObsSession obs_session("table1_parameters");
   using namespace mecsched;
   bench::print_header("Table I", "parameters of wireless networks",
                       "paper values, as compiled into mec::SystemParameters");

@@ -16,6 +16,8 @@
 #include "lp/problem.h"
 #include "lp/scaling.h"
 #include "lp/simplex.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace mecsched::assign {
 namespace {
@@ -82,8 +84,17 @@ struct ClusterOutcome {
   std::size_t lp_iterations = 0;
 };
 
+// Renders the per-cluster span args only when a trace is being captured —
+// the string build is not free and the spans are per-cluster-per-epoch.
+std::string cluster_args(std::size_t b) {
+  return obs::Tracer::global().enabled() ? "\"station\":" + std::to_string(b)
+                                         : std::string();
+}
+
 ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
                              const LpHtaOptions& options) {
+  const obs::ScopedTimer cluster_span("lp_hta.cluster", "assign",
+                                      cluster_args(b));
   const mec::Topology& topo = instance.topology();
   ClusterOutcome out;
 
@@ -109,7 +120,14 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
   }
   const lp::Problem& p = cluster.problem;
 
-  const lp::Solution relax = solve_relaxation(p, options);
+  lp::Solution relax;
+  {
+    // Step 1 — the paper's "solve the relaxation" phase. The nested
+    // lp.presolve / lp.simplex.solve / lp.ipm.solve spans decompose it.
+    const obs::ScopedTimer relax_span("lp_hta.relax", "assign",
+                                      cluster_args(b));
+    relax = solve_relaxation(p, options);
+  }
   out.lp_iterations = relax.iterations;
   // E_LP^(OPT) over the *real* placement columns (the cancel slack's
   // penalty is an artifact, not energy).
@@ -119,37 +137,49 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
     }
   }
 
+  // Step 4–6 migrations (deadline repair + capacity evictions), reported
+  // as the "repair pressure" of this cluster.
+  std::size_t repair_moves = 0;
+
   // ---- Steps 2+3: round each task to argmax_l X[i,j,l] (the cancel slack
   // competes too; tasks rounding to it are cancelled).
-  for (std::size_t idx = 0; idx < active.size(); ++idx) {
-    const std::size_t t = active[idx];
-    std::size_t q = 0;
-    for (std::size_t l = 1; l < 4; ++l) {
-      if (relax.x[column(idx, l)] > relax.x[column(idx, q)]) q = l;
-    }
-    if (q == 3) {
-      decide[t] = Decision::kCancelled;
-      ++out.cancelled_capacity;
-      continue;
-    }
-    out.rounded_energy += instance.energy(t, kPlacements[q]);
-
-    // ---- Step 4: deadline repair. If the rounded placement misses the
-    // deadline, take the deadline-feasible placement with the largest
-    // fractional mass (guaranteed to exist after the pre-step).
-    if (!instance.meets_deadline(t, kPlacements[q])) {
-      std::size_t best = 3;
-      for (std::size_t l = 0; l < 3; ++l) {
-        if (!instance.meets_deadline(t, kPlacements[l])) continue;
-        if (best == 3 ||
-            relax.x[column(idx, l)] > relax.x[column(idx, best)]) {
-          best = l;
-        }
+  {
+    const obs::ScopedTimer round_span("lp_hta.round", "assign",
+                                      cluster_args(b));
+    for (std::size_t idx = 0; idx < active.size(); ++idx) {
+      const std::size_t t = active[idx];
+      std::size_t q = 0;
+      for (std::size_t l = 1; l < 4; ++l) {
+        if (relax.x[column(idx, l)] > relax.x[column(idx, q)]) q = l;
       }
-      q = best;  // best < 3 by schedulability
+      if (q == 3) {
+        decide[t] = Decision::kCancelled;
+        ++out.cancelled_capacity;
+        continue;
+      }
+      out.rounded_energy += instance.energy(t, kPlacements[q]);
+
+      // ---- Step 4: deadline repair. If the rounded placement misses the
+      // deadline, take the deadline-feasible placement with the largest
+      // fractional mass (guaranteed to exist after the pre-step).
+      if (!instance.meets_deadline(t, kPlacements[q])) {
+        std::size_t best = 3;
+        for (std::size_t l = 0; l < 3; ++l) {
+          if (!instance.meets_deadline(t, kPlacements[l])) continue;
+          if (best == 3 ||
+              relax.x[column(idx, l)] > relax.x[column(idx, best)]) {
+            best = l;
+          }
+        }
+        q = best;  // best < 3 by schedulability
+        ++repair_moves;
+      }
+      decide[t] = to_decision(kPlacements[q]);
     }
-    decide[t] = to_decision(kPlacements[q]);
   }
+
+  const obs::ScopedTimer repair_span("lp_hta.repair", "assign",
+                                     cluster_args(b));
 
   // ---- Step 5: per-device capacity repair.
   for (const std::size_t device : cluster.device_ids) {
@@ -173,6 +203,7 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
       if (instance.meets_deadline(t, Placement::kEdge)) {
         decide[t] = Decision::kEdge;
         load -= instance.task(t).resource;
+        ++repair_moves;
       }
     }
     // Pass 2: still over — cancel greedily by resource occupation.
@@ -182,6 +213,7 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
         decide[t] = Decision::kCancelled;
         ++out.cancelled_capacity;
         load -= instance.task(t).resource;
+        ++repair_moves;
       }
     }
   }
@@ -206,6 +238,7 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
       if (instance.meets_deadline(t, Placement::kCloud)) {
         decide[t] = Decision::kCloud;
         load -= instance.task(t).resource;
+        ++repair_moves;
       }
     }
     for (std::size_t t : on_edge) {
@@ -214,9 +247,16 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
         decide[t] = Decision::kCancelled;
         ++out.cancelled_capacity;
         load -= instance.task(t).resource;
+        ++repair_moves;
       }
     }
   }
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("lp_hta.clusters_solved").add();
+  reg.counter("lp_hta.repair_moves").add(repair_moves);
+  reg.counter("lp_hta.cancelled_infeasible").add(out.cancelled_infeasible);
+  reg.counter("lp_hta.cancelled_capacity").add(out.cancelled_capacity);
 
   out.decisions.reserve(decide.size());
   for (const auto& [t, d] : decide) out.decisions.emplace_back(t, d);
@@ -232,6 +272,7 @@ Assignment LpHta::assign(const HtaInstance& instance) const {
 
 Assignment LpHta::assign_with_report(const HtaInstance& instance,
                                      LpHtaReport& report) const {
+  const obs::ScopedTimer span("lp_hta.assign", "assign");
   report = LpHtaReport{};
   Assignment out;
   out.decisions.assign(instance.num_tasks(), Decision::kCancelled);
@@ -275,6 +316,15 @@ Assignment LpHta::assign_with_report(const HtaInstance& instance,
   if (instance.num_tasks() > 0 && min_e1 > 0.0 &&
       std::isfinite(min_e1)) {
     report.corollary1_bound = max_e3 / min_e1;
+  }
+
+  // Integrality gap of this instance: how far rounding + repair pushed the
+  // energy above the LP lower bound (0 = rounding was free).
+  if (report.lp_objective > 0.0) {
+    const double gap = report.final_energy / report.lp_objective - 1.0;
+    obs::Registry& reg = obs::Registry::global();
+    reg.gauge("lp_hta.last_integrality_gap").set(gap);
+    reg.histogram("lp_hta.integrality_gap").observe(gap);
   }
   return out;
 }

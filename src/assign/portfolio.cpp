@@ -7,6 +7,8 @@
 #include "assign/hgos.h"
 #include "assign/lp_hta.h"
 #include "common/error.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace mecsched::assign {
 
@@ -31,6 +33,7 @@ Assignment Portfolio::assign(const HtaInstance& instance) const {
 
 Assignment Portfolio::assign_with_report(const HtaInstance& instance,
                                          PortfolioReport& report) const {
+  const obs::ScopedTimer span("portfolio.assign", "assign");
   report = PortfolioReport{};
 
   struct Score {
@@ -48,17 +51,25 @@ Assignment Portfolio::assign_with_report(const HtaInstance& instance,
   Assignment best;
   Score best_score;
   std::string last_error;
+  obs::Registry& reg = obs::Registry::global();
+  obs::Tracer& tracer = obs::Tracer::global();
   for (const auto& candidate : candidates_) {
     Assignment plan;
     try {
+      const obs::ScopedTimer candidate_span(
+          "portfolio.candidate", "assign",
+          tracer.enabled() ? "\"name\":\"" + candidate->name() + "\""
+                           : std::string());
       plan = candidate->assign(instance);
     } catch (const SolverError& e) {
       // A solver blowup in one candidate must not take down the portfolio:
       // skip it and let the others compete.
       ++report.candidates_failed;
+      reg.counter("portfolio.candidates_failed").add();
       last_error = candidate->name() + ": " + e.what();
       continue;
     }
+    reg.counter("portfolio.candidates_tried").add();
     const Metrics m = evaluate(instance, plan);
     Score score;
     score.unsatisfied = m.cancelled + m.deadline_violations;
@@ -76,6 +87,10 @@ Assignment Portfolio::assign_with_report(const HtaInstance& instance,
     throw SolverError("portfolio: every candidate failed; last error: " +
                       last_error);
   }
+  reg.counter("portfolio.won." + report.winner).add();
+  tracer.instant("portfolio.winner", "assign",
+                 tracer.enabled() ? "\"name\":\"" + report.winner + "\""
+                                  : std::string());
   return best;
 }
 

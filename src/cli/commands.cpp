@@ -23,6 +23,9 @@
 #include "mec/cost_breakdown.h"
 #include "io/shared_codec.h"
 #include "io/trace_codec.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 #include "workload/arrivals.h"
 #include "workload/faults.h"
@@ -75,6 +78,60 @@ void emit(const io::Json& j, const ArgParser& args, std::ostream& out) {
   }
 }
 
+// Global observability flags, accepted by every command. They are stripped
+// from the token stream before the per-command ArgParsers (which reject
+// unknown flags) run.
+struct ObsFlags {
+  std::string trace_path;    // --trace <file>: Chrome trace_event JSON
+  std::string metrics_path;  // --metrics-out <file>: Prometheus text
+  bool summary = false;      // --obs-summary: console table after the run
+
+  bool active() const {
+    return summary || !trace_path.empty() || !metrics_path.empty();
+  }
+};
+
+ObsFlags strip_obs_flags(std::vector<std::string>& tokens) {
+  ObsFlags flags;
+  std::vector<std::string> kept;
+  kept.reserve(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i] == "--trace" || tokens[i] == "--metrics-out") {
+      MECSCHED_REQUIRE(i + 1 < tokens.size(),
+                       tokens[i] + " requires a file argument");
+      (tokens[i] == "--trace" ? flags.trace_path : flags.metrics_path) =
+          tokens[i + 1];
+      ++i;
+    } else if (tokens[i] == "--obs-summary") {
+      flags.summary = true;
+    } else {
+      kept.push_back(tokens[i]);
+    }
+  }
+  tokens = std::move(kept);
+  return flags;
+}
+
+int dispatch(const std::string& command, const std::vector<std::string>& rest,
+             std::ostream& out, std::ostream& err) {
+  if (command == "generate") return cmd_generate(rest, out);
+  if (command == "assign") return cmd_assign(rest, out);
+  if (command == "evaluate") return cmd_evaluate(rest, out);
+  if (command == "simulate") return cmd_simulate(rest, out);
+  if (command == "compare") return cmd_compare(rest, out);
+  if (command == "generate-shared") return cmd_generate_shared(rest, out);
+  if (command == "sensitivity") return cmd_sensitivity(rest, out);
+  if (command == "breakdown") return cmd_breakdown(rest, out);
+  if (command == "recover") return cmd_recover(rest, out);
+  if (command == "generate-arrivals") return cmd_generate_arrivals(rest, out);
+  if (command == "online") return cmd_online(rest, out);
+  if (command == "trace") return cmd_trace(rest, out);
+  if (command == "dta") return cmd_dta(rest, out);
+  if (command == "churn") return cmd_churn(rest, out);
+  err << "unknown command: " << command << "\n\n" << usage();
+  return 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -103,6 +160,13 @@ std::string usage() {
       "  dta       --scenario shared.json [--strategy workload|workload-bytes"
       "|number]\n"
       "            [--scheduler lp-hta|greedy] [--out result.json]\n"
+      "\n"
+      "global flags (any command):\n"
+      "  --trace out.json      write a Chrome trace_event file of the run\n"
+      "                        (open in chrome://tracing or ui.perfetto.dev)\n"
+      "  --metrics-out out.prom  write solver/controller metrics in the\n"
+      "                        Prometheus text format\n"
+      "  --obs-summary         print a metric summary table after the run\n"
       "\n"
       "algorithms: lp-hta lp-hta-ipm hgos alltoc alloffload local-first "
       "random exact brd portfolio\n";
@@ -454,6 +518,9 @@ int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out) {
       workload::make_fault_schedule(faults_cfg, scenario.topology);
 
   control::ResilientOptions opts;
+  // Presolve preserves the LP optimum exactly; turning it on here keeps the
+  // churn trace representative of the full solver pipeline.
+  opts.lp.presolve = true;
   opts.epoch_s = args.get_num("epoch-s", opts.epoch_s);
   opts.max_attempts = static_cast<std::size_t>(
       args.get_num("max-attempts", static_cast<double>(opts.max_attempts)));
@@ -492,28 +559,41 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     return argv.empty() ? 1 : 0;
   }
   const std::string command = argv[0];
-  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+  std::vector<std::string> rest(argv.begin() + 1, argv.end());
+
+  ObsFlags obs_flags;
+  int code = 1;
   try {
-    if (command == "generate") return cmd_generate(rest, out);
-    if (command == "assign") return cmd_assign(rest, out);
-    if (command == "evaluate") return cmd_evaluate(rest, out);
-    if (command == "simulate") return cmd_simulate(rest, out);
-    if (command == "compare") return cmd_compare(rest, out);
-    if (command == "generate-shared") return cmd_generate_shared(rest, out);
-    if (command == "sensitivity") return cmd_sensitivity(rest, out);
-    if (command == "breakdown") return cmd_breakdown(rest, out);
-    if (command == "recover") return cmd_recover(rest, out);
-    if (command == "generate-arrivals") return cmd_generate_arrivals(rest, out);
-    if (command == "online") return cmd_online(rest, out);
-    if (command == "trace") return cmd_trace(rest, out);
-    if (command == "dta") return cmd_dta(rest, out);
-    if (command == "churn") return cmd_churn(rest, out);
-    err << "unknown command: " << command << "\n\n" << usage();
-    return 1;
+    obs_flags = strip_obs_flags(rest);
+    if (obs_flags.active()) obs::Registry::global().reset();
+    if (!obs_flags.trace_path.empty()) obs::Tracer::global().enable();
+    {
+      const obs::ScopedTimer span("cli." + command, "cli");
+      code = dispatch(command, rest, out, err);
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    code = 1;
+  }
+
+  // Export even when the command failed — a trace of the failing run is
+  // precisely the artifact worth keeping.
+  try {
+    if (!obs_flags.trace_path.empty()) {
+      obs::write_chrome_trace(obs::Tracer::global(), obs_flags.trace_path);
+      obs::Tracer::global().disable();
+      out << "wrote trace " << obs_flags.trace_path << '\n';
+    }
+    if (!obs_flags.metrics_path.empty()) {
+      obs::write_prometheus(obs::Registry::global(), obs_flags.metrics_path);
+      out << "wrote metrics " << obs_flags.metrics_path << '\n';
+    }
+    if (obs_flags.summary) out << obs::summary_table(obs::Registry::global());
   } catch (const std::exception& e) {
     err << "error: " << e.what() << '\n';
     return 1;
   }
+  return code;
 }
 
 }  // namespace mecsched::cli

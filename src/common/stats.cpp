@@ -34,7 +34,7 @@ void Summary::merge(const Summary& other) {
 }
 
 double Summary::variance() const {
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return nan_();
   return m2_ / static_cast<double>(count_);
 }
 

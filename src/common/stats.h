@@ -11,6 +11,12 @@ namespace mecsched {
 // Online accumulator (Welford) for mean/variance plus min/max/sum. Cheap to
 // copy; merging two accumulators is supported so per-thread partials can be
 // combined.
+//
+// Edge-case contract (tested in stats_test.cpp): with zero samples, mean,
+// variance, stddev, min and max are all quiet NaN — "no data" is explicit,
+// never a fabricated 0 or ±infinity. With one sample, variance and stddev
+// are exactly 0 and mean/min/max are that sample. sum() of an empty
+// summary is 0 (the additive identity is meaningful).
 class Summary {
  public:
   void add(double x);
@@ -18,13 +24,15 @@ class Summary {
 
   std::size_t count() const { return count_; }
   double sum() const { return sum_; }
-  double mean() const { return count_ == 0 ? 0.0 : mean_; }
-  double variance() const;  // population variance
-  double stddev() const;
-  double min() const { return min_; }
-  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? nan_() : mean_; }
+  double variance() const;  // population variance; NaN when empty
+  double stddev() const;    // NaN when empty
+  double min() const { return count_ == 0 ? nan_() : min_; }
+  double max() const { return count_ == 0 ? nan_() : max_; }
 
  private:
+  static double nan_() { return std::numeric_limits<double>::quiet_NaN(); }
+
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
@@ -34,7 +42,9 @@ class Summary {
 };
 
 // Percentile over a copy of the data (linear interpolation between ranks).
-// `q` in [0, 1]; returns NaN on empty input.
+// `q` is clamped to [0, 1]. Edge cases are part of the contract: empty
+// input returns quiet NaN (no data, no answer); a single sample is every
+// percentile of itself.
 double percentile(std::vector<double> values, double q);
 
 // True when |a - b| <= tol * max(1, |a|, |b|).

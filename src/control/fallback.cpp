@@ -5,6 +5,8 @@
 #include "assign/baselines.h"
 #include "assign/hgos.h"
 #include "common/error.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace mecsched::control {
 
@@ -40,14 +42,25 @@ FallbackChain::FallbackChain(
 
 assign::Assignment FallbackChain::assign(const assign::HtaInstance& instance,
                                          FallbackRung& served) const {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Tracer& tracer = obs::Tracer::global();
   std::string last_error;
   for (std::size_t r = 0; r < rungs_.size(); ++r) {
+    const auto rung = static_cast<FallbackRung>(r);
     try {
       assign::Assignment plan = rungs_[r]->assign(instance);
-      served = static_cast<FallbackRung>(r);
+      served = rung;
+      reg.counter("fallback.served." + to_string(rung)).add();
       return plan;
     } catch (const SolverError& e) {
       last_error = e.what();
+      // A rung falling over is exactly the kind of rare event a trace
+      // should pin to a timestamp.
+      reg.counter("fallback.failed." + to_string(rung)).add();
+      tracer.instant("fallback.rung_failed", "control",
+                     tracer.enabled()
+                         ? "\"rung\":\"" + to_string(rung) + "\""
+                         : std::string());
     }
   }
   throw SolverError("every fallback rung failed; last error: " + last_error);

@@ -6,6 +6,8 @@
 #include "assign/hta_instance.h"
 #include "common/error.h"
 #include "mec/cost_model.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace mecsched::control {
 namespace {
@@ -207,8 +209,19 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
     return true;
   };
 
+  const obs::ScopedTimer run_span("controller.run", "control");
+
   for (std::size_t epoch = 0;
        next < order.size() || !waiting.empty() || !running.empty(); ++epoch) {
+    // One span per epoch: the controller's heartbeat in the trace. Args
+    // are only rendered while a capture is live.
+    const obs::ScopedTimer epoch_span(
+        "controller.epoch", "control",
+        obs::Tracer::global().enabled()
+            ? "\"epoch\":" + std::to_string(epoch) +
+                  ",\"running\":" + std::to_string(running.size()) +
+                  ",\"waiting\":" + std::to_string(waiting.size())
+            : std::string());
     const double now = static_cast<double>(epoch + 1) * epoch_s;
     const double prev = static_cast<double>(epoch) * epoch_s;
 
@@ -309,6 +322,11 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
           result.makespan_s = std::max(result.makespan_s, finish);
           ++result.completed;
           ++result.rescued_by_dta;
+          obs::Tracer& tracer = obs::Tracer::global();
+          tracer.instant("controller.dta_rescue", "control",
+                         tracer.enabled()
+                             ? "\"task\":" + std::to_string(w.id)
+                             : std::string());
           continue;
         }
         // The owner may come back; wait for it.
@@ -390,6 +408,15 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
                      "internal: task left pending after the epoch loop");
   }
   result.unsatisfied = result.outcomes.size() - result.completed;
+
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("controller.runs").add();
+  reg.counter("controller.epochs").add(result.epochs);
+  reg.counter("controller.completed").add(result.completed);
+  reg.counter("controller.unsatisfied").add(result.unsatisfied);
+  reg.counter("controller.orphaned").add(result.orphaned);
+  reg.counter("controller.retries").add(result.retries);
+  reg.counter("controller.rescued_by_dta").add(result.rescued_by_dta);
   return result;
 }
 

@@ -30,9 +30,14 @@ class InteriorPointSolver {
   explicit InteriorPointSolver(InteriorPointOptions options = {})
       : options_(options) {}
 
+  // Solves and reports into the obs layer: span "lp.ipm.solve", counters
+  // lp.ipm.{solves,iterations,non_optimal}, an iterations-per-solve
+  // histogram and last-residual/duality-gap gauges.
   Solution solve(const Problem& problem) const;
 
  private:
+  Solution solve_impl(const Problem& problem) const;
+
   InteriorPointOptions options_;
 };
 

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace mecsched::lp {
 namespace {
@@ -11,9 +13,22 @@ namespace {
 constexpr double kFixTolerance = 1e-12;
 constexpr double kFeasTolerance = 1e-9;
 
+// Reduction tallies for the Prometheus dump; called at every exit of
+// presolve() so the span timing and the counters always agree.
+void record_presolve(const Presolved& out) {
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("lp.presolve.runs").add();
+  reg.counter("lp.presolve.fixed_variables").add(out.fixed_variables());
+  reg.counter("lp.presolve.dropped_constraints")
+      .add(out.dropped_constraints());
+  reg.counter("lp.presolve.tightened_bounds").add(out.tightened_bounds());
+  if (out.infeasible()) reg.counter("lp.presolve.proved_infeasible").add();
+}
+
 }  // namespace
 
 Presolved presolve(const Problem& p) {
+  const obs::ScopedTimer span("lp.presolve", "lp");
   Presolved out;
   out.n_original_ = p.num_variables();
   out.var_map_.assign(p.num_variables(), std::nullopt);
@@ -36,6 +51,7 @@ Presolved presolve(const Problem& p) {
                       (c.relation == Relation::kEqual && std::fabs(c.rhs) <= kFeasTolerance);
       if (!ok) {
         out.infeasible_ = true;
+        record_presolve(out);
         return out;
       }
       row_dropped[r] = true;
@@ -69,6 +85,7 @@ Presolved presolve(const Problem& p) {
   for (std::size_t v = 0; v < p.num_variables(); ++v) {
     if (lo[v] > hi[v] + kFeasTolerance) {
       out.infeasible_ = true;
+      record_presolve(out);
       return out;
     }
     if (hi[v] - lo[v] <= kFixTolerance) {
@@ -103,6 +120,7 @@ Presolved presolve(const Problem& p) {
           (c.relation == Relation::kEqual && std::fabs(rhs) <= kFeasTolerance);
       if (!ok) {
         out.infeasible_ = true;
+        record_presolve(out);
         return out;
       }
       ++out.dropped_constraints_;
@@ -110,6 +128,7 @@ Presolved presolve(const Problem& p) {
     }
     out.reduced_.add_constraint(std::move(terms), c.relation, rhs, c.name);
   }
+  record_presolve(out);
   return out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "common/error.h"
 #include "lp/matrix.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 
 namespace mecsched::lp {
 namespace {
@@ -365,6 +367,18 @@ class Tableau {
 }  // namespace
 
 Solution SimplexSolver::solve(const Problem& problem) const {
+  const obs::ScopedTimer span("lp.simplex.solve", "lp");
+  Solution out = solve_impl(problem);
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("lp.simplex.solves").add();
+  reg.counter("lp.simplex.pivots").add(out.iterations);
+  reg.histogram("lp.simplex.pivots_per_solve")
+      .observe(static_cast<double>(out.iterations));
+  if (!out.optimal()) reg.counter("lp.simplex.non_optimal").add();
+  return out;
+}
+
+Solution SimplexSolver::solve_impl(const Problem& problem) const {
   Solution out;
   if (problem.num_variables() == 0) {
     out.status = SolveStatus::kOptimal;

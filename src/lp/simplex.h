@@ -39,9 +39,14 @@ class SimplexSolver {
  public:
   explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
 
+  // Solves and reports into the obs layer: span "lp.simplex.solve",
+  // counters lp.simplex.{solves,pivots,non_optimal} and the
+  // pivots-per-solve histogram.
   Solution solve(const Problem& problem) const;
 
  private:
+  Solution solve_impl(const Problem& problem) const;
+
   SimplexOptions options_;
 };
 

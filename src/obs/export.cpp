@@ -1,0 +1,145 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace mecsched::obs {
+namespace {
+
+// Minimal JSON string escaping (the trace writer cannot depend on io/,
+// which sits above obs in the layer order).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*, conventionally
+// namespaced. Dots and dashes become underscores.
+std::string prom_name(const std::string& name) {
+  std::string out = "mecsched_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_num(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  MECSCHED_REQUIRE(f.good(), "cannot open for writing: " + path);
+  f << content;
+  MECSCHED_REQUIRE(f.good(), "write failed: " + path);
+}
+
+}  // namespace
+
+std::string to_chrome_json(const Tracer& tracer) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : tracer.snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+       << json_escape(ev.category) << "\",\"ph\":\""
+       << static_cast<char>(ev.phase) << "\",\"ts\":" << ev.ts_us
+       << ",\"pid\":1,\"tid\":" << (ev.tid % 1000000);
+    if (ev.phase == Phase::kComplete) os << ",\"dur\":" << ev.dur_us;
+    if (ev.phase == Phase::kInstant) os << ",\"s\":\"t\"";
+    if (!ev.args_json.empty()) os << ",\"args\":{" << ev.args_json << "}";
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << tracer.dropped() << "}}\n";
+  return os.str();
+}
+
+void write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  write_text_file(path, to_chrome_json(tracer));
+}
+
+std::string to_prometheus(const Registry& registry) {
+  std::ostringstream os;
+  for (const auto& [name, value] : registry.counters()) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << "_total counter\n"
+       << p << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << prom_num(value) << "\n";
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    const std::string p = prom_name(name);
+    const Summary s = hist->summary();
+    os << "# TYPE " << p << " histogram\n";
+    const std::vector<double>& bounds = Histogram::bucket_bounds();
+    const std::vector<std::uint64_t> cumulative = hist->cumulative_buckets();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      os << p << "_bucket{le=\"" << prom_num(bounds[i]) << "\"} "
+         << cumulative[i] << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << s.count() << "\n"
+       << p << "_sum " << prom_num(s.sum()) << "\n"
+       << p << "_count " << s.count() << "\n";
+  }
+  return os.str();
+}
+
+void write_prometheus(const Registry& registry, const std::string& path) {
+  write_text_file(path, to_prometheus(registry));
+}
+
+Table summary_table(const Registry& registry) {
+  Table t({"metric", "kind", "count", "total", "mean", "min", "max"});
+  for (const auto& [name, value] : registry.counters()) {
+    t.add_row({name, "counter", std::to_string(value), "-", "-", "-", "-"});
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    t.add_row({name, "gauge", "-", Table::num(value, 4), "-", "-", "-"});
+  }
+  for (const auto& [name, hist] : registry.histograms()) {
+    const Summary s = hist->summary();
+    if (s.count() == 0) {
+      t.add_row({name, "histogram", "0", "-", "-", "-", "-"});
+      continue;
+    }
+    t.add_row({name, "histogram", std::to_string(s.count()),
+               Table::num(s.sum(), 4), Table::num(s.mean(), 6),
+               Table::num(s.min(), 6), Table::num(s.max(), 6)});
+  }
+  return t;
+}
+
+}  // namespace mecsched::obs

@@ -1,0 +1,140 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsched::obs {
+
+const std::vector<double>& Histogram::bucket_bounds() {
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (int e = -9; e <= 9; ++e) b.push_back(std::pow(10.0, e));
+    return b;
+  }();
+  return bounds;
+}
+
+void Histogram::observe(double v) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  summary_.add(v);
+  if (buckets_.empty()) buckets_.assign(bucket_bounds().size(), 0);
+  // NaN is kept out of the ordered bucket search; it lands only in the
+  // implicit +Inf bucket (= summary count), as does any v above the last
+  // finite bound.
+  if (std::isnan(v)) return;
+  const auto& bounds = bucket_bounds();
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  if (it != bounds.end()) {
+    ++buckets_[static_cast<std::size_t>(it - bounds.begin())];
+  }
+}
+
+Summary Histogram::summary() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return summary_;
+}
+
+std::vector<std::uint64_t> Histogram::cumulative_buckets() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> out(bucket_bounds().size(), 0);
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (i < buckets_.size()) acc += buckets_[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  summary_ = Summary{};
+  buckets_.clear();
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: metric
+  return *instance;  // references must outlive static-destruction order
+}
+
+namespace {
+
+// One name maps to one metric kind; a kind collision is a programming
+// error worth failing loudly on.
+template <typename Map>
+void require_unregistered(const Map& m, const std::string& name,
+                          const char* other_kind) {
+  MECSCHED_REQUIRE(m.find(name) == m.end(),
+                   "obs metric '" + name + "' already registered as a " +
+                       other_kind);
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    require_unregistered(gauges_, name, "gauge");
+    require_unregistered(histograms_, name, "histogram");
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    require_unregistered(counters_, name, "counter");
+    require_unregistered(histograms_, name, "histogram");
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    require_unregistered(counters_, name, "counter");
+    require_unregistered(gauges_, name, "gauge");
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+}  // namespace mecsched::obs

@@ -1,0 +1,121 @@
+// Ring-buffered structured event tracer + the ScopedTimer RAII span.
+//
+// The tracer records begin/end/complete spans and instant events into a
+// fixed-capacity ring buffer (oldest events are overwritten, a drop count
+// is kept) and exports them as Chrome `trace_event` JSON — loadable in
+// chrome://tracing and Perfetto (obs/export.h). It is:
+//
+//   * disabled by default and near-zero cost while disabled: every record
+//     call first checks one relaxed atomic and returns before touching the
+//     clock, the lock or any allocation;
+//   * thread-safe: events carry the recording thread's id so parallel
+//     LP-HTA cluster solves render as separate tracks.
+//
+// ScopedTimer is the one instrumentation primitive call sites use: it
+// always feeds its duration into the registry histogram `<name>.seconds`
+// (so metrics exist even with tracing off — bench wall-clock lines and
+// traces agree by construction), and additionally emits a Complete ('X')
+// trace event when the tracer is enabled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mecsched::obs {
+
+class Histogram;
+
+// Chrome trace_event phases we emit.
+enum class Phase : char {
+  kBegin = 'B',
+  kEnd = 'E',
+  kComplete = 'X',  // begin + duration in one event
+  kInstant = 'i',
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  Phase phase = Phase::kInstant;
+  std::int64_t ts_us = 0;   // microseconds since the tracer epoch
+  std::int64_t dur_us = 0;  // kComplete only
+  std::uint64_t tid = 0;    // hashed std::thread::id
+  std::string args_json;    // pre-rendered JSON object body, may be empty
+};
+
+class Tracer {
+ public:
+  // The process-wide instance; disabled until enable() is called.
+  static Tracer& global();
+
+  // Starts (or restarts) capture with the given ring capacity. Clears any
+  // previously captured events and resets the timestamp epoch.
+  void enable(std::size_t capacity = 1 << 16);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Record calls are no-ops while disabled.
+  void begin(const std::string& name, const std::string& category);
+  void end(const std::string& name, const std::string& category);
+  void complete(const std::string& name, const std::string& category,
+                std::int64_t ts_us, std::int64_t dur_us,
+                const std::string& args_json = "");
+  void instant(const std::string& name, const std::string& category,
+               const std::string& args_json = "");
+
+  // Microseconds since the tracer epoch (enable() time). Valid to call
+  // while disabled (epoch then defaults to construction time).
+  std::int64_t now_us() const;
+
+  // Oldest-first copy of the buffered events.
+  std::vector<TraceEvent> snapshot() const;
+  // Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  void clear();
+
+ private:
+  void push(TraceEvent ev);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 1 << 16;
+  std::size_t head_ = 0;  // next slot to write
+  bool wrapped_ = false;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+// RAII span: times the enclosed scope. Duration always lands in the
+// registry histogram `<name>.seconds`; a Complete trace event is emitted
+// iff the tracer was enabled when the timer was constructed. `args_json`
+// (a rendered JSON object body like "\"station\":3") is only worth
+// building when tracer().enabled() — guard at the call site.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string name, std::string category = "mecsched",
+                       std::string args_json = "");
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  // Seconds elapsed so far; usable before destruction (bench prints it).
+  double elapsed_s() const;
+
+ private:
+  std::string name_;
+  std::string category_;
+  std::string args_json_;
+  std::chrono::steady_clock::time_point start_;
+  std::int64_t start_us_ = 0;
+  Histogram* histogram_ = nullptr;
+  bool traced_ = false;
+};
+
+}  // namespace mecsched::obs

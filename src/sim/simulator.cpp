@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "common/units.h"
 #include "mec/cost_model.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "sim/event_queue.h"
 
 namespace mecsched::sim {
@@ -106,6 +108,7 @@ struct Servers {
 
 SimResult simulate(const assign::HtaInstance& instance,
                    const assign::Assignment& assignment, SimOptions options) {
+  const obs::ScopedTimer span("sim.run", "sim");
   MECSCHED_REQUIRE(assignment.size() == instance.num_tasks(),
                    "assignment size mismatch");
   const mec::Topology& topo = instance.topology();
@@ -288,6 +291,13 @@ SimResult simulate(const assign::HtaInstance& instance,
 
   result.makespan_s = queue.run();
   result.events_processed = queue.processed();
+  {
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("sim.runs").add();
+    reg.counter("sim.events_processed").add(result.events_processed);
+    reg.histogram("sim.events_per_run")
+        .observe(static_cast<double>(result.events_processed));
+  }
   double max_finish = 0.0;
   for (const TaskTimeline& tl : result.timelines) {
     if (!tl.placed) continue;

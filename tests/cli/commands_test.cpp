@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 #include "io/codec.h"
@@ -18,7 +19,8 @@ class CliTest : public ::testing::Test {
     return ::testing::TempDir() + "mecsched_cli_" + name;
   }
   void TearDown() override {
-    for (const char* f : {"s.json", "p.json", "m.json"}) {
+    for (const char* f :
+         {"s.json", "p.json", "m.json", "trace.json", "metrics.prom"}) {
       std::remove(path(f).c_str());
     }
   }
@@ -264,6 +266,54 @@ TEST_F(CliTest, ChurnCommandIsDeterministicPerSeed) {
   const std::string first = out_.str();
   ASSERT_EQ(run_cli(argv), 0);
   EXPECT_EQ(out_.str(), first);
+}
+
+TEST_F(CliTest, ObsFlagsEmitTraceMetricsAndSummary) {
+  const std::string trace = path("trace.json");
+  const std::string prom = path("metrics.prom");
+  ASSERT_EQ(run_cli({"churn", "--tasks", "12", "--devices", "5", "--stations",
+                     "2", "--seed", "7", "--horizon", "10", "--trace", trace,
+                     "--metrics-out", prom, "--obs-summary"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("wrote trace"), std::string::npos);
+  EXPECT_NE(out_.str().find("wrote metrics"), std::string::npos);
+
+  // The trace must be well-formed JSON and contain the solver-pipeline and
+  // controller spans.
+  const io::Json doc = io::Json::parse(io::read_file(trace));
+  const io::JsonArray& events = doc.at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  std::set<std::string> names;
+  for (const io::Json& e : events) names.insert(e.at("name").as_string());
+  for (const char* expected :
+       {"cli.churn", "controller.run", "controller.epoch", "lp.presolve",
+        "lp.simplex.solve", "lp_hta.relax", "lp_hta.round", "lp_hta.repair"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing span: " << expected;
+  }
+
+  const std::string metrics = io::read_file(prom);
+  EXPECT_NE(metrics.find("mecsched_controller_epochs_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("mecsched_lp_simplex_pivots_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("_bucket{le="), std::string::npos);
+
+  // --obs-summary prints the registry as a table.
+  EXPECT_NE(out_.str().find("controller.epoch.seconds"), std::string::npos);
+}
+
+TEST_F(CliTest, ObsFlagsWorkOnAnyCommand) {
+  ASSERT_EQ(run_cli({"generate", "--tasks", "5", "--seed", "2", "--out",
+                     path("s.json"), "--obs-summary"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("cli.generate.seconds"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceFlagRequiresValue) {
+  EXPECT_EQ(run_cli({"generate", "--tasks", "3", "--trace"}), 1);
+  EXPECT_NE(err_.str().find("requires a file"), std::string::npos);
 }
 
 TEST_F(CliTest, ExactAlgorithmOnTinyScenario) {

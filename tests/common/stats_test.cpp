@@ -9,14 +9,23 @@
 namespace mecsched {
 namespace {
 
-TEST(SummaryTest, EmptySummaryIsZero) {
+// The empty-series contract: "no data" reads as NaN for every order
+// statistic and moment, never a fabricated 0 or ±infinity. Only sum() is 0
+// (the additive identity).
+TEST(SummaryTest, EmptySummaryIsNaNExceptSum) {
   Summary s;
   EXPECT_EQ(s.count(), 0u);
-  EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.sum(), 0.0);
-  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(s.mean()));
+  EXPECT_TRUE(std::isnan(s.variance()));
+  EXPECT_TRUE(std::isnan(s.stddev()));
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
 }
 
+// One sample: its own mean/min/max, variance exactly 0 (not NaN — a
+// single observation has zero spread, an important distinction for the
+// obs histogram summaries).
 TEST(SummaryTest, SingleValue) {
   Summary s;
   s.add(3.5);
@@ -25,6 +34,7 @@ TEST(SummaryTest, SingleValue) {
   EXPECT_DOUBLE_EQ(s.min(), 3.5);
   EXPECT_DOUBLE_EQ(s.max(), 3.5);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
 }
 
 TEST(SummaryTest, KnownMoments) {
@@ -82,6 +92,20 @@ TEST(PercentileTest, Extremes) {
 
 TEST(PercentileTest, EmptyGivesNaN) {
   EXPECT_TRUE(std::isnan(percentile({}, 0.5)));
+  EXPECT_TRUE(std::isnan(percentile({}, 0.0)));
+  EXPECT_TRUE(std::isnan(percentile({}, 1.0)));
+}
+
+TEST(PercentileTest, SingleSampleIsEveryPercentile) {
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(percentile({7.5}, q), 7.5);
+  }
+}
+
+TEST(PercentileTest, OutOfRangeQuantileClamps) {
+  std::vector<double> v = {5, 1, 9, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 9.0);
 }
 
 TEST(ApproxEqualTest, RelativeAndAbsolute) {
