@@ -5,11 +5,14 @@
 // should convert a slice of the replay's losses into retries, DTA rescues
 // and fallback-rung service.
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "assign/hta_instance.h"
 #include "assign/lp_hta.h"
 #include "bench/bench_common.h"
 #include "control/resilient.h"
+#include "exec/sweep_runner.h"
 #include "metrics/series.h"
 #include "sim/simulator.h"
 #include "workload/arrivals.h"
@@ -27,9 +30,18 @@ int main() {
       "mtbf-s", {"resilient-unsat-rate", "replay-unsat-rate", "retries",
                  "rescued-by-dta", "rung-lp-hta", "rung-fallback"});
 
-  bool rungs_cover_epochs = true;
-  for (double x : {40.0, 20.0, 10.0, 5.0}) {
-    for (std::uint64_t rep = 1; rep <= bench::kRepetitions; ++rep) {
+  // One cell per (mtbf, repetition); cells fan out over the sweep pool
+  // (MECSCHED_JOBS) and fold back into the collector in grid order.
+  const std::vector<double> xs = {40.0, 20.0, 10.0, 5.0};
+  struct CellResult {
+    bool rungs_cover_epochs = true;
+    std::vector<std::pair<const char*, double>> values;
+  };
+  exec::SweepRunner runner;
+  const std::vector<CellResult> cells = runner.run<CellResult>(
+      xs.size() * bench::kRepetitions, [&](exec::CellContext& ctx) {
+      const double x = xs[ctx.index() / bench::kRepetitions];
+      const std::uint64_t rep = ctx.index() % bench::kRepetitions + 1;
       workload::ArrivalConfig arrivals;
       arrivals.scenario.num_tasks = 120;
       arrivals.scenario.num_devices = bench::kDevices;
@@ -71,7 +83,8 @@ int main() {
       opts.max_attempts = 4;
       const control::ResilientResult r = control::ResilientController(opts).run(
           s.topology, s.tasks, faults, &shared);
-      rungs_cover_epochs = rungs_cover_epochs && r.rungs.total() <= r.epochs;
+      CellResult cell;
+      cell.rungs_cover_epochs = r.rungs.total() <= r.epochs;
 
       // One-shot replay: clairvoyant LP-HTA plan, then the same faults.
       std::vector<mec::Task> tasks;
@@ -93,19 +106,28 @@ int main() {
         if (missed) ++replay_unsat;
       }
 
-      series.add(x, "resilient-unsat-rate", r.unsatisfied_rate());
-      series.add(x, "replay-unsat-rate",
-                 static_cast<double>(replay_unsat) /
-                     static_cast<double>(tasks.size()));
-      series.add(x, "retries", static_cast<double>(r.retries));
-      series.add(x, "rescued-by-dta", static_cast<double>(r.rescued_by_dta));
-      series.add(x, "rung-lp-hta",
-                 static_cast<double>(r.rungs.at(control::FallbackRung::kLpHta)));
-      series.add(
-          x, "rung-fallback",
+      cell.values.emplace_back("resilient-unsat-rate", r.unsatisfied_rate());
+      cell.values.emplace_back("replay-unsat-rate",
+                               static_cast<double>(replay_unsat) /
+                                   static_cast<double>(tasks.size()));
+      cell.values.emplace_back("retries", static_cast<double>(r.retries));
+      cell.values.emplace_back("rescued-by-dta",
+                               static_cast<double>(r.rescued_by_dta));
+      cell.values.emplace_back(
+          "rung-lp-hta",
+          static_cast<double>(r.rungs.at(control::FallbackRung::kLpHta)));
+      cell.values.emplace_back(
+          "rung-fallback",
           static_cast<double>(r.rungs.at(control::FallbackRung::kHgos) +
                               r.rungs.at(control::FallbackRung::kLocalFirst)));
-    }
+      return cell;
+      });
+
+  bool rungs_cover_epochs = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const double x = xs[i / bench::kRepetitions];
+    rungs_cover_epochs = rungs_cover_epochs && cells[i].rungs_cover_epochs;
+    for (const auto& [name, value] : cells[i].values) series.add(x, name, value);
   }
 
   bench::print_table(series, 3);

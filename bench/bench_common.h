@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "exec/thread_pool.h"
 #include "metrics/series.h"
 #include "obs/export.h"
 #include "obs/registry.h"
@@ -24,6 +25,12 @@ namespace mecsched::bench {
 inline constexpr std::size_t kDevices = 50;
 inline constexpr std::size_t kStations = 5;
 inline constexpr std::size_t kRepetitions = 3;
+
+// Worker count for the sweep fan-out (exec::SweepRunner): MECSCHED_JOBS
+// when set, otherwise all hardware threads. The figure tables are
+// byte-identical at every job count, so MECSCHED_JOBS is purely a
+// wall-clock knob.
+inline std::size_t sweep_jobs() { return exec::ThreadPool::default_jobs(); }
 
 inline void print_header(const std::string& figure, const std::string& title,
                          const std::string& setup) {

@@ -1,10 +1,17 @@
 // Shared sweep driver for the holistic-task figures (Figs. 2-4): runs a
 // list of assigners over scenario configs produced per sweep point,
 // averaging a chosen metric over seeds into a SeriesCollector.
+//
+// The (x, repetition) grid fans out over exec::SweepRunner, so `MECSCHED_JOBS=N`
+// (or exec::ThreadPool::set_default_jobs) parallelizes any figure binary.
+// Cells are pure functions of (x, rep) and results are folded into the
+// collector in grid order, so the output is identical for every job count.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "assign/assigner.h"
@@ -14,6 +21,7 @@
 #include "assign/hta_instance.h"
 #include "assign/lp_hta.h"
 #include "bench/bench_common.h"
+#include "exec/sweep_runner.h"
 #include "metrics/series.h"
 #include "workload/scenario.h"
 
@@ -38,24 +46,39 @@ inline std::vector<std::string> algorithm_names(
 
 // For each x in `xs`, builds `kRepetitions` scenarios via `config_at(x,
 // seed)`, runs every algorithm, and stores `metric(metrics)` under the
-// algorithm's name.
+// algorithm's name. Cells run on the sweep thread pool; per-cell results
+// land in the collector in (x, rep, algorithm) order regardless of the
+// thread schedule, so the table is byte-identical at every --jobs count.
 inline void run_holistic_sweep(
     const std::vector<double>& xs,
     const std::function<workload::ScenarioConfig(double x, std::uint64_t seed)>&
         config_at,
     const std::vector<std::unique_ptr<assign::Assigner>>& algorithms,
     const std::function<double(const assign::Metrics&)>& metric,
-    metrics::SeriesCollector& out) {
-  for (double x : xs) {
-    for (std::uint64_t rep = 0; rep < kRepetitions; ++rep) {
-      const workload::Scenario scenario =
-          workload::make_scenario(config_at(x, rep + 1));
-      const assign::HtaInstance instance(scenario.topology, scenario.tasks);
-      for (const auto& algorithm : algorithms) {
-        const assign::Assignment a = algorithm->assign(instance);
-        out.add(x, algorithm->name(), metric(assign::evaluate(instance, a)));
-      }
-    }
+    metrics::SeriesCollector& out,
+    const exec::SweepOptions& sweep_options = {}) {
+  using CellResult = std::vector<std::pair<std::string, double>>;
+  const std::size_t cells = xs.size() * kRepetitions;
+  exec::SweepRunner runner(sweep_options);
+  const std::vector<CellResult> results = runner.run<CellResult>(
+      cells, [&](exec::CellContext& ctx) {
+        const double x = xs[ctx.index() / kRepetitions];
+        const std::uint64_t rep = ctx.index() % kRepetitions;
+        const workload::Scenario scenario =
+            workload::make_scenario(config_at(x, rep + 1));
+        const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+        CellResult cell;
+        cell.reserve(algorithms.size());
+        for (const auto& algorithm : algorithms) {
+          const assign::Assignment a = algorithm->assign(instance);
+          cell.emplace_back(algorithm->name(),
+                            metric(assign::evaluate(instance, a)));
+        }
+        return cell;
+      });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double x = xs[i / kRepetitions];
+    for (const auto& [name, value] : results[i]) out.add(x, name, value);
   }
 }
 

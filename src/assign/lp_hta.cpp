@@ -30,7 +30,8 @@ constexpr std::array<Placement, 3> kPlacements = mec::kAllPlacements;
 // Each task owns 4 consecutive columns: local, edge, cloud, cancel-slack.
 std::size_t column(std::size_t idx, std::size_t l) { return idx * 4 + l; }
 
-lp::Solution solve_exact(const lp::Problem& p, const LpHtaOptions& options) {
+lp::Solution solve_exact(const lp::Problem& p, const LpHtaOptions& options,
+                         const std::vector<double>* guess = nullptr) {
   const std::size_t budget = options.max_lp_iterations;
   if (options.engine == LpEngine::kInteriorPoint) {
     lp::InteriorPointOptions ipm;
@@ -42,7 +43,9 @@ lp::Solution solve_exact(const lp::Problem& p, const LpHtaOptions& options) {
   }
   lp::SimplexOptions smx;
   if (budget > 0) smx.max_iterations = budget;
-  const lp::Solution s = lp::SimplexSolver(smx).solve(p);
+  const lp::SimplexSolver solver(smx);
+  const lp::Solution s = guess != nullptr ? solver.solve(p, *guess)
+                                          : solver.solve(p);
   if (!s.optimal()) {
     throw SolverError("LP-HTA: cluster relaxation not optimal (" +
                       lp::to_string(s.status) + ")");
@@ -51,8 +54,11 @@ lp::Solution solve_exact(const lp::Problem& p, const LpHtaOptions& options) {
 }
 
 lp::Solution solve_relaxation(const lp::Problem& p,
-                              const LpHtaOptions& options) {
+                              const LpHtaOptions& options,
+                              const std::vector<double>* guess = nullptr) {
   // Optional hygiene layers; both are objective-preserving transforms.
+  // They also reindex / rescale the variable space, so the warm guess is
+  // only forwarded on the plain path.
   if (options.presolve) {
     const lp::Presolved pre = lp::presolve(p);
     if (pre.infeasible()) {
@@ -69,7 +75,26 @@ lp::Solution solve_relaxation(const lp::Problem& p,
     const lp::ScaledProblem sp = lp::equilibrate(p);
     return sp.unscale(solve_exact(sp.problem(), options), p);
   }
-  return solve_exact(p, options);
+  return solve_exact(p, options, guess);
+}
+
+// Translates a hinted assignment into a 0/1 point over the cluster LP's
+// columns (4 per active task). Tasks the hint cancels (or doesn't cover)
+// put their unit on the cancel-slack column.
+std::vector<double> build_warm_guess(const std::vector<std::size_t>& active,
+                                     const Assignment& hint) {
+  std::vector<double> guess(active.size() * 4, 0.0);
+  for (std::size_t idx = 0; idx < active.size(); ++idx) {
+    const std::size_t t = active[idx];
+    std::size_t col = 3;  // cancel slack
+    if (t < hint.decisions.size()) {
+      for (std::size_t l = 0; l < 3; ++l) {
+        if (hint.decisions[t] == to_decision(kPlacements[l])) col = l;
+      }
+    }
+    guess[column(idx, col)] = 1.0;
+  }
+  return guess;
 }
 
 // Everything one cluster contributes: its tasks' decisions plus its share
@@ -120,13 +145,21 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
   }
   const lp::Problem& p = cluster.problem;
 
+  std::vector<double> warm_guess;
+  const std::vector<double>* guess = nullptr;
+  if (options.warm_hint != nullptr && options.engine == LpEngine::kSimplex &&
+      !options.presolve && !options.equilibrate) {
+    warm_guess = build_warm_guess(active, *options.warm_hint);
+    guess = &warm_guess;
+  }
+
   lp::Solution relax;
   {
     // Step 1 — the paper's "solve the relaxation" phase. The nested
     // lp.presolve / lp.simplex.solve / lp.ipm.solve spans decompose it.
     const obs::ScopedTimer relax_span("lp_hta.relax", "assign",
                                       cluster_args(b));
-    relax = solve_relaxation(p, options);
+    relax = solve_relaxation(p, options, guess);
   }
   out.lp_iterations = relax.iterations;
   // E_LP^(OPT) over the *real* placement columns (the cancel slack's

@@ -45,6 +45,15 @@ struct LpHtaOptions {
   // ("not optimal (iteration-limit)") — callers that must never abort wrap
   // LP-HTA in a control::FallbackChain.
   std::size_t max_lp_iterations = 0;
+  // Optional warm-start hint: a previously computed assignment for a
+  // *similar* instance (e.g. the adjacent sweep cell, via
+  // exec::InstanceCache). Each cluster LP starts from the hinted 0/1 point
+  // instead of the all-artificial basis, typically cutting phase-1 pivots.
+  // Objective-preserving (the LP optimum is unchanged) but pivot-path-
+  // sensitive; only consulted on the plain simplex path (engine ==
+  // kSimplex, presolve/equilibrate off — those transforms change the
+  // variable space). Not owned; must outlive the assign() call.
+  const Assignment* warm_hint = nullptr;
 };
 
 struct LpHtaReport {

@@ -1,7 +1,9 @@
 #include "cli/commands.h"
 
+#include <cstdlib>
 #include <exception>
 #include <memory>
+#include <utility>
 
 #include "assign/baselines.h"
 #include "assign/best_response.h"
@@ -14,15 +16,20 @@
 #include "assign/recovery.h"
 #include "assign/sensitivity.h"
 #include "cli/args.h"
+#include "cli/sweep_grids.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "control/fallback.h"
 #include "control/resilient.h"
 #include "dta/pipeline.h"
+#include "exec/instance_cache.h"
+#include "exec/sweep_runner.h"
+#include "exec/thread_pool.h"
 #include "io/codec.h"
 #include "mec/cost_breakdown.h"
 #include "io/shared_codec.h"
 #include "io/trace_codec.h"
+#include "metrics/series.h"
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
@@ -78,21 +85,23 @@ void emit(const io::Json& j, const ArgParser& args, std::ostream& out) {
   }
 }
 
-// Global observability flags, accepted by every command. They are stripped
-// from the token stream before the per-command ArgParsers (which reject
-// unknown flags) run.
-struct ObsFlags {
+// Global flags, accepted by every command. They are stripped from the
+// token stream before the per-command ArgParsers (which reject unknown
+// flags) run.
+struct GlobalFlags {
   std::string trace_path;    // --trace <file>: Chrome trace_event JSON
   std::string metrics_path;  // --metrics-out <file>: Prometheus text
   bool summary = false;      // --obs-summary: console table after the run
+  bool has_jobs = false;     // --jobs <n>: sweep/pool worker count
+  std::size_t jobs = 0;
 
-  bool active() const {
+  bool obs_active() const {
     return summary || !trace_path.empty() || !metrics_path.empty();
   }
 };
 
-ObsFlags strip_obs_flags(std::vector<std::string>& tokens) {
-  ObsFlags flags;
+GlobalFlags strip_global_flags(std::vector<std::string>& tokens) {
+  GlobalFlags flags;
   std::vector<std::string> kept;
   kept.reserve(tokens.size());
   for (std::size_t i = 0; i < tokens.size(); ++i) {
@@ -101,6 +110,16 @@ ObsFlags strip_obs_flags(std::vector<std::string>& tokens) {
                        tokens[i] + " requires a file argument");
       (tokens[i] == "--trace" ? flags.trace_path : flags.metrics_path) =
           tokens[i + 1];
+      ++i;
+    } else if (tokens[i] == "--jobs") {
+      MECSCHED_REQUIRE(i + 1 < tokens.size(), "--jobs requires a count");
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(tokens[i + 1].c_str(), &end, 10);
+      MECSCHED_REQUIRE(end != nullptr && *end == '\0' && n > 0,
+                       "--jobs wants a positive integer, got '" +
+                           tokens[i + 1] + "'");
+      flags.has_jobs = true;
+      flags.jobs = static_cast<std::size_t>(n);
       ++i;
     } else if (tokens[i] == "--obs-summary") {
       flags.summary = true;
@@ -128,6 +147,7 @@ int dispatch(const std::string& command, const std::vector<std::string>& rest,
   if (command == "trace") return cmd_trace(rest, out);
   if (command == "dta") return cmd_dta(rest, out);
   if (command == "churn") return cmd_churn(rest, out);
+  if (command == "sweep") return cmd_sweep(rest, out);
   err << "unknown command: " << command << "\n\n" << usage();
   return 1;
 }
@@ -160,6 +180,9 @@ std::string usage() {
       "  dta       --scenario shared.json [--strategy workload|workload-bytes"
       "|number]\n"
       "            [--scheduler lp-hta|greedy] [--out result.json]\n"
+      "  sweep     [--grid fig2a|fig2b|fig4a|fig4b|smoke] [--reps N]\n"
+      "            [--seed S] [--cache-capacity N] [--warm-start]\n"
+      "            [--csv] [--out series.csv] [--list]\n"
       "\n"
       "global flags (any command):\n"
       "  --trace out.json      write a Chrome trace_event file of the run\n"
@@ -167,6 +190,9 @@ std::string usage() {
       "  --metrics-out out.prom  write solver/controller metrics in the\n"
       "                        Prometheus text format\n"
       "  --obs-summary         print a metric summary table after the run\n"
+      "  --jobs N              worker threads for parallel sweeps (default:\n"
+      "                        MECSCHED_JOBS env, else all hardware threads);\n"
+      "                        sweep output is identical for every N\n"
       "\n"
       "algorithms: lp-hta lp-hta-ipm hgos alltoc alloffload local-first "
       "random exact brd portfolio\n";
@@ -552,6 +578,112 @@ int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out) {
   return 0;
 }
 
+int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"grid", "reps", "seed", "cache-capacity", "out"},
+                 {"warm-start", "csv", "list"});
+  args.parse(tokens);
+
+  if (args.get_switch("list")) {
+    Table t({"grid", "x-axis", "cells", "description"});
+    for (const SweepGrid& g : sweep_grids()) {
+      t.add_row({g.name, g.x_label, std::to_string(g.xs.size()),
+                 g.description});
+    }
+    out << t;
+    return 0;
+  }
+
+  const std::string grid_name = args.get("grid", "smoke");
+  const SweepGrid* grid = find_sweep_grid(grid_name);
+  MECSCHED_REQUIRE(grid != nullptr,
+                   "unknown grid: " + grid_name + " (see sweep --list)");
+  const auto reps = static_cast<std::size_t>(args.get_num("reps", 3));
+  MECSCHED_REQUIRE(reps > 0, "--reps must be positive");
+
+  exec::InstanceCache cache(
+      static_cast<std::size_t>(args.get_num("cache-capacity", 128)));
+  exec::SweepOptions sweep_opts;
+  sweep_opts.master_seed =
+      static_cast<std::uint64_t>(args.get_num("seed", 1));
+  sweep_opts.cache = &cache;
+  sweep_opts.warm_start = args.get_switch("warm-start");
+
+  std::vector<std::unique_ptr<assign::Assigner>> algorithms;
+  algorithms.push_back(std::make_unique<assign::LpHta>());
+  algorithms.push_back(std::make_unique<assign::Hgos>());
+  algorithms.push_back(std::make_unique<assign::AllToCloud>());
+  algorithms.push_back(std::make_unique<assign::AllOffload>());
+  std::vector<std::string> names;
+  names.reserve(algorithms.size());
+  for (const auto& a : algorithms) names.push_back(a->name());
+
+  // One cell per (x, repetition); each runs every algorithm on the cell's
+  // scenario. Exact cache hits replace a solve with the identical stored
+  // plan; with --warm-start, LP-HTA additionally seeds its simplex from
+  // the most recent LP-HTA plan (objective-preserving, pivot-path-
+  // sensitive — see docs/parallelism.md).
+  metrics::SeriesCollector series(grid->x_label, names);
+  using CellResult = std::vector<std::pair<std::string, double>>;
+  exec::SweepRunner runner(sweep_opts);
+  const std::vector<CellResult> results = runner.run<CellResult>(
+      grid->xs.size() * reps, [&](exec::CellContext& ctx) {
+        const double x = grid->xs[ctx.index() / reps];
+        const std::uint64_t rep = ctx.index() % reps + 1;
+        const workload::Scenario scenario =
+            workload::make_scenario(grid->config_at(x, rep));
+        const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+        const std::uint64_t fp = exec::fingerprint(instance);
+        CellResult cell;
+        cell.reserve(algorithms.size());
+        for (const auto& algorithm : algorithms) {
+          const std::string name = algorithm->name();
+          const std::uint64_t key = exec::mix(fp, exec::hash_string(name));
+          assign::Assignment plan;
+          if (const auto hit = ctx.cache()->find(key)) {
+            plan = *hit;
+          } else {
+            if (ctx.warm_start() && name == "LP-HTA") {
+              const std::uint64_t family = exec::hash_string(name);
+              const auto hint = ctx.cache()->warm_hint(family);
+              assign::LpHtaOptions lp_opts;
+              lp_opts.warm_hint = hint.get();
+              plan = assign::LpHta(lp_opts).assign(instance);
+              ctx.cache()->store_warm(
+                  family, std::make_shared<const assign::Assignment>(plan));
+            } else {
+              plan = algorithm->assign(instance);
+            }
+            ctx.cache()->insert(key, plan);
+          }
+          cell.emplace_back(name,
+                            grid->metric(assign::evaluate(instance, plan)));
+        }
+        return cell;
+      });
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const double x = grid->xs[i / reps];
+    for (const auto& [name, value] : results[i]) series.add(x, name, value);
+  }
+
+  const std::string out_path = args.get("out", "");
+  if (!out_path.empty()) {
+    series.write_csv(out_path);
+    out << "wrote " << out_path << '\n';
+  } else if (args.get_switch("csv")) {
+    // Bare CSV on stdout: exactly the cell means, byte-identical at every
+    // --jobs count (asserted in commands_test.cpp and CI).
+    series.write_csv(out);
+  } else {
+    out << grid->metric_label << " (" << grid->name << ", jobs="
+        << runner.jobs() << "):\n"
+        << series.to_table(3);
+    const exec::CacheStats cs = cache.stats();
+    out << "cache: " << cs.hits << " hits, " << cs.misses << " misses, "
+        << cs.evictions << " evictions\n";
+  }
+  return 0;
+}
+
 int run(const std::vector<std::string>& argv, std::ostream& out,
         std::ostream& err) {
   if (argv.empty() || argv[0] == "--help" || argv[0] == "help") {
@@ -561,12 +693,13 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
   const std::string command = argv[0];
   std::vector<std::string> rest(argv.begin() + 1, argv.end());
 
-  ObsFlags obs_flags;
+  GlobalFlags obs_flags;
   int code = 1;
   try {
-    obs_flags = strip_obs_flags(rest);
-    if (obs_flags.active()) obs::Registry::global().reset();
+    obs_flags = strip_global_flags(rest);
+    if (obs_flags.obs_active()) obs::Registry::global().reset();
     if (!obs_flags.trace_path.empty()) obs::Tracer::global().enable();
+    if (obs_flags.has_jobs) exec::ThreadPool::set_default_jobs(obs_flags.jobs);
     {
       const obs::ScopedTimer span("cli." + command, "cli");
       code = dispatch(command, rest, out, err);
@@ -575,6 +708,9 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     err << "error: " << e.what() << '\n';
     code = 1;
   }
+  // The --jobs override is per-invocation (the test harness calls run()
+  // repeatedly in one process).
+  if (obs_flags.has_jobs) exec::ThreadPool::set_default_jobs(0);
 
   // Export even when the command failed — a trace of the failing run is
   // precisely the artifact worth keeping.

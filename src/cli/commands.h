@@ -16,6 +16,7 @@
 //   breakdown       — itemized Sec. II cost legs of one task
 //   recover         — repair a plan after a device failure
 //   churn           — run the resilient controller under generated churn
+//   sweep           — run a named figure grid on the parallel sweep runner
 #pragma once
 
 #include <ostream>
@@ -46,6 +47,7 @@ int cmd_online(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_trace(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_dta(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out);
+int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out);
 
 std::string usage();
 

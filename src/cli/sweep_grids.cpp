@@ -1,0 +1,86 @@
+#include "cli/sweep_grids.h"
+
+namespace mecsched::cli {
+namespace {
+
+// Sec. V.A scale shared by the figure grids (mirrors bench_common.h).
+constexpr std::size_t kDevices = 50;
+constexpr std::size_t kStations = 5;
+
+std::vector<double> range(double lo, double hi, double step) {
+  std::vector<double> xs;
+  for (double x = lo; x <= hi; x += step) xs.push_back(x);
+  return xs;
+}
+
+workload::ScenarioConfig tasks_cell(double x, std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.num_devices = kDevices;
+  cfg.num_base_stations = kStations;
+  cfg.num_tasks = static_cast<std::size_t>(x);
+  cfg.max_input_kb = 3000.0;
+  cfg.seed = seed * 1000 + static_cast<std::uint64_t>(x);
+  return cfg;
+}
+
+workload::ScenarioConfig datasize_cell(double x, std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.num_devices = kDevices;
+  cfg.num_base_stations = kStations;
+  cfg.num_tasks = 100;
+  cfg.max_input_kb = x;
+  cfg.seed = seed * 1000 + static_cast<std::uint64_t>(x);
+  return cfg;
+}
+
+double energy(const assign::Metrics& m) { return m.total_energy_j; }
+double latency(const assign::Metrics& m) { return m.mean_latency_s; }
+
+std::vector<SweepGrid> make_grids() {
+  std::vector<SweepGrid> grids;
+  grids.push_back({"fig2a", "energy cost vs number of tasks (100..450)",
+                   "tasks", range(100, 450, 50), tasks_cell, energy,
+                   "total energy (J)"});
+  grids.push_back({"fig2b", "energy cost vs max input size (1000..5000 kB)",
+                   "max input (kB)", range(1000, 5000, 1000), datasize_cell,
+                   energy, "total energy (J)"});
+  grids.push_back({"fig4a", "average latency vs number of tasks (100..450)",
+                   "tasks", range(100, 450, 50), tasks_cell, latency,
+                   "average latency (s)"});
+  grids.push_back({"fig4b", "average latency vs max input size (1000..5000 kB)",
+                   "max input (kB)", range(1000, 5000, 1000), datasize_cell,
+                   latency, "average latency (s)"});
+  // Deliberately tiny: exercises the full parallel path (pool, shards,
+  // cache) in well under a second, for unit tests and the CI determinism
+  // check.
+  grids.push_back({"smoke", "tiny fast grid for tests and CI determinism",
+                   "tasks", range(20, 40, 10),
+                   [](double x, std::uint64_t seed) {
+                     workload::ScenarioConfig cfg;
+                     cfg.num_devices = 10;
+                     cfg.num_base_stations = 2;
+                     cfg.num_tasks = static_cast<std::size_t>(x);
+                     cfg.max_input_kb = 1000.0;
+                     cfg.seed = seed * 1000 + static_cast<std::uint64_t>(x);
+                     return cfg;
+                   },
+                   energy, "total energy (J)"});
+  return grids;
+}
+
+}  // namespace
+
+const std::vector<SweepGrid>& sweep_grids() {
+  static const std::vector<SweepGrid>* grids =
+      new std::vector<SweepGrid>(make_grids());
+  return *grids;
+}
+
+const SweepGrid* find_sweep_grid(const std::string& name) {
+  for (const SweepGrid& g : sweep_grids()) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+}  // namespace mecsched::cli

@@ -1,0 +1,42 @@
+// Named scenario grids for `mecsched sweep`.
+//
+// Each grid mirrors one figure sweep of the paper's Sec. V (same x-axis,
+// scenario knobs and seed derivation as the bench/ binary of the same
+// name), plus a tiny `smoke` grid sized for tests and CI determinism
+// checks. The sweep command fans (x, repetition) cells over
+// exec::SweepRunner, so a grid definition is all data: where the x-axis
+// runs, how a cell's scenario is built, and which metric each cell
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "assign/evaluator.h"
+#include "workload/scenario.h"
+
+namespace mecsched::cli {
+
+struct SweepGrid {
+  std::string name;         // CLI spelling: --grid <name>
+  std::string description;  // one-liner for --list
+  std::string x_label;      // CSV/table header of the x column
+  std::vector<double> xs;
+  // Scenario for the cell at sweep position `x`, repetition seed `seed`
+  // (1-based, matching bench::run_holistic_sweep).
+  std::function<workload::ScenarioConfig(double x, std::uint64_t seed)>
+      config_at;
+  // The per-cell measurement stored under each algorithm's series.
+  std::function<double(const assign::Metrics&)> metric;
+  std::string metric_label;  // e.g. "total energy (J)"
+};
+
+// All built-in grids, in listing order.
+const std::vector<SweepGrid>& sweep_grids();
+
+// nullptr when `name` is not a known grid.
+const SweepGrid* find_sweep_grid(const std::string& name);
+
+}  // namespace mecsched::cli

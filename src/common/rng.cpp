@@ -90,4 +90,15 @@ Rng Rng::fork(std::uint64_t stream) const {
   return Rng(splitmix64(seed_ ^ splitmix64(stream + 1)));
 }
 
+std::uint64_t Rng::substream_seed(std::uint64_t key) const {
+  // Salted differently from fork() so substream(k) and fork(k) are
+  // themselves decorrelated; two splitmix rounds decorrelate adjacent keys.
+  return splitmix64(splitmix64(seed_ + 0x6a09e667f3bcc909ULL) ^
+                    splitmix64(key ^ 0xbb67ae8584caa73bULL));
+}
+
+Rng Rng::substream(std::uint64_t key) const {
+  return Rng(substream_seed(key));
+}
+
 }  // namespace mecsched

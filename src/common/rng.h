@@ -52,6 +52,17 @@ class Rng {
   // the parent's by mixing the fork index into the seed.
   Rng fork(std::uint64_t stream) const;
 
+  // Derives the substream keyed by `key` — the grid-sharding primitive of
+  // the parallel sweep runner. The child depends only on (seed, key),
+  // never on this engine's draw position or on how many other substreams
+  // were derived, so sweep cell `key` generates identical data whether the
+  // grid runs on 1 worker or N (regression-tested in rng_test.cpp).
+  Rng substream(std::uint64_t key) const;
+
+  // The seed substream(key) is built from; callers that persist or log a
+  // cell's seed use this.
+  std::uint64_t substream_seed(std::uint64_t key) const;
+
   std::mt19937_64& engine() { return engine_; }
 
   std::uint64_t seed() const { return seed_; }

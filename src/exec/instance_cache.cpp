@@ -1,0 +1,133 @@
+#include "exec/instance_cache.h"
+
+#include <bit>
+
+#include "common/error.h"
+#include "mec/topology.h"
+#include "obs/registry.h"
+
+namespace mecsched::exec {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  // Canonicalize -0.0 so numerically equal instances hash equal.
+  const double c = v == 0.0 ? 0.0 : v;
+  return mix(h, std::bit_cast<std::uint64_t>(c));
+}
+
+}  // namespace
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ splitmix64(b));
+}
+
+std::uint64_t hash_string(const std::string& s) {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const char c : s) h = mix(h, static_cast<std::uint64_t>(c));
+  return mix(h, s.size());
+}
+
+std::uint64_t fingerprint(const assign::HtaInstance& instance) {
+  const mec::Topology& topo = instance.topology();
+  std::uint64_t h = mix(topo.num_devices(), topo.num_base_stations());
+  for (std::size_t d = 0; d < topo.num_devices(); ++d) {
+    const mec::Device& dev = topo.device(d);
+    h = mix(h, dev.base_station);
+    h = mix_double(h, dev.max_resource);
+  }
+  for (std::size_t b = 0; b < topo.num_base_stations(); ++b) {
+    h = mix_double(h, topo.base_station(b).max_resource);
+  }
+  h = mix(h, instance.num_tasks());
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    const mec::Task& task = instance.task(t);
+    h = mix(h, task.id.user);
+    h = mix_double(h, task.resource);
+    h = mix_double(h, task.deadline_s);
+    for (const mec::Placement p : mec::kAllPlacements) {
+      h = mix_double(h, instance.latency(t, p));
+      h = mix_double(h, instance.energy(t, p));
+    }
+  }
+  return h;
+}
+
+InstanceCache::InstanceCache(std::size_t capacity) : capacity_(capacity) {
+  MECSCHED_REQUIRE(capacity > 0, "InstanceCache capacity must be positive");
+}
+
+std::shared_ptr<const assign::Assignment> InstanceCache::find(
+    std::uint64_t key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    obs::Registry::global().counter("exec.cache.misses").add();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++stats_.hits;
+  obs::Registry::global().counter("exec.cache.hits").add();
+  return it->second->second;
+}
+
+void InstanceCache::insert(std::uint64_t key, assign::Assignment assignment) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto shared = std::make_shared<const assign::Assignment>(std::move(assignment));
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(shared);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(shared));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+    obs::Registry::global().counter("exec.cache.evictions").add();
+  }
+}
+
+std::shared_ptr<const assign::Assignment> InstanceCache::warm_hint(
+    std::uint64_t family) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = warm_.find(family);
+  return it == warm_.end() ? nullptr : it->second;
+}
+
+void InstanceCache::store_warm(
+    std::uint64_t family,
+    std::shared_ptr<const assign::Assignment> assignment) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  warm_[family] = std::move(assignment);
+}
+
+std::size_t InstanceCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+CacheStats InstanceCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void InstanceCache::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  warm_.clear();
+  stats_ = CacheStats{};
+}
+
+}  // namespace mecsched::exec

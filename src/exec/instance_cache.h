@@ -1,0 +1,82 @@
+// Memoization for repeated HTA solves: an LRU keyed by a canonical
+// fingerprint of the instance, plus a "warm hint" side-channel that hands
+// the most recent solution of a grid family to LP-HTA as a simplex warm
+// start for the adjacent cell.
+//
+// The fingerprint hashes exactly the quantities the assignment algorithms
+// read — per-placement latencies/energies, deadlines, resource demands,
+// cluster membership and the device/station capacities — so two instances
+// with the same fingerprint are solver-indistinguishable, and a cache hit
+// returns byte-for-byte what a fresh solve would. Warm hints are weaker by
+// design: they accelerate the LP pivot path of a *similar* instance and
+// preserve the LP objective, but never short-circuit the solve (see
+// docs/parallelism.md, "Warm starts").
+//
+// Thread-safe: the sweep workers share one cache. Hits/misses/evictions
+// report into obs (exec.cache.*) and are also readable via stats().
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "assign/assignment.h"
+#include "assign/hta_instance.h"
+
+namespace mecsched::exec {
+
+// Canonical 64-bit fingerprint of everything the assigners consume.
+std::uint64_t fingerprint(const assign::HtaInstance& instance);
+
+// Order-dependent hash combiners for building cache keys (e.g. mixing an
+// algorithm name into an instance fingerprint).
+std::uint64_t mix(std::uint64_t a, std::uint64_t b);
+std::uint64_t hash_string(const std::string& s);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+};
+
+class InstanceCache {
+ public:
+  explicit InstanceCache(std::size_t capacity = 128);
+
+  // Exact-hit lookup; refreshes LRU order. nullptr on miss.
+  std::shared_ptr<const assign::Assignment> find(std::uint64_t key);
+
+  // Inserts (or refreshes) a solved assignment, evicting the least
+  // recently used entry when over capacity.
+  void insert(std::uint64_t key, assign::Assignment assignment);
+
+  // Most recent solution stored for `family` (a caller-chosen grouping of
+  // similar instances, e.g. hash of (algorithm, repetition)); nullptr when
+  // the family has no solution yet.
+  std::shared_ptr<const assign::Assignment> warm_hint(
+      std::uint64_t family) const;
+  void store_warm(std::uint64_t family,
+                  std::shared_ptr<const assign::Assignment> assignment);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  CacheStats stats() const;
+  void clear();
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::shared_ptr<const assign::Assignment>>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const assign::Assignment>>
+      warm_;
+  CacheStats stats_;
+};
+
+}  // namespace mecsched::exec

@@ -1,0 +1,122 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "obs/registry.h"
+
+namespace mecsched::exec {
+
+namespace {
+
+std::atomic<std::size_t>& jobs_override() {
+  static std::atomic<std::size_t> value{0};
+  return value;
+}
+
+}  // namespace
+
+std::size_t ThreadPool::default_jobs() {
+  const std::size_t forced = jobs_override().load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  if (const char* env = std::getenv("MECSCHED_JOBS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::set_default_jobs(std::size_t n) {
+  jobs_override().store(n, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = workers > 0 ? workers : default_jobs();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    MECSCHED_REQUIRE(!stop_, "ThreadPool: submit after shutdown");
+  }
+  const std::size_t shard =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  {
+    const std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+    shards_[shard]->queue.push_back(std::move(task));
+  }
+  const std::size_t depth =
+      pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("exec.pool.tasks").add();
+  reg.gauge("exec.pool.queue_depth").set(static_cast<double>(depth));
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task) {
+  {
+    Shard& own = *shards_[id];
+    const std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.back());
+      own.queue.pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < shards_.size(); ++k) {
+    Shard& victim = *shards_[(id + k) % shards_.size()];
+    const std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.queue.empty()) {
+      task = std::move(victim.queue.front());
+      victim.queue.pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      obs::Registry::global().counter("exec.pool.steals").add();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(id, task)) {
+      obs::Registry::global().gauge("exec.pool.queue_depth")
+          .set(static_cast<double>(pending_.load(std::memory_order_relaxed)));
+      task();  // packaged_task captures any exception into its future
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_relaxed) == 0) return;
+  }
+}
+
+}  // namespace mecsched::exec

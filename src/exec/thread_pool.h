@@ -1,0 +1,92 @@
+// Work-stealing thread pool — the execution substrate of the sweep runner.
+//
+// Fixed worker count, one deque per worker: a worker pops its own deque
+// from the back (LIFO, cache-warm) and steals from the front of a
+// sibling's deque when its own runs dry, so an uneven grid keeps every
+// core busy. Design points:
+//
+//   * submit() returns a std::future; a task that throws stores the
+//     exception in its future instead of tearing the pool down,
+//   * shutdown is graceful: the destructor (or shutdown()) stops intake,
+//     drains every queued task, then joins the workers,
+//   * observable: exec.pool.queue_depth (gauge), exec.pool.steals and
+//     exec.pool.tasks (counters) report into obs::Registry::global().
+//
+// The worker count defaults to default_jobs(): the CLI-wide --jobs flag
+// (set_default_jobs) wins, then the MECSCHED_JOBS environment variable,
+// then one worker per hardware thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mecsched::exec {
+
+class ThreadPool {
+ public:
+  // `workers` = 0 picks default_jobs().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();  // graceful: drains queued work, then joins
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Schedules `f` and returns the future of its result. Exceptions thrown
+  // by `f` surface from future::get(). Throws ModelError after shutdown.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Tasks submitted but not yet started.
+  std::size_t queue_depth() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  // Stops intake, finishes every queued task, joins. Idempotent; the
+  // destructor calls it.
+  void shutdown();
+
+  // Worker count used when a pool (or sweep) is built with jobs = 0:
+  // set_default_jobs() override > MECSCHED_JOBS env > hardware threads.
+  static std::size_t default_jobs();
+  // Process-wide override (the CLI's --jobs). 0 clears the override.
+  static void set_default_jobs(std::size_t n);
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void enqueue(std::function<void()> task);
+  void worker_loop(std::size_t id);
+  // Pops own work from the back, else steals from a sibling's front.
+  bool try_pop(std::size_t id, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;                  // guarded by wake_mu_
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> next_shard_{0};
+};
+
+}  // namespace mecsched::exec

@@ -18,7 +18,13 @@ enum class VarState { kBasic, kAtLower, kAtUpper };
 // mutable solver state for one solve.
 class Tableau {
  public:
-  Tableau(const Problem& p, const SimplexOptions& opt) : opt_(opt) {
+  // `guess` (optional, one entry per structural variable) warm-starts the
+  // solve: structurals snap to their nearest finite bound and rows whose
+  // slack can absorb the residual get a slack-basic crash start. The cold
+  // path (guess == nullptr) is bit-identical to the historical all-
+  // artificial start.
+  Tableau(const Problem& p, const SimplexOptions& opt,
+          const std::vector<double>* guess) : opt_(opt) {
     const std::size_t m = p.num_constraints();
     n_struct_ = p.num_variables();
 
@@ -41,15 +47,18 @@ class Tableau {
     }
 
     std::size_t slack = n_struct_;
+    std::vector<std::size_t> slack_of(m, kNone);
     for (std::size_t r = 0; r < m; ++r) {
       const Constraint& c = p.constraint(r);
       for (const Term& t : c.terms) a_(r, t.var) = t.coeff;
       b_[r] = c.rhs;
       switch (c.relation) {
         case Relation::kLessEqual:
+          slack_of[r] = slack;
           a_(r, slack++) = 1.0;
           break;
         case Relation::kGreaterEqual:
+          slack_of[r] = slack;
           a_(r, slack++) = -1.0;
           break;
         case Relation::kEqual:
@@ -59,11 +68,22 @@ class Tableau {
     art_begin_ = n_struct_ + n_slack;
 
     // Nonbasic start: every non-artificial variable at its (finite) lower
-    // bound. Artificials absorb the residual with a ±1 coefficient so their
-    // phase-1 value is non-negative.
+    // bound — or, when warm-starting, at whichever finite bound the guess
+    // is nearest to. Artificials absorb the residual with a ±1 coefficient
+    // so their phase-1 value is non-negative.
     state_.assign(n_total, VarState::kAtLower);
     x_.assign(n_total, 0.0);
     for (std::size_t v = 0; v < art_begin_; ++v) x_[v] = lo_[v];
+    if (guess != nullptr) {
+      for (std::size_t v = 0; v < n_struct_; ++v) {
+        const double g = (*guess)[v];
+        if (std::isfinite(hi_[v]) &&
+            std::fabs(g - hi_[v]) < std::fabs(g - lo_[v])) {
+          state_[v] = VarState::kAtUpper;
+          x_[v] = hi_[v];
+        }
+      }
+    }
 
     std::vector<double> residual = b_;
     for (std::size_t v = 0; v < art_begin_; ++v) {
@@ -75,6 +95,21 @@ class Tableau {
     binv_ = Matrix(m, m);
     for (std::size_t r = 0; r < m; ++r) {
       const std::size_t art = art_begin_ + r;
+      if (guess != nullptr && slack_of[r] != kNone) {
+        // Crash start: the slack column is ±e_r, so it serves as the basic
+        // variable whenever the warm point leaves it non-negative; the
+        // row's artificial then starts (and stays) at zero.
+        const std::size_t s = slack_of[r];
+        const double value = residual[r] * a_(r, s);
+        if (value >= 0.0) {
+          basis_[r] = s;
+          state_[s] = VarState::kBasic;
+          x_[s] = value;
+          binv_(r, r) = a_(r, s);  // B column = ±e_r => B^-1 entry = ±1
+          a_(r, art) = 1.0;
+          continue;
+        }
+      }
       const double sign = residual[r] >= 0.0 ? 1.0 : -1.0;
       a_(r, art) = sign;
       basis_[r] = art;
@@ -367,8 +402,21 @@ class Tableau {
 }  // namespace
 
 Solution SimplexSolver::solve(const Problem& problem) const {
+  return solve_instrumented(problem, nullptr);
+}
+
+Solution SimplexSolver::solve(const Problem& problem,
+                              const std::vector<double>& guess) const {
+  MECSCHED_REQUIRE(guess.size() == problem.num_variables(),
+                   "warm-start guess size must match variable count");
+  obs::Registry::global().counter("lp.simplex.warm_solves").add();
+  return solve_instrumented(problem, &guess);
+}
+
+Solution SimplexSolver::solve_instrumented(
+    const Problem& problem, const std::vector<double>* guess) const {
   const obs::ScopedTimer span("lp.simplex.solve", "lp");
-  Solution out = solve_impl(problem);
+  Solution out = solve_impl(problem, guess);
   obs::Registry& reg = obs::Registry::global();
   reg.counter("lp.simplex.solves").add();
   reg.counter("lp.simplex.pivots").add(out.iterations);
@@ -378,14 +426,15 @@ Solution SimplexSolver::solve(const Problem& problem) const {
   return out;
 }
 
-Solution SimplexSolver::solve_impl(const Problem& problem) const {
+Solution SimplexSolver::solve_impl(const Problem& problem,
+                                   const std::vector<double>* guess) const {
   Solution out;
   if (problem.num_variables() == 0) {
     out.status = SolveStatus::kOptimal;
     return out;
   }
 
-  Tableau t(problem, options_);
+  Tableau t(problem, options_, guess);
 
   // Phase 1: drive the artificials to zero.
   const SolveStatus phase1 = t.optimize(t.phase1_costs());

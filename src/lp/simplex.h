@@ -44,8 +44,21 @@ class SimplexSolver {
   // pivots-per-solve histogram.
   Solution solve(const Problem& problem) const;
 
+  // Warm-started solve. `guess` holds one value per problem variable and
+  // is snapped to each variable's nearest finite bound to form the initial
+  // nonbasic point; inequality rows whose slack can absorb the residual
+  // start with the slack basic (a crash basis), so a near-feasible guess
+  // skips most of phase 1. Warm starting changes the pivot path, never the
+  // optimum: the returned objective equals the cold solve's (asserted in
+  // simplex_test.cpp). Counts into lp.simplex.warm_solves.
+  Solution solve(const Problem& problem,
+                 const std::vector<double>& guess) const;
+
  private:
-  Solution solve_impl(const Problem& problem) const;
+  Solution solve_instrumented(const Problem& problem,
+                              const std::vector<double>* guess) const;
+  Solution solve_impl(const Problem& problem,
+                      const std::vector<double>* guess) const;
 
   SimplexOptions options_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <ostream>
 
 #include "common/csv.h"
 #include "common/error.h"
@@ -107,10 +108,13 @@ Table SeriesCollector::to_table(int precision) const {
   return t;
 }
 
-void SeriesCollector::write_csv(const std::string& path, int precision) const {
+std::vector<std::vector<std::string>> SeriesCollector::csv_rows(
+    int precision) const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(cells_.size() + 1);
   std::vector<std::string> header = {x_label_};
   header.insert(header.end(), names_.begin(), names_.end());
-  CsvWriter csv(path, header);
+  rows.push_back(std::move(header));
   for (const auto& [x, row] : cells_) {
     std::vector<std::string> cells = {format_x(x)};
     for (const std::string& name : names_) {
@@ -119,7 +123,24 @@ void SeriesCollector::write_csv(const std::string& path, int precision) const {
                           ? ""
                           : Table::num(cell->second.mean(), precision));
     }
-    csv.write_row(cells);
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+void SeriesCollector::write_csv(const std::string& path, int precision) const {
+  std::vector<std::vector<std::string>> rows = csv_rows(precision);
+  CsvWriter csv(path, rows.front());
+  for (std::size_t i = 1; i < rows.size(); ++i) csv.write_row(rows[i]);
+}
+
+void SeriesCollector::write_csv(std::ostream& out, int precision) const {
+  for (const std::vector<std::string>& row : csv_rows(precision)) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << CsvWriter::escape(row[i]);
+    }
+    out << '\n';
   }
 }
 

@@ -7,6 +7,7 @@
 // reports".
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,8 +56,14 @@ class SeriesCollector {
 
   // Writes the same grid as CSV.
   void write_csv(const std::string& path, int precision = 6) const;
+  // Same rows to an already-open stream (e.g. stdout for `mecsched sweep
+  // --csv`). Row content is identical to the file variant.
+  void write_csv(std::ostream& out, int precision = 6) const;
 
  private:
+  // Header + data rows, shared by both write_csv overloads.
+  std::vector<std::vector<std::string>> csv_rows(int precision) const;
+
   std::string x_label_;
   std::vector<std::string> names_;
   std::map<double, std::map<std::string, Summary>> cells_;

@@ -69,6 +69,10 @@ class Histogram {
   // Cumulative counts per finite bucket (Prometheus `le` semantics);
   // summary().count() is the +Inf entry.
   std::vector<std::uint64_t> cumulative_buckets() const;
+  // Folds another histogram's samples in: summaries merge via
+  // Summary::merge, buckets add element-wise (the shared static grid makes
+  // this exact). Safe against concurrent observers of either side.
+  void merge_from(const Histogram& other);
   void reset();
 
  private:
@@ -93,6 +97,13 @@ class Registry {
   // Zeroes every metric in place. Entries (and references to them) remain
   // valid — callers caching references across reset() keep working.
   void reset();
+
+  // Folds another registry's values into this one: counters add,
+  // histograms merge sample-exactly, gauges take the other's value (last
+  // merge wins — merge shards in a deterministic order when gauge values
+  // matter). This is how the sweep runner reduces per-cell metric shards
+  // into the global registry after a parallel join.
+  void merge_from(const Registry& other);
 
   // Stable-ordered snapshots for the exporters.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;

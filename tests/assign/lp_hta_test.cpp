@@ -157,5 +157,58 @@ TEST(LpHtaTest, EmptyInstance) {
   EXPECT_EQ(a.size(), 0u);
 }
 
+// Warm hints feed the cluster LPs a crash basis; the LP optimum — and so
+// the Theorem-2 diagnostics built on it — must not move. This is the
+// warm-start-equals-cold-start guarantee the sweep cache relies on.
+TEST(LpHtaTest, WarmHintPreservesTheLpObjective) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto s = small_scenario(seed, 40, 12, 3);
+    const HtaInstance inst(s.topology, s.tasks);
+
+    LpHtaReport cold_report;
+    const Assignment cold = LpHta().assign_with_report(inst, cold_report);
+
+    // Hint with the cold solution itself (the best case) and with a plan
+    // for a *different* instance (the adjacent-cell case).
+    const auto other = small_scenario(seed + 100, 40, 12, 3);
+    const HtaInstance other_inst(other.topology, other.tasks);
+    const Assignment other_plan = LpHta().assign(other_inst);
+
+    for (const Assignment* hint : {&cold, &other_plan}) {
+      LpHtaOptions options;
+      options.warm_hint = hint;
+      LpHtaReport warm_report;
+      const Assignment warm =
+          LpHta(options).assign_with_report(inst, warm_report);
+      EXPECT_NEAR(warm_report.lp_objective, cold_report.lp_objective,
+                  1e-6 * (1.0 + cold_report.lp_objective))
+          << "seed " << seed;
+      EXPECT_TRUE(check_feasibility(inst, warm).ok) << "seed " << seed;
+    }
+  }
+}
+
+// A hint that is plain garbage (wrong size, all-cancel) must not break
+// correctness either — it only changes the pivot path.
+TEST(LpHtaTest, DegenerateWarmHintsAreHarmless) {
+  const auto s = small_scenario(2);
+  const HtaInstance inst(s.topology, s.tasks);
+  LpHtaReport cold_report;
+  LpHta().assign_with_report(inst, cold_report);
+
+  Assignment short_hint;  // covers no tasks
+  Assignment cancel_hint;
+  cancel_hint.decisions.assign(inst.num_tasks(), Decision::kCancelled);
+  for (const Assignment* hint : {&short_hint, &cancel_hint}) {
+    LpHtaOptions options;
+    options.warm_hint = hint;
+    LpHtaReport warm_report;
+    const Assignment warm = LpHta(options).assign_with_report(inst, warm_report);
+    EXPECT_NEAR(warm_report.lp_objective, cold_report.lp_objective,
+                1e-6 * (1.0 + cold_report.lp_objective));
+    EXPECT_TRUE(check_feasibility(inst, warm).ok);
+  }
+}
+
 }  // namespace
 }  // namespace mecsched::assign

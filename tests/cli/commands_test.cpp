@@ -328,5 +328,61 @@ TEST_F(CliTest, ExactAlgorithmOnTinyScenario) {
             0);
 }
 
+TEST_F(CliTest, SweepListsGrids) {
+  ASSERT_EQ(run_cli({"sweep", "--list"}), 0) << err_.str();
+  for (const char* grid : {"fig2a", "fig2b", "fig4a", "fig4b", "smoke"}) {
+    EXPECT_NE(out_.str().find(grid), std::string::npos) << grid;
+  }
+}
+
+TEST_F(CliTest, SweepRejectsUnknownGrid) {
+  EXPECT_EQ(run_cli({"sweep", "--grid", "fig99"}), 1);
+  EXPECT_NE(err_.str().find("unknown grid"), std::string::npos);
+}
+
+// The headline determinism guarantee: the sweep CSV is byte-identical at
+// every --jobs count (and with the warm-start cache path enabled).
+TEST_F(CliTest, SweepCsvIsByteIdenticalAcrossJobCounts) {
+  ASSERT_EQ(run_cli({"sweep", "--grid", "smoke", "--csv", "--jobs", "1"}), 0)
+      << err_.str();
+  const std::string serial = out_.str();
+  EXPECT_NE(serial.find("tasks,LP-HTA,HGOS,AllToC,AllOffload"),
+            std::string::npos);
+
+  ASSERT_EQ(run_cli({"sweep", "--grid", "smoke", "--csv", "--jobs", "8"}), 0)
+      << err_.str();
+  EXPECT_EQ(out_.str(), serial);
+
+  ASSERT_EQ(run_cli({"sweep", "--grid", "smoke", "--csv", "--jobs", "8",
+                     "--warm-start"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(out_.str(), serial);
+}
+
+TEST_F(CliTest, SweepTableReportsCacheAndJobs) {
+  ASSERT_EQ(run_cli({"sweep", "--grid", "smoke", "--reps", "1", "--jobs",
+                     "2"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("jobs=2"), std::string::npos);
+  EXPECT_NE(out_.str().find("cache:"), std::string::npos);
+}
+
+TEST_F(CliTest, SweepWritesCsvFile) {
+  ASSERT_EQ(run_cli({"sweep", "--grid", "smoke", "--reps", "1", "--out",
+                     path("sweep.csv")}),
+            0)
+      << err_.str();
+  const std::string csv = io::read_file(path("sweep.csv"));
+  EXPECT_NE(csv.find("tasks,LP-HTA"), std::string::npos);
+  std::remove(path("sweep.csv").c_str());
+}
+
+TEST_F(CliTest, JobsFlagRejectsGarbage) {
+  EXPECT_EQ(run_cli({"sweep", "--grid", "smoke", "--jobs", "zero"}), 1);
+  EXPECT_NE(err_.str().find("--jobs"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mecsched::cli

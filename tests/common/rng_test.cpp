@@ -130,5 +130,44 @@ TEST(RngTest, UniformRejectsInvertedBounds) {
   EXPECT_THROW(rng.uniform_int(5, 4), ModelError);
 }
 
+// Regression for the parallel-sweep contract: substream(key) must depend
+// only on (seed, key) — not on how much the parent was drawn from or how
+// many other substreams were derived first. A violation here would make
+// sweep results depend on worker scheduling.
+TEST(RngTest, SubstreamIsIndependentOfOtherDrawsAndDerivations) {
+  Rng fresh(123);
+  Rng used(123);
+  for (int i = 0; i < 37; ++i) (void)used.uniform(0.0, 1.0);
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    Rng other = used.substream(k);
+    (void)other.uniform(0.0, 1.0);
+  }
+  EXPECT_EQ(fresh.substream_seed(77), used.substream_seed(77));
+  Rng a = fresh.substream(77);
+  Rng b = used.substream(77);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  }
+}
+
+TEST(RngTest, SubstreamsAreDecorrelatedAcrossKeysAndFromFork) {
+  const Rng root(9);
+  EXPECT_NE(root.substream_seed(1), root.substream_seed(2));
+  // Adjacent keys and the equally-keyed fork() child must all be distinct
+  // streams.
+  Rng s1 = root.substream(1);
+  Rng s2 = root.substream(2);
+  Rng f1 = root.fork(1);
+  int s1_eq_s2 = 0;
+  int s1_eq_f1 = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto a = s1.uniform_int(0, 1 << 30);
+    if (a == s2.uniform_int(0, 1 << 30)) ++s1_eq_s2;
+    if (a == f1.uniform_int(0, 1 << 30)) ++s1_eq_f1;
+  }
+  EXPECT_LT(s1_eq_s2, 3);
+  EXPECT_LT(s1_eq_f1, 3);
+}
+
 }  // namespace
 }  // namespace mecsched

@@ -1,0 +1,130 @@
+#include "exec/instance_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "assign/hta_instance.h"
+#include "common/error.h"
+#include "workload/scenario.h"
+
+namespace mecsched::exec {
+namespace {
+
+workload::Scenario small_scenario(std::uint64_t seed, std::size_t tasks = 12) {
+  workload::ScenarioConfig cfg;
+  cfg.num_tasks = tasks;
+  cfg.num_devices = 5;
+  cfg.num_base_stations = 2;
+  cfg.seed = seed;
+  return workload::make_scenario(cfg);
+}
+
+assign::Assignment plan_of(std::size_t n, assign::Decision d) {
+  assign::Assignment a;
+  a.decisions.assign(n, d);
+  return a;
+}
+
+TEST(FingerprintTest, IdenticalInstancesAgree) {
+  const workload::Scenario a = small_scenario(11);
+  const workload::Scenario b = small_scenario(11);
+  const assign::HtaInstance ia(a.topology, a.tasks);
+  const assign::HtaInstance ib(b.topology, b.tasks);
+  EXPECT_EQ(fingerprint(ia), fingerprint(ib));
+}
+
+TEST(FingerprintTest, SeedAndSizeChangeTheFingerprint) {
+  const workload::Scenario base = small_scenario(11);
+  const workload::Scenario reseeded = small_scenario(12);
+  const workload::Scenario bigger = small_scenario(11, 13);
+  const assign::HtaInstance i0(base.topology, base.tasks);
+  const assign::HtaInstance i1(reseeded.topology, reseeded.tasks);
+  const assign::HtaInstance i2(bigger.topology, bigger.tasks);
+  EXPECT_NE(fingerprint(i0), fingerprint(i1));
+  EXPECT_NE(fingerprint(i0), fingerprint(i2));
+}
+
+TEST(FingerprintTest, DeadlineTweakChangesTheFingerprint) {
+  const workload::Scenario s = small_scenario(11);
+  auto tweaked = s.tasks;
+  tweaked[0].deadline_s += 0.125;
+  const assign::HtaInstance before(s.topology, s.tasks);
+  const assign::HtaInstance after(s.topology, tweaked);
+  EXPECT_NE(fingerprint(before), fingerprint(after));
+}
+
+TEST(MixTest, OrderAndStringSensitivity) {
+  EXPECT_NE(mix(1, 2), mix(2, 1));
+  EXPECT_NE(hash_string("LP-HTA"), hash_string("HGOS"));
+  EXPECT_EQ(hash_string("LP-HTA"), hash_string("LP-HTA"));
+}
+
+TEST(InstanceCacheTest, MissThenHitReturnsTheStoredPlan) {
+  InstanceCache cache(4);
+  EXPECT_EQ(cache.find(42), nullptr);
+  cache.insert(42, plan_of(3, assign::Decision::kEdge));
+  const auto hit = cache.find(42);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->decisions.size(), 3u);
+  EXPECT_EQ(hit->decisions[0], assign::Decision::kEdge);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(InstanceCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  InstanceCache cache(2);
+  cache.insert(1, plan_of(1, assign::Decision::kLocal));
+  cache.insert(2, plan_of(1, assign::Decision::kEdge));
+  // Touch 1 so 2 becomes the LRU entry.
+  ASSERT_NE(cache.find(1), nullptr);
+  cache.insert(3, plan_of(1, assign::Decision::kCloud));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);  // evicted
+  EXPECT_NE(cache.find(3), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(InstanceCacheTest, ReinsertRefreshesInsteadOfDuplicating) {
+  InstanceCache cache(2);
+  cache.insert(1, plan_of(1, assign::Decision::kLocal));
+  cache.insert(1, plan_of(2, assign::Decision::kCloud));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto hit = cache.find(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->decisions.size(), 2u);
+}
+
+TEST(InstanceCacheTest, WarmHintsTrackTheLatestFamilySolution) {
+  InstanceCache cache(4);
+  const std::uint64_t family = hash_string("LP-HTA");
+  EXPECT_EQ(cache.warm_hint(family), nullptr);
+  cache.store_warm(family, std::make_shared<const assign::Assignment>(
+                               plan_of(2, assign::Decision::kLocal)));
+  cache.store_warm(family, std::make_shared<const assign::Assignment>(
+                               plan_of(5, assign::Decision::kCloud)));
+  const auto hint = cache.warm_hint(family);
+  ASSERT_NE(hint, nullptr);
+  EXPECT_EQ(hint->decisions.size(), 5u);
+  EXPECT_EQ(cache.warm_hint(family + 1), nullptr);
+}
+
+TEST(InstanceCacheTest, ClearDropsEntriesAndHints) {
+  InstanceCache cache(4);
+  cache.insert(7, plan_of(1, assign::Decision::kLocal));
+  cache.store_warm(1, std::make_shared<const assign::Assignment>(
+                          plan_of(1, assign::Decision::kLocal)));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.warm_hint(1), nullptr);
+}
+
+TEST(InstanceCacheTest, ZeroCapacityIsRejected) {
+  EXPECT_THROW(InstanceCache(0), ModelError);
+}
+
+}  // namespace
+}  // namespace mecsched::exec

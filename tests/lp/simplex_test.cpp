@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "common/error.h"
 #include "lp/problem.h"
 
 namespace mecsched::lp {
@@ -158,6 +161,60 @@ TEST(SimplexTest, FixedVariableViaEqualBounds) {
   ASSERT_TRUE(s.optimal());
   EXPECT_NEAR(s.x[0], 2.0, 1e-9);
   EXPECT_NEAR(s.x[1], 3.0, 1e-8);
+}
+
+// The Hillier-Lieberman LP of ClassicTwoVariableLP, reused by the warm-
+// start tests below.
+Problem classic_lp() {
+  Problem p;
+  const auto x = p.add_variable(-3.0, 0.0, kInfinity);
+  const auto y = p.add_variable(-5.0, 0.0, kInfinity);
+  p.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  p.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  return p;
+}
+
+TEST(SimplexTest, WarmStartNeverChangesTheOptimum) {
+  const Problem p = classic_lp();
+  const Solution cold = SimplexSolver().solve(p);
+  ASSERT_TRUE(cold.optimal());
+  // Whatever the guess — the optimum, a wrong vertex, an infeasible point —
+  // the warm solve must land on the same objective.
+  const std::vector<std::vector<double>> guesses = {
+      {2.0, 6.0},     // the optimum itself
+      {4.0, 0.0},     // a different vertex
+      {100.0, -5.0},  // nowhere near feasible
+      {0.0, 0.0},     // the cold start's own point
+  };
+  for (const auto& guess : guesses) {
+    const Solution warm = SimplexSolver().solve(p, guess);
+    ASSERT_TRUE(warm.optimal());
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-8);
+    EXPECT_NEAR(warm.x[0], cold.x[0], 1e-8);
+    EXPECT_NEAR(warm.x[1], cold.x[1], 1e-8);
+  }
+}
+
+TEST(SimplexTest, WarmStartHandlesBoundedAndEqualityRows) {
+  // min x + 2y s.t. x + y = 3, x - y = 1 -> x=2, y=1 (equality rows get no
+  // slack, so the crash start must fall back to artificials there).
+  Problem p;
+  const auto x = p.add_variable(1.0, 0.0, 10.0);
+  const auto y = p.add_variable(2.0, 0.0, 10.0);
+  p.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 3.0);
+  p.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0);
+  const Solution warm = SimplexSolver().solve(p, {9.5, 9.5});
+  ASSERT_TRUE(warm.optimal());
+  EXPECT_NEAR(warm.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(warm.x[1], 1.0, 1e-8);
+  EXPECT_NEAR(warm.objective, 4.0, 1e-8);
+}
+
+TEST(SimplexTest, WarmStartGuessSizeMismatchThrows) {
+  const Problem p = classic_lp();
+  EXPECT_THROW(SimplexSolver().solve(p, {1.0}), ModelError);
+  EXPECT_THROW(SimplexSolver().solve(p, {1.0, 2.0, 3.0}), ModelError);
 }
 
 }  // namespace

@@ -143,5 +143,57 @@ TEST(RegistryTest, ConcurrentWritersProduceExactTotals) {
   EXPECT_GE(reg.gauge("shared.gauge").value(), 0.0);
 }
 
+TEST(HistogramTest, MergeFromIsSampleExact) {
+  Histogram a, b, reference;
+  for (double v : {0.5, 2.0, 5000.0}) {
+    a.observe(v);
+    reference.observe(v);
+  }
+  for (double v : {0.002, 0.5, 1e12}) {
+    b.observe(v);
+    reference.observe(v);
+  }
+  a.merge_from(b);
+  const Summary merged = a.summary();
+  const Summary expected = reference.summary();
+  EXPECT_EQ(merged.count(), expected.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), expected.mean());
+  EXPECT_DOUBLE_EQ(merged.min(), expected.min());
+  EXPECT_DOUBLE_EQ(merged.max(), expected.max());
+  // The shared static bucket grid makes the merge exact per bucket too.
+  EXPECT_EQ(a.cumulative_buckets(), reference.cumulative_buckets());
+}
+
+TEST(HistogramTest, MergeFromEmptyIsANoOp) {
+  Histogram a, empty;
+  a.observe(4.0);
+  a.merge_from(empty);
+  EXPECT_EQ(a.summary().count(), 1u);
+  EXPECT_DOUBLE_EQ(a.summary().mean(), 4.0);
+}
+
+TEST(RegistryTest, MergeFromAggregatesEveryMetricKind) {
+  Registry a, b;
+  a.counter("shared.c").add(2);
+  b.counter("shared.c").add(3);
+  b.counter("only.b").add(7);
+  a.gauge("g").set(1.5);
+  b.gauge("g").set(2.5);
+  a.histogram("h").observe(1.0);
+  b.histogram("h").observe(3.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("shared.c").value(), 5u);
+  EXPECT_EQ(a.counter("only.b").value(), 7u);
+  // Gauges are last-merge-wins.
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 2.5);
+  const Summary s = a.histogram("h").summary();
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  // `b` is untouched.
+  EXPECT_EQ(b.counter("shared.c").value(), 3u);
+  EXPECT_EQ(b.histogram("h").summary().count(), 1u);
+}
+
 }  // namespace
 }  // namespace mecsched::obs
