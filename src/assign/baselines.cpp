@@ -4,6 +4,7 @@
 #include <numeric>
 #include <vector>
 
+#include "audit/assignment_audit.h"
 #include "common/rng.h"
 
 namespace mecsched::assign {
@@ -13,6 +14,8 @@ using mec::Placement;
 Assignment AllToCloud::assign(const HtaInstance& instance) const {
   Assignment out;
   out.decisions.assign(instance.num_tasks(), Decision::kCloud);
+  audit::check_assignment(instance, out, {.deadlines = false, .capacity = true},
+                          "alltoc");
   return out;
 }
 
@@ -48,6 +51,8 @@ Assignment AllOffload::assign(const HtaInstance& instance) const {
       load += r;
     }
   }
+  audit::check_assignment(instance, out, {.deadlines = false, .capacity = true},
+                          "alloffload");
   return out;
 }
 
@@ -74,6 +79,8 @@ Assignment RandomAssign::assign(const HtaInstance& instance) const {
       station_load[bs] += task.resource;
     }  // otherwise stays kCloud
   }
+  audit::check_assignment(instance, out, {.deadlines = false, .capacity = true},
+                          "random");
   return out;
 }
 
@@ -101,6 +108,8 @@ Assignment LocalFirst::assign(const HtaInstance& instance) const {
       out.decisions[t] = Decision::kCloud;
     }  // else remains cancelled
   }
+  audit::check_assignment(instance, out, {.deadlines = true, .capacity = true},
+                          "local-first");
   return out;
 }
 

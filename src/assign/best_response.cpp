@@ -4,6 +4,8 @@
 #include <limits>
 #include <vector>
 
+#include "audit/assignment_audit.h"
+
 namespace mecsched::assign {
 
 using mec::Placement;
@@ -157,6 +159,9 @@ Assignment BestResponse::assign_with_report(const HtaInstance& instance,
       break;
     }
   }
+  // BRD restricts the strategy space by (C2)/(C3) but ignores deadlines.
+  audit::check_assignment(instance, out, {.deadlines = false, .capacity = true},
+                          "brd");
   return out;
 }
 

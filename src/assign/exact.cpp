@@ -3,6 +3,7 @@
 #include <cmath>
 #include <map>
 
+#include "audit/assignment_audit.h"
 #include "common/error.h"
 #include "lp/problem.h"
 
@@ -86,6 +87,10 @@ ExactResult ExactHta::solve(const HtaInstance& instance) const {
     result.energy +=
         instance.energy(t, to_placement(result.assignment.decisions[t]));
   }
+  // The exact solver optimizes subject to (C1)–(C5); its output must be
+  // feasible outright.
+  audit::check_assignment(instance, result.assignment,
+                          {.deadlines = true, .capacity = true}, "exact");
   return result;
 }
 

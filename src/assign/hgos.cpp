@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 
+#include "audit/assignment_audit.h"
 #include "mec/cost_model.h"
 
 namespace mecsched::assign {
@@ -67,6 +68,10 @@ Assignment Hgos::assign(const HtaInstance& instance) const {
       break;
     }
   }
+  // HGOS never consults deadlines (its defining flaw, Sec. V.B), so the
+  // contract audits capacity only.
+  audit::check_assignment(instance, out, {.deadlines = false, .capacity = true},
+                          "hgos");
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include <map>
 #include <vector>
 
+#include "audit/assignment_audit.h"
 #include "common/error.h"
 #include "lp/interior_point.h"
 #include "lp/presolve.h"
@@ -359,6 +360,10 @@ Assignment LpHta::assign_with_report(const HtaInstance& instance,
     reg.gauge("lp_hta.last_integrality_gap").set(gap);
     reg.histogram("lp_hta.integrality_gap").observe(gap);
   }
+  // Steps 4–6 promise a deadline- and capacity-feasible plan (cancelling
+  // where necessary); hold them to it.
+  audit::check_assignment(instance, out, {.deadlines = true, .capacity = true},
+                          name());
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "assign/baselines.h"
 #include "assign/evaluator.h"
+#include "audit/assignment_audit.h"
 #include "assign/hgos.h"
 #include "assign/lp_hta.h"
 #include "common/error.h"
@@ -91,6 +92,12 @@ Assignment Portfolio::assign_with_report(const HtaInstance& instance,
   tracer.instant("portfolio.winner", "assign",
                  tracer.enabled() ? "\"name\":\"" + report.winner + "\""
                                   : std::string());
+  // Shape-only contract: the winner was audited by the candidate that
+  // produced it, and a portfolio may legitimately return the least bad of
+  // several constraint-violating plans.
+  audit::check_assignment(instance, best,
+                          {.deadlines = false, .capacity = false},
+                          "portfolio");
   return best;
 }
 

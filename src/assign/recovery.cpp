@@ -1,5 +1,9 @@
 #include "assign/recovery.h"
 
+#include <string>
+
+#include "audit/assignment_audit.h"
+#include "audit/audit.h"
 #include "common/error.h"
 
 namespace mecsched::assign {
@@ -26,6 +30,29 @@ RecoveryResult replan_after_device_failure(const HtaInstance& instance,
       out.assignment.decisions[t] = Decision::kCancelled;
       ++out.lost_data;
     }
+  }
+  // Recovery-specific certificate: no surviving task may reference the
+  // failed device — neither as issuer (its radio is gone) nor as external
+  // data owner (its β is gone). Capacity stays valid (removing tasks never
+  // adds load), which the shared auditor re-checks.
+  if (audit::enabled(audit::Level::kCheap)) {
+    for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+      if (out.assignment.decisions[t] == Decision::kCancelled) continue;
+      const mec::Task& task = instance.task(t);
+      const bool references_failed =
+          task.id.user == failed_device ||
+          (task.external_bytes > 0.0 && task.external_owner == failed_device);
+      if (references_failed) {
+        audit::fail("assign", "recovery:dead-device:task=" + std::to_string(t),
+                    static_cast<double>(failed_device),
+                    "task " + std::to_string(t) +
+                        " survived recovery but references failed device " +
+                        std::to_string(failed_device) + " [recovery]");
+      }
+    }
+    audit::check_assignment(instance, out.assignment,
+                            {.deadlines = false, .capacity = true},
+                            "recovery");
   }
   return out;
 }

@@ -1,0 +1,122 @@
+#include "audit/assignment_audit.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "mec/cost_model.h"
+
+namespace mecsched::audit {
+
+namespace {
+
+constexpr std::string_view kComponent = "assign";
+
+// Matches the slack assign/evaluator.cpp grants (C2)/(C3): the audit must
+// not be stricter than the predicate the algorithms optimized against.
+// Deadlines reuse HtaInstance::meets_deadline, which carries its own slack.
+constexpr double kCapacitySlack = 1e-9;
+
+std::string task_label(const assign::HtaInstance& instance, std::size_t t) {
+  std::ostringstream os;
+  os << "task " << t << " (" << mec::to_string(instance.task(t).id) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+void check_assignment(const assign::HtaInstance& instance,
+                      const assign::Assignment& assignment,
+                      const AssignmentContract& contract,
+                      std::string_view algorithm) {
+  if (!enabled(Level::kCheap)) return;
+  count_check(kComponent);
+  const std::string tag = " [" + std::string(algorithm) + "]";
+
+  if (assignment.size() != instance.num_tasks()) {
+    fail(kComponent, "shape:size",
+         static_cast<double>(assignment.size()),
+         "plan has " + std::to_string(assignment.size()) +
+             " decisions for " + std::to_string(instance.num_tasks()) +
+             " tasks" + tag);
+  }
+
+  const mec::Topology& topo = instance.topology();
+  std::vector<double> device_load(topo.num_devices(), 0.0);
+  std::vector<double> station_load(topo.num_base_stations(), 0.0);
+
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    const assign::Decision d = assignment.decisions[t];
+    const int raw = static_cast<int>(d);
+    if (raw < 0 || raw > static_cast<int>(assign::Decision::kCancelled)) {
+      fail(kComponent, "shape:decision:task=" + std::to_string(t),
+           static_cast<double>(raw),
+           task_label(instance, t) + " carries out-of-range decision " +
+               std::to_string(raw) + tag);
+    }
+    if (d == assign::Decision::kCancelled) continue;
+    const mec::Placement p = assign::to_placement(d);
+
+    if (contract.deadlines && !instance.meets_deadline(t, p)) {
+      const double overshoot =
+          instance.latency(t, p) - instance.task(t).deadline_s;
+      fail(kComponent, "C1:deadline:task=" + std::to_string(t), overshoot,
+           task_label(instance, t) + " on " + mec::to_string(p) +
+               " misses its deadline by " + std::to_string(overshoot) + "s" +
+               tag);
+    }
+    const mec::Task& task = instance.task(t);
+    if (d == assign::Decision::kLocal) {
+      device_load[task.id.user] += task.resource;
+    } else if (d == assign::Decision::kEdge) {
+      station_load[topo.device(task.id.user).base_station] += task.resource;
+    }
+  }
+
+  if (contract.capacity) {
+    for (std::size_t i = 0; i < topo.num_devices(); ++i) {
+      const double over = device_load[i] - topo.device(i).max_resource;
+      if (over > kCapacitySlack) {
+        fail(kComponent, "C2:device=" + std::to_string(i), over,
+             "device " + std::to_string(i) + " over capacity by " +
+                 std::to_string(over) + tag);
+      }
+    }
+    for (std::size_t b = 0; b < topo.num_base_stations(); ++b) {
+      const double over = station_load[b] - topo.base_station(b).max_resource;
+      if (over > kCapacitySlack) {
+        fail(kComponent, "C3:station=" + std::to_string(b), over,
+             "station " + std::to_string(b) + " over capacity by " +
+                 std::to_string(over) + tag);
+      }
+    }
+  }
+
+  if (!enabled(Level::kFull)) return;
+
+  // Cost integrity: the instance's cached TaskCosts were produced by
+  // mec::CostModel at construction; re-deriving them must reproduce the
+  // exact same doubles (same pure function, same inputs). A mismatch means
+  // the cache was corrupted after construction.
+  const mec::CostModel model(topo);
+  for (std::size_t t = 0; t < instance.num_tasks(); ++t) {
+    if (assignment.decisions[t] == assign::Decision::kCancelled) continue;
+    const mec::TaskCosts fresh = model.evaluate(instance.task(t));
+    for (const mec::Placement p : mec::kAllPlacements) {
+      const double dl = fresh.latency(p) - instance.latency(t, p);
+      const double de = fresh.energy(p) - instance.energy(t, p);
+      if (dl != 0.0 || de != 0.0) {
+        fail(kComponent, "cost:task=" + std::to_string(t),
+             std::fabs(dl) + std::fabs(de),
+             task_label(instance, t) + " cached costs for " +
+                 mec::to_string(p) +
+                 " diverge from the model (Δlatency=" + std::to_string(dl) +
+                 "s, Δenergy=" + std::to_string(de) + "J)" + tag);
+      }
+    }
+  }
+}
+
+}  // namespace mecsched::audit

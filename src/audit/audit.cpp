@@ -1,0 +1,91 @@
+#include "audit/audit.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/registry.h"
+
+// Build-selected default (0 = off, 1 = cheap, 2 = full); the CMake
+// MECSCHED_AUDIT knob defines it per build type.
+#ifndef MECSCHED_AUDIT_DEFAULT
+#define MECSCHED_AUDIT_DEFAULT 1
+#endif
+
+namespace mecsched::audit {
+
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> storage{static_cast<int>(default_level())};
+  return storage;
+}
+
+}  // namespace
+
+std::string to_string(Level level) {
+  switch (level) {
+    case Level::kOff:
+      return "off";
+    case Level::kCheap:
+      return "cheap";
+    case Level::kFull:
+      return "full";
+  }
+  return "off";
+}
+
+Level parse_level(const std::string& text) {
+  if (text == "off" || text == "0") return Level::kOff;
+  if (text == "cheap" || text == "1") return Level::kCheap;
+  if (text == "full" || text == "2") return Level::kFull;
+  throw ModelError("unknown audit level '" + text +
+                   "' (expected off, cheap or full)");
+}
+
+Level default_level() {
+  static const Level resolved = [] {
+    if (const char* env = std::getenv("MECSCHED_AUDIT")) {
+      return parse_level(env);
+    }
+    return static_cast<Level>(MECSCHED_AUDIT_DEFAULT);
+  }();
+  return resolved;
+}
+
+Level level() {
+  return static_cast<Level>(
+      level_storage().load(std::memory_order_relaxed));
+}
+
+void set_level(Level l) {
+  level_storage().store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+AuditError::AuditError(std::string component, std::string constraint,
+                       double violation, const std::string& what)
+    : std::logic_error(what),
+      component_(std::move(component)),
+      constraint_(std::move(constraint)),
+      violation_(violation) {}
+
+void count_check(std::string_view component) {
+  obs::Registry::global()
+      .counter("audit." + std::string(component) + ".checks")
+      .add();
+}
+
+void fail(std::string_view component, std::string constraint,
+          double violation, const std::string& message) {
+  obs::Registry::global()
+      .counter("audit." + std::string(component) + ".violations")
+      .add();
+  std::ostringstream os;
+  os << "audit failed [" << component << " " << constraint
+     << "]: " << message;
+  throw AuditError(std::string(component), std::move(constraint), violation,
+                   os.str());
+}
+
+}  // namespace mecsched::audit

@@ -1,0 +1,99 @@
+// Runtime solver-certificate auditing (docs/static-analysis.md).
+//
+// Every solver layer re-checks its own answers against the model it claims
+// to have optimized: LP solutions against primal/dual feasibility and the
+// duality gap (audit/lp_certificate.h), task assignments against the
+// Sec. II deadline/capacity constraints (audit/assignment_audit.h), and
+// DTA divisions against the exactly-once coverage contract
+// (audit/division_audit.h). A failed check throws AuditError — a
+// std::logic_error, deliberately *not* a SolverError, so the fallback and
+// portfolio paths that retry solver failures never swallow a certificate
+// violation.
+//
+// The checks are always compiled; the *level* decides what runs:
+//   kOff   — every hook reduces to one relaxed atomic load,
+//   kCheap — O(model) re-derivations: primal feasibility and objective
+//            consistency of LP solutions, deadline/capacity constraints of
+//            assignments, exactly-once coverage of DTA divisions,
+//   kFull  — adds the dual certificate (sign feasibility + weak-duality
+//            gap + vertex cardinality for simplex solutions) and
+//            re-derivation of cached per-task costs from the mec model.
+//
+// The default level is baked in by the MECSCHED_AUDIT build knob
+// (MECSCHED_AUDIT_DEFAULT, cheap in Debug builds, off otherwise) and can
+// be overridden at runtime by the MECSCHED_AUDIT environment variable or
+// the CLI's global --audit flag. Audit activity lands in the obs registry
+// as audit.<component>.checks / audit.<component>.violations.
+//
+// This header is dependency-light (common + obs only): the per-layer
+// checkers declared in the sibling headers compile into their subject
+// libraries (lp, assign, dta) so the solvers can call them without a
+// dependency cycle.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mecsched::audit {
+
+enum class Level : int { kOff = 0, kCheap = 1, kFull = 2 };
+
+std::string to_string(Level level);
+
+// Parses "off" | "cheap" | "full" (throws ModelError otherwise).
+Level parse_level(const std::string& text);
+
+// The build default (MECSCHED_AUDIT_DEFAULT) possibly overridden by the
+// MECSCHED_AUDIT environment variable, read once at first use.
+Level default_level();
+
+// Current process-wide level. Starts at default_level().
+Level level();
+void set_level(Level l);
+
+// True when checks of severity `need` should run now.
+inline bool enabled(Level need) {
+  return static_cast<int>(level()) >= static_cast<int>(need);
+}
+
+// RAII level override for tests and scoped deep checks.
+class ScopedLevel {
+ public:
+  explicit ScopedLevel(Level l) : previous_(level()) { set_level(l); }
+  ~ScopedLevel() { set_level(previous_); }
+  ScopedLevel(const ScopedLevel&) = delete;
+  ScopedLevel& operator=(const ScopedLevel&) = delete;
+
+ private:
+  Level previous_;
+};
+
+// A violated certificate. `component` names the auditor ("lp", "assign",
+// "dta"), `constraint` the specific violated rule in a stable
+// machine-greppable form (e.g. "primal:row=3", "C1:deadline:task=7",
+// "coverage:duplicate:item=2"), and `violation` the slack by which the
+// constraint was missed (0 when not meaningful).
+class AuditError : public std::logic_error {
+ public:
+  AuditError(std::string component, std::string constraint, double violation,
+             const std::string& what);
+
+  const std::string& component() const { return component_; }
+  const std::string& constraint() const { return constraint_; }
+  double violation() const { return violation_; }
+
+ private:
+  std::string component_;
+  std::string constraint_;
+  double violation_;
+};
+
+// Bumps audit.<component>.checks — call once per audited artifact.
+void count_check(std::string_view component);
+
+// Bumps audit.<component>.violations and throws AuditError.
+[[noreturn]] void fail(std::string_view component, std::string constraint,
+                       double violation, const std::string& message);
+
+}  // namespace mecsched::audit

@@ -1,0 +1,150 @@
+#include "audit/division_audit.h"
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+
+namespace mecsched::audit {
+
+namespace {
+
+constexpr std::string_view kComponent = "dta";
+
+}  // namespace
+
+void check_division(const dta::SharedDataScenario& scenario,
+                    const dta::Coverage& coverage,
+                    const std::vector<mec::Task>& rearranged,
+                    std::string_view strategy) {
+  if (!enabled(Level::kCheap)) return;
+  count_check(kComponent);
+  const std::string tag = " [" + std::string(strategy) + "]";
+
+  const std::size_t devices = scenario.topology.num_devices();
+  if (coverage.assigned.size() != devices) {
+    fail(kComponent, "shape:devices",
+         static_cast<double>(coverage.assigned.size()),
+         "coverage has " + std::to_string(coverage.assigned.size()) +
+             " shares for " + std::to_string(devices) + " devices" + tag);
+  }
+
+  // Count how often each universe item is covered; the needed set must be
+  // covered exactly once and nothing else covered at all.
+  std::vector<std::size_t> covered(scenario.universe.num_items(), 0);
+  for (std::size_t dev = 0; dev < devices; ++dev) {
+    const dta::ItemSet& share = coverage.assigned[dev];
+    if (!dta::is_sorted_unique(share)) {
+      fail(kComponent, "shape:share:device=" + std::to_string(dev), 0.0,
+           "share of device " + std::to_string(dev) +
+               " is not sorted unique" + tag);
+    }
+    const dta::ItemSet leaked = dta::set_minus(share, scenario.ownership[dev]);
+    if (!leaked.empty()) {
+      fail(kComponent, "ownership:device=" + std::to_string(dev),
+           static_cast<double>(leaked.size()),
+           "device " + std::to_string(dev) + " was assigned item " +
+               std::to_string(leaked.front()) + " it does not own" + tag);
+    }
+    for (const std::size_t item : share) {
+      if (item >= covered.size()) {
+        fail(kComponent, "shape:item:device=" + std::to_string(dev),
+             static_cast<double>(item),
+             "share of device " + std::to_string(dev) +
+                 " references unknown item " + std::to_string(item) + tag);
+      }
+      ++covered[item];
+    }
+  }
+
+  const dta::ItemSet needed = scenario.required_items();
+  for (const std::size_t item : needed) {
+    if (covered[item] == 0) {
+      fail(kComponent, "coverage:uncovered:item=" + std::to_string(item), 1.0,
+           "needed item " + std::to_string(item) +
+               " is covered by no device — its data would be lost" + tag);
+    }
+    if (covered[item] > 1) {
+      fail(kComponent, "coverage:duplicate:item=" + std::to_string(item),
+           static_cast<double>(covered[item] - 1),
+           "item " + std::to_string(item) + " is covered " +
+               std::to_string(covered[item]) +
+               " times — partial results would double-count it" + tag);
+    }
+  }
+  std::size_t needed_at = 0;
+  for (std::size_t item = 0; item < covered.size(); ++item) {
+    const bool is_needed =
+        needed_at < needed.size() && needed[needed_at] == item;
+    if (is_needed) ++needed_at;
+    if (!is_needed && covered[item] > 0) {
+      fail(kComponent, "coverage:extra:item=" + std::to_string(item),
+           static_cast<double>(covered[item]),
+           "item " + std::to_string(item) +
+               " is covered but no task needs it" + tag);
+    }
+  }
+
+  if (!enabled(Level::kFull)) return;
+
+  // Aggregation integrity: re-derive the rearranged tasks from the
+  // coverage (same traversal as dta/pipeline.cpp, device-major) and demand
+  // the pipeline's output match; per source task the partials' bytes must
+  // sum back to the task's full input.
+  std::vector<double> per_source_bytes(scenario.tasks.size(), 0.0);
+  std::size_t idx = 0;
+  for (std::size_t dev = 0; dev < devices; ++dev) {
+    const dta::ItemSet& share = coverage.assigned[dev];
+    if (share.empty()) continue;
+    for (std::size_t s = 0; s < scenario.tasks.size(); ++s) {
+      const dta::DivisibleTask& src = scenario.tasks[s];
+      const dta::ItemSet portion = dta::set_intersect(share, src.items);
+      if (portion.empty()) continue;
+      const double bytes = scenario.universe.total_bytes(portion);
+      per_source_bytes[s] += bytes;
+      if (idx >= rearranged.size()) {
+        fail(kComponent, "rearrange:missing", static_cast<double>(idx),
+             "coverage implies more partial tasks than were rearranged (" +
+                 std::to_string(rearranged.size()) + ")" + tag);
+      }
+      const mec::Task& t = rearranged[idx];
+      const double total = scenario.universe.total_bytes(src.items);
+      const double want_resource =
+          total > 0.0 ? src.resource * bytes / total : src.resource;
+      if (t.local_bytes != bytes || t.external_bytes != 0.0 ||
+          t.deadline_s != src.deadline_s || t.resource != want_resource) {
+        fail(kComponent,
+             "rearrange:partial:device=" + std::to_string(dev) +
+                 ":source=" + std::to_string(s),
+             std::fabs(t.local_bytes - bytes),
+             "rearranged task " + std::to_string(idx) +
+                 " does not re-derive from the coverage (bytes " +
+                 std::to_string(t.local_bytes) + " vs " +
+                 std::to_string(bytes) + ")" + tag);
+      }
+      ++idx;
+    }
+  }
+  if (idx != rearranged.size()) {
+    fail(kComponent, "rearrange:extra",
+         static_cast<double>(rearranged.size() - idx),
+         "pipeline produced " + std::to_string(rearranged.size()) +
+             " partial tasks but the coverage implies " + std::to_string(idx) +
+             tag);
+  }
+  for (std::size_t s = 0; s < scenario.tasks.size(); ++s) {
+    const double total =
+        scenario.universe.total_bytes(scenario.tasks[s].items);
+    const double gap = std::fabs(per_source_bytes[s] - total);
+    if (gap > 1e-9 * (1.0 + total)) {
+      fail(kComponent, "aggregate:source=" + std::to_string(s), gap,
+           "partials of task " + std::to_string(s) + " sum to " +
+               std::to_string(per_source_bytes[s]) + " B of " +
+               std::to_string(total) + " B input" + tag);
+    }
+  }
+}
+
+}  // namespace mecsched::audit

@@ -1,0 +1,35 @@
+// DTA division auditor (audit/audit.h for the level machinery; compiled
+// into mecsched_dta so the pipeline can self-check its divisions).
+//
+// The Sec. IV contract a division must honor:
+//
+//   cheap  shape        one share per device, each sorted unique
+//          ownership    C_i ⊆ D_i — no raw data ever moves
+//          exactly-once every needed item appears in exactly one share
+//                       (an uncovered item loses data, a doubly covered
+//                       item double-counts its partial result)
+//   full   aggregation  the rearranged tasks are re-derived from the
+//                       coverage: per source task the partials' bytes sum
+//                       back to the task's total input, and each partial's
+//                       scaled resource demand and inherited deadline
+//                       match the re-derivation
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dta/coverage.h"
+#include "dta/data_model.h"
+#include "mec/task.h"
+
+namespace mecsched::audit {
+
+// Audits `coverage` (and, at kFull, the `rearranged` tasks built from it)
+// against the scenario at the current audit level. `strategy` tags error
+// messages ("dta-workload", "dta-number", ...). Throws AuditError.
+void check_division(const dta::SharedDataScenario& scenario,
+                    const dta::Coverage& coverage,
+                    const std::vector<mec::Task>& rearranged,
+                    std::string_view strategy);
+
+}  // namespace mecsched::audit

@@ -1,0 +1,48 @@
+// Optimality certificate for LP solutions (audit/audit.h for the level
+// machinery; compiled into mecsched_lp so both solvers can self-check).
+//
+// Every kOptimal Solution claims a primal-dual pair. Checking the claim
+// needs no solver internals — only the Problem and the reported (x, y):
+//
+//   cheap  primal feasibility   max constraint/bound violation ~ 0
+//          objective integrity  solution.objective == c'x
+//   full   dual sign feasibility  y <= 0 on "<=" rows, y >= 0 on ">=" rows
+//          weak-duality gap       dual objective b'y + Σ_j z_j·bound_j
+//                                 (z_j = c_j - y'a_j priced at the bound
+//                                 its sign selects) matches the primal
+//                                 objective — this aggregates complementary
+//                                 slackness, so a stale basis, a wrong dual
+//                                 or an early exit all surface as a gap
+//          vertex cardinality     simplex (cold or warm-started) returns a
+//                                 basic solution: at most m variables sit
+//                                 strictly between their bounds. A corrupt
+//                                 warm-start basis that "solved" without
+//                                 reaching a vertex fails here.
+//
+// Tolerances are relative to the magnitudes involved (rhs scale for
+// feasibility, objective scale for the gap); defaults comfortably above
+// the solvers' termination tolerances (1e-9 simplex, 1e-8 IPM) so a
+// healthy solve never trips while a genuinely wrong answer does.
+#pragma once
+
+#include <string_view>
+
+#include "lp/problem.h"
+#include "lp/solution.h"
+
+namespace mecsched::audit {
+
+struct LpCertificateOptions {
+  double feasibility_tolerance = 1e-6;  // × (1 + max |rhs|, bound scale)
+  double gap_tolerance = 1e-6;          // × (1 + |primal| + |dual|)
+  // Whether the engine promises a vertex (basic) solution.
+  bool vertex_expected = false;
+};
+
+// Audits `solution` against `problem` at the current audit level; no-op
+// unless the solution status is kOptimal. `engine` tags error messages and
+// counters ("simplex", "ipm"). Throws AuditError on a failed certificate.
+void check_lp(const lp::Problem& problem, const lp::Solution& solution,
+              std::string_view engine, LpCertificateOptions options = {});
+
+}  // namespace mecsched::audit

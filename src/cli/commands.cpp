@@ -15,6 +15,7 @@
 #include "assign/portfolio.h"
 #include "assign/recovery.h"
 #include "assign/sensitivity.h"
+#include "audit/audit.h"
 #include "cli/args.h"
 #include "cli/sweep_grids.h"
 #include "common/error.h"
@@ -94,6 +95,8 @@ struct GlobalFlags {
   bool summary = false;      // --obs-summary: console table after the run
   bool has_jobs = false;     // --jobs <n>: sweep/pool worker count
   std::size_t jobs = 0;
+  bool has_audit = false;    // --audit off|cheap|full: certificate checks
+  audit::Level audit_level = audit::Level::kOff;
 
   bool obs_active() const {
     return summary || !trace_path.empty() || !metrics_path.empty();
@@ -120,6 +123,12 @@ GlobalFlags strip_global_flags(std::vector<std::string>& tokens) {
                            tokens[i + 1] + "'");
       flags.has_jobs = true;
       flags.jobs = static_cast<std::size_t>(n);
+      ++i;
+    } else if (tokens[i] == "--audit") {
+      MECSCHED_REQUIRE(i + 1 < tokens.size(),
+                       "--audit requires a level (off, cheap or full)");
+      flags.has_audit = true;
+      flags.audit_level = audit::parse_level(tokens[i + 1]);
       ++i;
     } else if (tokens[i] == "--obs-summary") {
       flags.summary = true;
@@ -193,6 +202,9 @@ std::string usage() {
       "  --jobs N              worker threads for parallel sweeps (default:\n"
       "                        MECSCHED_JOBS env, else all hardware threads);\n"
       "                        sweep output is identical for every N\n"
+      "  --audit LEVEL         runtime solver certificates: off, cheap or\n"
+      "                        full (default: MECSCHED_AUDIT env, else the\n"
+      "                        build default; see docs/static-analysis.md)\n"
       "\n"
       "algorithms: lp-hta lp-hta-ipm hgos alltoc alloffload local-first "
       "random exact brd portfolio\n";
@@ -700,6 +712,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (obs_flags.obs_active()) obs::Registry::global().reset();
     if (!obs_flags.trace_path.empty()) obs::Tracer::global().enable();
     if (obs_flags.has_jobs) exec::ThreadPool::set_default_jobs(obs_flags.jobs);
+    if (obs_flags.has_audit) audit::set_level(obs_flags.audit_level);
     {
       const obs::ScopedTimer span("cli." + command, "cli");
       code = dispatch(command, rest, out, err);
@@ -708,9 +721,10 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     err << "error: " << e.what() << '\n';
     code = 1;
   }
-  // The --jobs override is per-invocation (the test harness calls run()
-  // repeatedly in one process).
+  // The --jobs and --audit overrides are per-invocation (the test harness
+  // calls run() repeatedly in one process).
   if (obs_flags.has_jobs) exec::ThreadPool::set_default_jobs(0);
+  if (obs_flags.has_audit) audit::set_level(audit::default_level());
 
   // Export even when the command failed — a trace of the failing run is
   // precisely the artifact worth keeping.

@@ -71,9 +71,10 @@ std::vector<SweepGrid> make_grids() {
 }  // namespace
 
 const std::vector<SweepGrid>& sweep_grids() {
-  static const std::vector<SweepGrid>* grids =
-      new std::vector<SweepGrid>(make_grids());
-  return *grids;
+  // Function-local static: constructed once on first use, destroyed at
+  // exit — no heap leak, no naked new.
+  static const std::vector<SweepGrid> grids = make_grids();
+  return grids;
 }
 
 const SweepGrid* find_sweep_grid(const std::string& name) {

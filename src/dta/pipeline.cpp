@@ -7,6 +7,7 @@
 #include "assign/baselines.h"
 #include "assign/evaluator.h"
 #include "assign/hta_instance.h"
+#include "audit/division_audit.h"
 #include "common/error.h"
 #include "mec/cost_model.h"
 
@@ -97,6 +98,12 @@ DtaResult run_dta(const SharedDataScenario& scenario, DtaOptions options) {
     t.deadline_s = src.deadline_s;
     result.rearranged.push_back(t);
   }
+
+  // Division certificate (no-op at audit level off): the coverage must be
+  // an ownership-respecting exact partition of the needed data, and the
+  // rearranged tasks must re-derive from it.
+  audit::check_division(scenario, result.coverage, result.rearranged,
+                        to_string(options.strategy));
 
   // ---- Step 3: schedule the rearranged tasks.
   const assign::HtaInstance instance(topo, result.rearranged);

@@ -1,6 +1,8 @@
 #include "exec/instance_cache.h"
 
+#include <algorithm>
 #include <bit>
+#include <vector>
 
 #include "common/error.h"
 #include "mec/topology.h"
@@ -110,6 +112,33 @@ void InstanceCache::store_warm(
     std::shared_ptr<const assign::Assignment> assignment) {
   const std::lock_guard<std::mutex> lock(mu_);
   warm_[family] = std::move(assignment);
+}
+
+std::uint64_t InstanceCache::contents_fingerprint() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // index_/warm_ are unordered; hash over sorted keys so the digest is a
+  // function of the *set* of entries, not of bucket layout.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(index_.size());
+  // lint:allow-unordered-iteration -- keys are sorted before hashing.
+  for (const auto& [key, unused] : index_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = mix(0x6d656373636865ULL, keys.size());
+  for (const std::uint64_t key : keys) {
+    h = mix(h, key);
+    const auto& assignment = *index_.at(key)->second;
+    h = mix(h, assignment.decisions.size());
+    for (const assign::Decision d : assignment.decisions) {
+      h = mix(h, static_cast<std::uint64_t>(d));
+    }
+  }
+  keys.clear();
+  // lint:allow-unordered-iteration -- keys are sorted before hashing.
+  for (const auto& [family, unused] : warm_) keys.push_back(family);
+  std::sort(keys.begin(), keys.end());
+  h = mix(h, keys.size());
+  for (const std::uint64_t family : keys) h = mix(h, family);
+  return h;
 }
 
 std::size_t InstanceCache::size() const {

@@ -62,6 +62,15 @@ class InstanceCache {
   void store_warm(std::uint64_t family,
                   std::shared_ptr<const assign::Assignment> assignment);
 
+  // Order-insensitive digest of the cache's contents: every (key, decision
+  // vector) pair in the LRU plus every warm-hint family. The backing
+  // containers are unordered_maps whose iteration order depends on
+  // insertion/rehash history, so the digest sorts keys before hashing —
+  // two caches holding the same entries always fingerprint equal, no
+  // matter how they got there. Lets sweep runs assert cache-state
+  // reproducibility across worker schedules.
+  std::uint64_t contents_fingerprint() const;
+
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   CacheStats stats() const;

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <vector>
 
+#include "audit/lp_certificate.h"
 #include "common/error.h"
 #include "lp/cholesky.h"
 #include "lp/matrix.h"
@@ -36,6 +37,13 @@ Solution InteriorPointSolver::solve(const Problem& problem) const {
   reg.histogram("lp.ipm.iterations_per_solve")
       .observe(static_cast<double>(out.iterations));
   if (!out.optimal()) reg.counter("lp.ipm.non_optimal").add();
+  // Certificate audit (no-op at audit level off). The IPM converges to the
+  // relative-gap tolerance, not to a vertex, so vertex_expected stays off
+  // and the gap tolerance is loosened to match the termination criterion.
+  audit::LpCertificateOptions cert;
+  cert.feasibility_tolerance = 1e-5;
+  cert.gap_tolerance = 1e-5;
+  audit::check_lp(problem, out, "ipm", cert);
   return out;
 }
 

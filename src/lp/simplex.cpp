@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "audit/lp_certificate.h"
 #include "common/error.h"
 #include "lp/matrix.h"
 #include "obs/registry.h"
@@ -423,6 +424,12 @@ Solution SimplexSolver::solve_instrumented(
   reg.histogram("lp.simplex.pivots_per_solve")
       .observe(static_cast<double>(out.iterations));
   if (!out.optimal()) reg.counter("lp.simplex.non_optimal").add();
+  // Certificate audit (no-op at audit level off): the simplex promises a
+  // basic optimal solution, warm-started or not.
+  audit::LpCertificateOptions cert;
+  cert.vertex_expected = true;
+  audit::check_lp(problem, out, guess != nullptr ? "simplex-warm" : "simplex",
+                  cert);
   return out;
 }
 

@@ -70,8 +70,10 @@ void Histogram::reset() {
 }
 
 Registry& Registry::global() {
-  static Registry* instance = new Registry();  // never destroyed: metric
-  return *instance;  // references must outlive static-destruction order
+  // Metric references must outlive static-destruction order.
+  // lint:allow-naked-new -- intentionally leaked singleton.
+  static Registry* instance = new Registry();
+  return *instance;
 }
 
 namespace {

@@ -15,7 +15,8 @@ std::uint64_t this_thread_id() {
 }  // namespace
 
 Tracer& Tracer::global() {
-  static Tracer* instance = new Tracer();  // never destroyed, like Registry
+  // lint:allow-naked-new -- intentionally leaked singleton, like Registry.
+  static Tracer* instance = new Tracer();
   return *instance;
 }
 

@@ -1,0 +1,125 @@
+#include "audit/assignment_audit.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "assign/baselines.h"
+#include "assign/hta_instance.h"
+#include "audit/audit.h"
+#include "workload/scenario.h"
+
+namespace mecsched::audit {
+namespace {
+
+workload::Scenario small_scenario(std::uint64_t seed) {
+  workload::ScenarioConfig cfg;
+  cfg.num_tasks = 16;
+  cfg.num_devices = 6;
+  cfg.num_base_stations = 2;
+  cfg.seed = seed;
+  return workload::make_scenario(cfg);
+}
+
+assign::Assignment all_cancelled(std::size_t n) {
+  assign::Assignment a;
+  a.decisions.assign(n, assign::Decision::kCancelled);
+  return a;
+}
+
+std::string constraint_of(const assign::HtaInstance& instance,
+                          const assign::Assignment& plan,
+                          const AssignmentContract& contract) {
+  try {
+    check_assignment(instance, plan, contract, "test");
+  } catch (const AuditError& e) {
+    EXPECT_EQ(e.component(), "assign");
+    return e.constraint();
+  }
+  return "";
+}
+
+TEST(AssignmentAuditTest, FeasiblePlanPassesAtFull) {
+  const ScopedLevel scope(Level::kFull);
+  const workload::Scenario s = small_scenario(3);
+  const assign::HtaInstance instance(s.topology, s.tasks);
+  const assign::Assignment plan = assign::LocalFirst().assign(instance);
+  EXPECT_NO_THROW(check_assignment(
+      instance, plan, {.deadlines = true, .capacity = true}, "test"));
+}
+
+TEST(AssignmentAuditTest, DeadlineMissedByEpsilonTripsC1) {
+  const ScopedLevel scope(Level::kCheap);
+  const workload::Scenario s = small_scenario(4);
+  // Shrink task 0's deadline to epsilon below its local latency, then
+  // claim a local placement for it: C1 is violated by exactly epsilon.
+  const assign::HtaInstance probe(s.topology, s.tasks);
+  auto tasks = s.tasks;
+  tasks[0].deadline_s = probe.latency(0, mec::Placement::kLocal) - 1e-6;
+  const assign::HtaInstance instance(s.topology, tasks);
+  ASSERT_FALSE(instance.meets_deadline(0, mec::Placement::kLocal));
+
+  assign::Assignment plan = all_cancelled(instance.num_tasks());
+  plan.decisions[0] = assign::Decision::kLocal;
+  EXPECT_EQ(constraint_of(instance, plan, {.deadlines = true, .capacity = true}),
+            "C1:deadline:task=0");
+  // A deadline-free contract (HGOS/baselines) accepts the same plan: late
+  // tasks are the measured unsatisfied rate there, not a bug.
+  EXPECT_EQ(
+      constraint_of(instance, plan, {.deadlines = false, .capacity = true}),
+      "");
+}
+
+TEST(AssignmentAuditTest, DeviceOverloadTripsC2) {
+  const ScopedLevel scope(Level::kCheap);
+  const workload::Scenario s = small_scenario(5);
+  auto tasks = s.tasks;
+  const std::size_t owner = tasks[0].id.user;
+  tasks[0].resource = s.topology.device(owner).max_resource * 2.0;
+  const assign::HtaInstance instance(s.topology, tasks);
+
+  assign::Assignment plan = all_cancelled(instance.num_tasks());
+  plan.decisions[0] = assign::Decision::kLocal;
+  EXPECT_EQ(
+      constraint_of(instance, plan, {.deadlines = false, .capacity = true}),
+      "C2:device=" + std::to_string(owner));
+}
+
+TEST(AssignmentAuditTest, StationOverloadTripsC3) {
+  const ScopedLevel scope(Level::kCheap);
+  const workload::Scenario s = small_scenario(6);
+  auto tasks = s.tasks;
+  const std::size_t owner = tasks[0].id.user;
+  const std::size_t station = s.topology.device(owner).base_station;
+  tasks[0].resource = s.topology.base_station(station).max_resource * 2.0;
+  const assign::HtaInstance instance(s.topology, tasks);
+
+  assign::Assignment plan = all_cancelled(instance.num_tasks());
+  plan.decisions[0] = assign::Decision::kEdge;
+  EXPECT_EQ(
+      constraint_of(instance, plan, {.deadlines = false, .capacity = true}),
+      "C3:station=" + std::to_string(station));
+}
+
+TEST(AssignmentAuditTest, WrongPlanSizeTripsShape) {
+  const ScopedLevel scope(Level::kCheap);
+  const workload::Scenario s = small_scenario(7);
+  const assign::HtaInstance instance(s.topology, s.tasks);
+  const assign::Assignment plan = all_cancelled(instance.num_tasks() - 1);
+  EXPECT_EQ(
+      constraint_of(instance, plan, {.deadlines = false, .capacity = true}),
+      "shape:size");
+}
+
+TEST(AssignmentAuditTest, OffLevelIsANoOpEvenOnGarbage) {
+  const ScopedLevel scope(Level::kOff);
+  const workload::Scenario s = small_scenario(8);
+  const assign::HtaInstance instance(s.topology, s.tasks);
+  const assign::Assignment plan = all_cancelled(instance.num_tasks() - 1);
+  EXPECT_NO_THROW(check_assignment(
+      instance, plan, {.deadlines = true, .capacity = true}, "test"));
+}
+
+}  // namespace
+}  // namespace mecsched::audit

@@ -1,0 +1,78 @@
+#include "audit/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace mecsched::audit {
+namespace {
+
+TEST(AuditLevelTest, ParseAcceptsNamesAndDigits) {
+  EXPECT_EQ(parse_level("off"), Level::kOff);
+  EXPECT_EQ(parse_level("cheap"), Level::kCheap);
+  EXPECT_EQ(parse_level("full"), Level::kFull);
+  EXPECT_EQ(parse_level("0"), Level::kOff);
+  EXPECT_EQ(parse_level("1"), Level::kCheap);
+  EXPECT_EQ(parse_level("2"), Level::kFull);
+}
+
+TEST(AuditLevelTest, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_level(""), ModelError);
+  EXPECT_THROW(parse_level("verbose"), ModelError);
+  EXPECT_THROW(parse_level("3"), ModelError);
+}
+
+TEST(AuditLevelTest, ToStringRoundTrips) {
+  for (Level l : {Level::kOff, Level::kCheap, Level::kFull}) {
+    EXPECT_EQ(parse_level(to_string(l)), l);
+  }
+}
+
+TEST(AuditLevelTest, EnabledIsMonotoneInTheLevel) {
+  const ScopedLevel scope(Level::kCheap);
+  EXPECT_TRUE(enabled(Level::kOff));
+  EXPECT_TRUE(enabled(Level::kCheap));
+  EXPECT_FALSE(enabled(Level::kFull));
+}
+
+TEST(AuditLevelTest, ScopedLevelRestoresOnExit) {
+  const Level before = level();
+  {
+    const ScopedLevel scope(Level::kFull);
+    EXPECT_EQ(level(), Level::kFull);
+    {
+      const ScopedLevel inner(Level::kOff);
+      EXPECT_EQ(level(), Level::kOff);
+    }
+    EXPECT_EQ(level(), Level::kFull);
+  }
+  EXPECT_EQ(level(), before);
+}
+
+TEST(AuditLevelTest, FailThrowsStructuredError) {
+  try {
+    fail("lp", "primal:row=3", 0.25, "row 3 violated by 0.25");
+    FAIL() << "fail() must throw";
+  } catch (const AuditError& e) {
+    EXPECT_EQ(e.component(), "lp");
+    EXPECT_EQ(e.constraint(), "primal:row=3");
+    EXPECT_DOUBLE_EQ(e.violation(), 0.25);
+    EXPECT_NE(std::string(e.what()).find("primal:row=3"), std::string::npos);
+  }
+}
+
+TEST(AuditLevelTest, AuditErrorIsNotASolverError) {
+  // The fallback/portfolio layers retry SolverError; a certificate
+  // violation must never be mistaken for one.
+  try {
+    fail("assign", "C1:deadline:task=0", 1.0, "late");
+    FAIL() << "fail() must throw";
+  } catch (const SolverError&) {
+    FAIL() << "AuditError must not derive from SolverError";
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace mecsched::audit

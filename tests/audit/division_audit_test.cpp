@@ -1,0 +1,156 @@
+#include "audit/division_audit.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "dta/pipeline.h"
+#include "workload/shared_data.h"
+
+namespace mecsched::audit {
+namespace {
+
+dta::SharedDataScenario scenario_with_sharing(std::uint64_t seed) {
+  workload::SharedDataConfig cfg;
+  cfg.seed = seed;
+  cfg.num_devices = 10;
+  cfg.num_base_stations = 2;
+  cfg.num_tasks = 15;
+  cfg.num_items = 60;
+  return workload::make_shared_scenario(cfg);
+}
+
+std::string constraint_of(const dta::SharedDataScenario& scenario,
+                          const dta::Coverage& coverage,
+                          const std::vector<mec::Task>& rearranged) {
+  try {
+    check_division(scenario, coverage, rearranged, "test");
+  } catch (const AuditError& e) {
+    EXPECT_EQ(e.component(), "dta");
+    return e.constraint();
+  }
+  return "";
+}
+
+// Device (index into coverage) whose share contains `item`, or npos.
+std::size_t holder_of(const dta::Coverage& coverage, std::size_t item) {
+  for (std::size_t dev = 0; dev < coverage.assigned.size(); ++dev) {
+    const dta::ItemSet& share = coverage.assigned[dev];
+    if (std::binary_search(share.begin(), share.end(), item)) return dev;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void sorted_insert(dta::ItemSet& share, std::size_t item) {
+  share.insert(std::lower_bound(share.begin(), share.end(), item), item);
+}
+
+TEST(DivisionAuditTest, PipelineOutputPassesAtFull) {
+  const ScopedLevel scope(Level::kFull);
+  const auto scenario = scenario_with_sharing(1);
+  const dta::DtaResult r = dta::run_dta(scenario);
+  EXPECT_NO_THROW(check_division(scenario, r.coverage, r.rearranged, "test"));
+}
+
+TEST(DivisionAuditTest, DroppedItemTripsUncovered) {
+  const ScopedLevel scope(Level::kCheap);
+  const auto scenario = scenario_with_sharing(2);
+  dta::DtaResult r = dta::run_dta(scenario);
+  const dta::ItemSet needed = scenario.required_items();
+  ASSERT_FALSE(needed.empty());
+  const std::size_t item = needed.front();
+  const std::size_t dev = holder_of(r.coverage, item);
+  ASSERT_NE(dev, static_cast<std::size_t>(-1));
+  dta::ItemSet& share = r.coverage.assigned[dev];
+  share.erase(std::find(share.begin(), share.end(), item));
+  EXPECT_EQ(constraint_of(scenario, r.coverage, {}),
+            "coverage:uncovered:item=" + std::to_string(item));
+}
+
+TEST(DivisionAuditTest, DoublyCoveredItemTripsDuplicate) {
+  const ScopedLevel scope(Level::kCheap);
+  const auto scenario = scenario_with_sharing(3);
+  dta::DtaResult r = dta::run_dta(scenario);
+  // Find a needed item replicated on a second device (data sharing is the
+  // generator's whole point, so one must exist) and cover it twice.
+  const dta::ItemSet needed = scenario.required_items();
+  std::size_t item = static_cast<std::size_t>(-1);
+  std::size_t second = static_cast<std::size_t>(-1);
+  for (const std::size_t candidate : needed) {
+    const std::size_t assigned_dev = holder_of(r.coverage, candidate);
+    for (std::size_t dev = 0; dev < scenario.ownership.size(); ++dev) {
+      if (dev == assigned_dev) continue;
+      const dta::ItemSet& owned = scenario.ownership[dev];
+      if (std::binary_search(owned.begin(), owned.end(), candidate)) {
+        item = candidate;
+        second = dev;
+        break;
+      }
+    }
+    if (item != static_cast<std::size_t>(-1)) break;
+  }
+  ASSERT_NE(item, static_cast<std::size_t>(-1))
+      << "generator produced no replicated item";
+  sorted_insert(r.coverage.assigned[second], item);
+  EXPECT_EQ(constraint_of(scenario, r.coverage, {}),
+            "coverage:duplicate:item=" + std::to_string(item));
+}
+
+TEST(DivisionAuditTest, AssigningAnUnownedItemTripsOwnership) {
+  const ScopedLevel scope(Level::kCheap);
+  const auto scenario = scenario_with_sharing(4);
+  dta::DtaResult r = dta::run_dta(scenario);
+  // Give some device an item it does not own (dropping it from its current
+  // holder so the ownership leak fires before any coverage miscount).
+  const dta::ItemSet needed = scenario.required_items();
+  std::size_t item = static_cast<std::size_t>(-1);
+  std::size_t thief = static_cast<std::size_t>(-1);
+  for (const std::size_t candidate : needed) {
+    for (std::size_t dev = 0; dev < scenario.ownership.size(); ++dev) {
+      const dta::ItemSet& owned = scenario.ownership[dev];
+      if (!std::binary_search(owned.begin(), owned.end(), candidate)) {
+        item = candidate;
+        thief = dev;
+        break;
+      }
+    }
+    if (item != static_cast<std::size_t>(-1)) break;
+  }
+  ASSERT_NE(item, static_cast<std::size_t>(-1));
+  const std::size_t holder = holder_of(r.coverage, item);
+  ASSERT_NE(holder, static_cast<std::size_t>(-1));
+  dta::ItemSet& share = r.coverage.assigned[holder];
+  share.erase(std::find(share.begin(), share.end(), item));
+  sorted_insert(r.coverage.assigned[thief], item);
+  EXPECT_EQ(constraint_of(scenario, r.coverage, {}),
+            "ownership:device=" + std::to_string(thief));
+}
+
+TEST(DivisionAuditTest, TamperedPartialTripsRearrangeAtFull) {
+  const ScopedLevel scope(Level::kFull);
+  const auto scenario = scenario_with_sharing(5);
+  dta::DtaResult r = dta::run_dta(scenario);
+  ASSERT_FALSE(r.rearranged.empty());
+  r.rearranged[0].local_bytes += 1.0;
+  const std::string c = constraint_of(scenario, r.coverage, r.rearranged);
+  EXPECT_EQ(c.rfind("rearrange:partial", 0), 0u) << c;
+  // At cheap the aggregation re-derivation is skipped by design.
+  const ScopedLevel cheap(Level::kCheap);
+  EXPECT_NO_THROW(check_division(scenario, r.coverage, r.rearranged, "test"));
+}
+
+TEST(DivisionAuditTest, MissingPartialTripsRearrangeCountAtFull) {
+  const ScopedLevel scope(Level::kFull);
+  const auto scenario = scenario_with_sharing(6);
+  dta::DtaResult r = dta::run_dta(scenario);
+  ASSERT_FALSE(r.rearranged.empty());
+  r.rearranged.pop_back();
+  const std::string c = constraint_of(scenario, r.coverage, r.rearranged);
+  EXPECT_EQ(c, "rearrange:missing");
+}
+
+}  // namespace
+}  // namespace mecsched::audit

@@ -1,0 +1,132 @@
+#include "audit/lp_certificate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "audit/audit.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace mecsched::audit {
+namespace {
+
+// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 — optimum (2, 6).
+lp::Problem classic() {
+  lp::Problem p;
+  const auto x = p.add_variable(-3.0, 0.0, lp::kInfinity);
+  const auto y = p.add_variable(-5.0, 0.0, lp::kInfinity);
+  p.add_constraint({{x, 1.0}}, lp::Relation::kLessEqual, 4.0);
+  p.add_constraint({{y, 2.0}}, lp::Relation::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, lp::Relation::kLessEqual, 18.0);
+  return p;
+}
+
+std::string constraint_of(const lp::Problem& p, const lp::Solution& s,
+                          LpCertificateOptions options = {}) {
+  try {
+    check_lp(p, s, "test", options);
+  } catch (const AuditError& e) {
+    EXPECT_EQ(e.component(), "lp");
+    return e.constraint();
+  }
+  return "";
+}
+
+TEST(LpCertificateTest, GenuineSimplexSolutionPassesAtFull) {
+  const ScopedLevel scope(Level::kFull);
+  const lp::Problem p = classic();
+  const lp::Solution s = lp::SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  LpCertificateOptions options;
+  options.vertex_expected = true;
+  EXPECT_NO_THROW(check_lp(p, s, "test", options));
+}
+
+TEST(LpCertificateTest, CorruptedPrimalTripsFeasibility) {
+  const ScopedLevel scope(Level::kCheap);
+  const lp::Problem p = classic();
+  lp::Solution s = lp::SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  s.x[0] = 10.0;  // violates x <= 4 and row 3
+  EXPECT_EQ(constraint_of(p, s), "primal:feasibility");
+}
+
+TEST(LpCertificateTest, MisreportedObjectiveTripsIntegrity) {
+  const ScopedLevel scope(Level::kCheap);
+  const lp::Problem p = classic();
+  lp::Solution s = lp::SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  s.objective -= 1.0;  // claims a better value than c'x delivers
+  EXPECT_EQ(constraint_of(p, s), "primal:objective");
+}
+
+TEST(LpCertificateTest, WrongSignDualTripsSignFeasibility) {
+  const ScopedLevel scope(Level::kFull);
+  const lp::Problem p = classic();
+  lp::Solution s = lp::SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  ASSERT_EQ(s.duals.size(), 3u);
+  s.duals[1] = 2.0;  // a "<=" row must have y <= 0 under minimization
+  EXPECT_EQ(constraint_of(p, s), "dual:sign:row=1");
+}
+
+TEST(LpCertificateTest, PerturbedDualTripsTheGap) {
+  const ScopedLevel scope(Level::kFull);
+  const lp::Problem p = classic();
+  lp::Solution s = lp::SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  // Sign-feasible (more negative) but no longer complementary: the dual
+  // objective drifts away from c'x and weak duality catches it.
+  s.duals[0] -= 1.0;
+  EXPECT_EQ(constraint_of(p, s), "dual:gap");
+}
+
+TEST(LpCertificateTest, TruncatedDualVectorTripsShape) {
+  const ScopedLevel scope(Level::kFull);
+  const lp::Problem p = classic();
+  lp::Solution s = lp::SimplexSolver().solve(p);
+  ASSERT_TRUE(s.optimal());
+  s.duals.pop_back();
+  EXPECT_EQ(constraint_of(p, s), "shape:duals");
+}
+
+TEST(LpCertificateTest, InteriorPointMasqueradingAsVertexTripsBasis) {
+  const ScopedLevel scope(Level::kFull);
+  // Zero objective, one row: any interior point is optimal, but a simplex
+  // solution must sit on a vertex (<= 1 variable strictly between bounds).
+  lp::Problem p;
+  for (int i = 0; i < 3; ++i) p.add_variable(0.0, 0.0, 4.0);
+  p.add_constraint({{0, 1.0}, {1, 1.0}, {2, 1.0}}, lp::Relation::kLessEqual,
+                   10.0);
+  lp::Solution s;
+  s.status = lp::SolveStatus::kOptimal;
+  s.x = {1.0, 1.0, 1.0};
+  s.objective = 0.0;
+  s.duals = {0.0};
+  LpCertificateOptions options;
+  options.vertex_expected = true;
+  EXPECT_EQ(constraint_of(p, s, options), "basis:vertex");
+  // The same point is fine for an engine with no vertex claim (IPM).
+  EXPECT_NO_THROW(check_lp(p, s, "test", {}));
+}
+
+TEST(LpCertificateTest, OffLevelIsANoOpEvenOnGarbage) {
+  const ScopedLevel scope(Level::kOff);
+  const lp::Problem p = classic();
+  lp::Solution s = lp::SimplexSolver().solve(p);
+  s.x[0] = 1e9;
+  s.objective = -1e9;
+  EXPECT_NO_THROW(check_lp(p, s, "test", {}));
+}
+
+TEST(LpCertificateTest, NonOptimalStatusesCarryNoClaim) {
+  const ScopedLevel scope(Level::kFull);
+  const lp::Problem p = classic();
+  lp::Solution s;
+  s.status = lp::SolveStatus::kInfeasible;
+  EXPECT_NO_THROW(check_lp(p, s, "test", {}));
+}
+
+}  // namespace
+}  // namespace mecsched::audit

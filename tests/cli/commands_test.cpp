@@ -16,7 +16,11 @@ namespace {
 class CliTest : public ::testing::Test {
  protected:
   std::string path(const std::string& name) const {
-    return ::testing::TempDir() + "mecsched_cli_" + name;
+    // Unique per test case: ctest runs these as concurrent processes, and
+    // a shared filename would let parallel tests clobber each other's
+    // scenarios (TearDown even deletes them mid-run).
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "mecsched_cli_" + info->name() + "_" + name;
   }
   void TearDown() override {
     for (const char* f :

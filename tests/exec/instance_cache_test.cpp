@@ -126,5 +126,41 @@ TEST(InstanceCacheTest, ZeroCapacityIsRejected) {
   EXPECT_THROW(InstanceCache(0), ModelError);
 }
 
+TEST(InstanceCacheTest, ContentsFingerprintIgnoresInsertionOrder) {
+  // Same entries, opposite insertion order (and different bucket history):
+  // the digest must agree because it sorts keys before hashing.
+  InstanceCache forward(64);
+  InstanceCache backward(64);
+  for (std::uint64_t k = 1; k <= 20; ++k) {
+    forward.insert(k, plan_of(3, assign::Decision::kEdge));
+    forward.store_warm(100 + k, std::make_shared<const assign::Assignment>(
+                                    plan_of(2, assign::Decision::kLocal)));
+  }
+  for (std::uint64_t k = 20; k >= 1; --k) {
+    backward.insert(k, plan_of(3, assign::Decision::kEdge));
+    backward.store_warm(100 + k, std::make_shared<const assign::Assignment>(
+                                     plan_of(2, assign::Decision::kLocal)));
+  }
+  EXPECT_EQ(forward.contents_fingerprint(), backward.contents_fingerprint());
+}
+
+TEST(InstanceCacheTest, ContentsFingerprintSeesEntriesAndPlans) {
+  InstanceCache cache(8);
+  const std::uint64_t empty = cache.contents_fingerprint();
+  cache.insert(1, plan_of(2, assign::Decision::kLocal));
+  const std::uint64_t one = cache.contents_fingerprint();
+  EXPECT_NE(empty, one);
+  // Re-inserting a different plan under the same key changes the digest.
+  cache.insert(1, plan_of(2, assign::Decision::kCloud));
+  EXPECT_NE(one, cache.contents_fingerprint());
+  // Warm hints participate too.
+  cache.store_warm(9, std::make_shared<const assign::Assignment>(
+                          plan_of(1, assign::Decision::kEdge)));
+  const std::uint64_t with_warm = cache.contents_fingerprint();
+  EXPECT_NE(with_warm, one);
+  cache.clear();
+  EXPECT_EQ(cache.contents_fingerprint(), empty);
+}
+
 }  // namespace
 }  // namespace mecsched::exec

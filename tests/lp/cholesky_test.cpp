@@ -11,7 +11,9 @@ namespace {
 TEST(CholeskyTest, SolvesIdentity) {
   const Cholesky c(Matrix::identity(4));
   const auto x = c.solve({1, 2, 3, 4});
-  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], i + 1.0, 1e-12);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(x[i], static_cast<double>(i) + 1.0, 1e-12);
+  }
   EXPECT_DOUBLE_EQ(c.regularization(), 0.0);
 }
 

@@ -48,7 +48,9 @@ TEST(TracerTest, RingWrapsOldestFirstAndCountsDrops) {
   Tracer t;
   t.enable(4);
   for (int i = 0; i < 10; ++i) {
-    t.instant("e" + std::to_string(i), "cat");
+    std::string name = "e";
+    name += std::to_string(i);
+    t.instant(name, "cat");
   }
   const std::vector<TraceEvent> events = t.snapshot();
   ASSERT_EQ(events.size(), 4u);

@@ -1,0 +1,376 @@
+#!/usr/bin/env python3
+"""mecsched source lint: project-specific invariants clang-tidy cannot see.
+
+Rules (each with a stable id used in messages and suppressions):
+
+  rng-outside-common      std::rand/srand/std::random_device, or an RNG
+                          seeded from wall-clock time, anywhere outside
+                          src/common/rng*. All randomness must flow through
+                          the seeded, splittable common/rng facility so
+                          every run is reproducible from --seed alone.
+
+  unordered-iteration     Range-for over a std::unordered_map/set declared
+                          in the same file. Bucket order depends on
+                          insertion/rehash history, so iterating one into
+                          CSV rows, trace events, or result vectors makes
+                          output depend on memory layout. Sort keys first,
+                          or use std::map, or suppress when order provably
+                          does not reach an output (see Suppressions).
+
+  naked-new               `new`/`delete` expressions outside smart-pointer
+                          factories. Ownership is std::unique_ptr /
+                          std::shared_ptr throughout the tree.
+
+  float-in-model          `float` in model/solver code (src/mec, src/lp,
+                          src/ilp, src/assign, src/dta). Mixed precision
+                          perturbs LP pivots and certificate tolerances;
+                          the numeric story is double-only.
+
+  todo-tag                TODO/FIXME without an issue tag. Write
+                          `TODO(#123): ...` so every deferred item is
+                          trackable; untagged TODOs rot.
+
+Suppressions: a comment `lint:allow-<rule-id>` on the offending line or on
+the line directly above it silences that one finding. Always append a
+`-- reason` so the waiver self-documents:
+
+    // lint:allow-unordered-iteration -- keys are sorted before hashing.
+
+Usage:
+    mecsched_lint.py [--root DIR] [paths...]   # default: src/ bench/ under root
+    mecsched_lint.py --self-test               # verify each rule fires
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CXX_SUFFIXES = {".cpp", ".cc", ".h", ".hpp"}
+
+# Directories (relative to the scan root) whose code is "model/solver" code
+# for the float-in-model rule.
+MODEL_DIRS = ("src/mec", "src/lp", "src/ilp", "src/assign", "src/dta")
+
+# Files exempt from rng-outside-common: the blessed RNG facility itself.
+RNG_HOME = re.compile(r"src/common/rng[^/]*$")
+
+SUPPRESS = "lint:allow-"
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Return per-line source with comments and string/char literals blanked.
+
+    Length and line structure are preserved so column-free line numbers stay
+    valid. Comment text is also returned blanked, so rules never match words
+    inside comments — suppressions are handled separately on the raw lines.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    buf = []
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                buf.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal R"delim( ... )delim"
+                m = re.match(r'R"([^()\\ ]{0,16})\(', text[i - 1 : i + 18]) if i > 0 and text[i - 1] == "R" else None
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    buf.append('"')
+                    i += 1
+                    continue
+                state = "string"
+                buf.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                buf.append("'")
+                i += 1
+                continue
+            buf.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                buf.append("\n")
+            else:
+                buf.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                buf.append("  ")
+                i += 2
+            else:
+                buf.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                buf.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                buf.append('"')
+                i += 1
+            else:
+                buf.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                buf.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                buf.append("'")
+                i += 1
+            else:
+                buf.append(" ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                buf.append(raw_delim)
+                i += len(raw_delim)
+            else:
+                buf.append("\n" if c == "\n" else " ")
+                i += 1
+    return "".join(buf).split("\n")
+
+
+def suppressed(raw_lines: list[str], lineno: int, rule: str) -> bool:
+    """True when line `lineno` (1-based) or the line above carries an allow."""
+    token = SUPPRESS + rule
+    for candidate in (lineno - 1, lineno - 2):
+        if 0 <= candidate < len(raw_lines) and token in raw_lines[candidate]:
+            return True
+    return False
+
+
+RE_RAND = re.compile(r"\bstd::rand\b|\bsrand\s*\(|\brandom_device\b")
+RE_TIME_SEED = re.compile(
+    r"\b(mt19937(_64)?|default_random_engine|minstd_rand0?|SplitMix64|Rng)\b"
+    r"(\s+\w+)?\s*[({].*\b(time\s*\(|clock\s*\(|system_clock|steady_clock|"
+    r"high_resolution_clock)"
+)
+RE_NEW = re.compile(r"(?<!\w)new\s+(?!\()[A-Za-z_:<]")
+RE_PLACEMENT_NEW = re.compile(r"(?<!\w)new\s*\(")
+RE_DELETE = re.compile(r"(?<!\w)delete(\s*\[\s*\])?\s+[A-Za-z_*]")
+RE_FLOAT = re.compile(r"(?<![\w.])float(?![\w.])")
+RE_TODO = re.compile(r"\b(TODO|FIXME)\b")
+RE_TODO_TAGGED = re.compile(r"\b(TODO|FIXME)\s*\(#\d+\)")
+RE_UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(map|set|multimap|multiset)\s*<[^;]*>\s*\n?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*[;={]"
+)
+RE_RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*(?P<expr>[^)]+)\)")
+
+
+def lint_file(path: Path, rel: str) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.split("\n")
+    code = strip_comments_and_strings(raw)
+    findings: list[Finding] = []
+
+    def report(lineno: int, rule: str, message: str) -> None:
+        if not suppressed(raw_lines, lineno, rule):
+            findings.append(Finding(path, lineno, rule, message))
+
+    in_model = any(rel.startswith(d + "/") or rel == d for d in MODEL_DIRS)
+    rng_home = RNG_HOME.search(rel) is not None
+
+    # Collect names declared as unordered containers (incl. members `name_`).
+    unordered_names = set()
+    joined = "\n".join(code)
+    for m in RE_UNORDERED_DECL.finditer(joined):
+        unordered_names.add(m.group("name"))
+
+    for idx, line in enumerate(code, start=1):
+        if not rng_home:
+            if RE_RAND.search(line):
+                report(idx, "rng-outside-common",
+                       "std::rand/srand/random_device: use common/rng so runs "
+                       "are reproducible from --seed")
+            if RE_TIME_SEED.search(line):
+                report(idx, "rng-outside-common",
+                       "time-seeded RNG: seed from the scenario/config seed, "
+                       "never from the clock")
+        if RE_NEW.search(line) and not RE_PLACEMENT_NEW.search(line):
+            report(idx, "naked-new",
+                   "naked new: use std::make_unique/make_shared or a "
+                   "container")
+        if RE_DELETE.search(line):
+            report(idx, "naked-new",
+                   "naked delete: ownership belongs to smart pointers")
+        if in_model and RE_FLOAT.search(line):
+            report(idx, "float-in-model",
+                   "float in model/solver code: the numeric story is "
+                   "double-only (LP pivots and certificates assume it)")
+        for fm in RE_RANGE_FOR.finditer(line):
+            expr = fm.group("expr").strip()
+            base = re.split(r"[.\->\[(]", expr, maxsplit=1)[0].strip().lstrip("*&")
+            if base in unordered_names:
+                report(idx, "unordered-iteration",
+                       f"iteration over unordered container '{base}': bucket "
+                       "order is layout-dependent; sort keys first or use "
+                       "std::map")
+
+    # TODO tagging is checked on raw lines: TODOs live in comments.
+    for idx, line in enumerate(raw_lines, start=1):
+        if RE_TODO.search(line) and not RE_TODO_TAGGED.search(line):
+            if SUPPRESS not in line:  # suppression text mentions no TODO rule
+                report(idx, "todo-tag",
+                       "untagged TODO/FIXME: write TODO(#<issue>): so it is "
+                       "trackable")
+    return findings
+
+
+def iter_sources(root: Path, paths: list[str]) -> list[tuple[Path, str]]:
+    targets = paths if paths else ["src", "bench"]
+    files: list[tuple[Path, str]] = []
+    for t in targets:
+        p = (root / t) if not Path(t).is_absolute() else Path(t)
+        if p.is_file():
+            files.append((p, str(p.relative_to(root)) if p.is_relative_to(root) else str(p)))
+        elif p.is_dir():
+            for f in sorted(p.rglob("*")):
+                if f.suffix in CXX_SUFFIXES and f.is_file():
+                    files.append((f, str(f.relative_to(root))))
+        else:
+            print(f"mecsched_lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return files
+
+
+# --- self test -------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (rule expected to fire, relative path to pretend, snippet)
+    ("rng-outside-common", "src/assign/x.cpp",
+     "int r = std::rand();\n"),
+    ("rng-outside-common", "src/exec/x.cpp",
+     "std::mt19937 gen(std::chrono::steady_clock::now().time_since_epoch()"
+     ".count());\n"),
+    ("unordered-iteration", "src/cli/x.cpp",
+     "std::unordered_map<int, double> table;\n"
+     "for (const auto& kv : table) csv << kv.first;\n"),
+    ("naked-new", "src/obs/x.cpp",
+     "auto* p = new Widget();\n"),
+    ("naked-new", "src/obs/x.cpp",
+     "delete ptr;\n"),
+    ("float-in-model", "src/lp/x.cpp",
+     "float tolerance = 0.1f;\n"),
+    ("todo-tag", "src/mec/x.cpp",
+     "// TODO: make this faster\n"),
+]
+
+SELF_TEST_CLEAN = [
+    ("src/assign/x.cpp", "double r = rng.uniform();\n"),
+    ("src/common/rng.cpp", "std::random_device seed_source;\n"),
+    ("src/cli/x.cpp",
+     "std::unordered_map<int, double> table;\n"
+     "// lint:allow-unordered-iteration -- keys sorted below.\n"
+     "for (const auto& kv : table) keys.push_back(kv.first);\n"),
+    ("src/obs/x.cpp", "auto p = std::make_unique<Widget>();\n"),
+    ("src/cli/x.cpp", "float ui_scale = 1.0f;\n"),  # float fine outside model
+    ("src/mec/x.cpp", "// TODO(#42): make this faster\n"),
+    ("src/lp/x.cpp", "// a comment mentioning float and new is fine\n"),
+    ("src/lp/x.cpp", 'log("string with float and new words");\n'),
+]
+
+
+def self_test() -> int:
+    import tempfile
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as td:
+        root = Path(td)
+        for rule, rel, snippet in SELF_TEST_CASES:
+            f = root / rel
+            f.parent.mkdir(parents=True, exist_ok=True)
+            f.write_text(snippet)
+            found = lint_file(f, rel)
+            if not any(x.rule == rule for x in found):
+                print(f"SELF-TEST FAIL: expected [{rule}] to fire on:\n"
+                      f"{snippet}", file=sys.stderr)
+                failures += 1
+        for rel, snippet in SELF_TEST_CLEAN:
+            f = root / rel
+            f.parent.mkdir(parents=True, exist_ok=True)
+            f.write_text(snippet)
+            found = lint_file(f, rel)
+            if found:
+                print(f"SELF-TEST FAIL: expected clean, got "
+                      f"{[str(x) for x in found]} on:\n{snippet}",
+                      file=sys.stderr)
+                failures += 1
+    if failures:
+        print(f"mecsched_lint self-test: {failures} failure(s)",
+              file=sys.stderr)
+        return 1
+    print("mecsched_lint self-test: all rules fire and all waivers hold")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the embedded rule fixtures and exit")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories (default: src/ bench/)")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = Path(args.root).resolve()
+    findings: list[Finding] = []
+    files = iter_sources(root, args.paths)
+    for path, rel in files:
+        findings.extend(lint_file(path, rel))
+
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"mecsched_lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"mecsched_lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
