@@ -1,0 +1,157 @@
+// LP kernel microbenchmark — sparse vs dense solver paths on the Fig. 2(a)
+// 200-task cell (50 devices, 5 stations, max input 3000 kB).
+//
+// Times LP-HTA end to end with each kernel forced (SparseMode::kForceSparse
+// vs kForceDense) for both engines:
+//   - interior point: dense normal equations vs CSR assembly + cached
+//     symbolic Cholesky (the tentpole speedup; docs/lp-kernels.md),
+//   - simplex: dense column scans vs CSC sparse pricing (bit-identical
+//     pivot sequence by construction, so the timing is the only delta).
+//
+// Both paths must produce *identical* assignments — that is asserted here,
+// not just in the unit tests, so a kernel regression that changes results
+// fails the bench before any timing is read.
+//
+// Emits BENCH_lp_kernels.json (override with MECSCHED_BENCH_OUT) for the CI
+// kernel-bench step, which compares the sparse/dense ratio against the
+// checked-in baseline via tools/bench/check_lp_kernels.py.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "assign/hta_instance.h"
+#include "assign/lp_hta.h"
+#include "bench/bench_common.h"
+#include "lp/sparse_cholesky.h"
+#include "obs/registry.h"
+#include "workload/scenario.h"
+
+namespace {
+
+using mecsched::assign::Assignment;
+using mecsched::assign::HtaInstance;
+using mecsched::assign::LpEngine;
+using mecsched::assign::LpHta;
+using mecsched::assign::LpHtaOptions;
+
+constexpr std::size_t kTasks = 200;
+constexpr int kTimedRuns = 5;
+
+struct Timed {
+  Assignment assignment;
+  double seconds = 0.0;  // best-of-kTimedRuns, one warmup discarded
+};
+
+// Best-of-N wall clock for one engine/kernel combination. The warmup run
+// also populates the process-wide symbolic-factor cache, so the sparse
+// numbers reflect the steady state a sweep actually sees (analysis done
+// once, numeric refactorizations thereafter).
+Timed time_assign(const HtaInstance& instance, LpEngine engine,
+                  mecsched::lp::SparseMode mode) {
+  LpHtaOptions options;
+  options.engine = engine;
+  options.sparse_mode = mode;
+  const LpHta solver(options);
+
+  Timed out;
+  out.assignment = solver.assign(instance);  // warmup, result kept
+  out.seconds = 1e300;
+  for (int r = 0; r < kTimedRuns; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const Assignment a = solver.assign(instance);
+    const auto t1 = std::chrono::steady_clock::now();
+    if (a.decisions != out.assignment.decisions) {
+      std::cerr << "FATAL: assignment changed between repeated solves\n";
+      std::exit(EXIT_FAILURE);
+    }
+    out.seconds =
+        std::min(out.seconds, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const mecsched::bench::ObsSession obs_session("lp_kernels");
+  using namespace mecsched;
+  bench::print_header(
+      "LP kernels", "sparse vs dense solver paths",
+      "Fig. 2(a) cell: 200 tasks, max input 3000 kB, 50 devices, 5 stations");
+
+  workload::ScenarioConfig cfg;
+  cfg.num_devices = bench::kDevices;
+  cfg.num_base_stations = bench::kStations;
+  cfg.num_tasks = kTasks;
+  cfg.max_input_kb = 3000.0;
+  cfg.seed = 1200;  // matches fig2a's rep-1 cell at x=200
+  const workload::Scenario scenario = workload::make_scenario(cfg);
+  const HtaInstance instance(scenario.topology, scenario.tasks);
+
+  const Timed ipm_dense =
+      time_assign(instance, LpEngine::kInteriorPoint, lp::SparseMode::kForceDense);
+  const Timed ipm_sparse =
+      time_assign(instance, LpEngine::kInteriorPoint, lp::SparseMode::kForceSparse);
+  const Timed smx_dense =
+      time_assign(instance, LpEngine::kSimplex, lp::SparseMode::kForceDense);
+  const Timed smx_sparse =
+      time_assign(instance, LpEngine::kSimplex, lp::SparseMode::kForceSparse);
+
+  const double ipm_speedup = ipm_dense.seconds / ipm_sparse.seconds;
+  const double smx_speedup = smx_dense.seconds / smx_sparse.seconds;
+  const bool ipm_identical =
+      ipm_dense.assignment.decisions == ipm_sparse.assignment.decisions;
+  const bool smx_identical =
+      smx_dense.assignment.decisions == smx_sparse.assignment.decisions;
+
+  std::cout << "engine            dense (s)   sparse (s)   speedup\n";
+  std::cout.setf(std::ios::fixed);
+  std::cout.precision(6);
+  std::cout << "interior-point    " << ipm_dense.seconds << "    "
+            << ipm_sparse.seconds << "    " << ipm_speedup << "x\n"
+            << "simplex           " << smx_dense.seconds << "    "
+            << smx_sparse.seconds << "    " << smx_speedup << "x\n";
+
+  obs::Registry& reg = obs::Registry::global();
+  std::cout << "symbolic cache: "
+            << reg.counter("lp.sparse.pattern_cache_hits").value() << " hits, "
+            << reg.counter("lp.sparse.pattern_cache_misses").value()
+            << " misses\n";
+
+  std::string out_path = bench::env_or_empty("MECSCHED_BENCH_OUT");
+  if (out_path.empty()) out_path = "BENCH_lp_kernels.json";
+  {
+    std::ofstream os(out_path);
+    os.setf(std::ios::fixed);
+    os.precision(9);
+    os << "{\n"
+       << "  \"bench\": \"lp_kernels\",\n"
+       << "  \"cell\": {\"tasks\": " << kTasks
+       << ", \"devices\": " << bench::kDevices
+       << ", \"stations\": " << bench::kStations << "},\n"
+       << "  \"timed_runs\": " << kTimedRuns << ",\n"
+       << "  \"ipm\": {\"dense_seconds\": " << ipm_dense.seconds
+       << ", \"sparse_seconds\": " << ipm_sparse.seconds
+       << ", \"speedup\": " << ipm_speedup << "},\n"
+       << "  \"simplex\": {\"dense_seconds\": " << smx_dense.seconds
+       << ", \"sparse_seconds\": " << smx_sparse.seconds
+       << ", \"speedup\": " << smx_speedup << "},\n"
+       << "  \"assignments_identical\": "
+       << ((ipm_identical && smx_identical) ? "true" : "false") << "\n"
+       << "}\n";
+  }
+  std::cout << "json: " << out_path << '\n';
+
+  bench::ShapeChecker check;
+  check.expect(ipm_identical,
+               "IPM sparse and dense kernels produce identical assignments");
+  check.expect(smx_identical,
+               "simplex sparse and dense pricing produce identical assignments");
+  check.expect(ipm_speedup >= 3.0,
+               "sparse IPM is at least 3x faster than dense on the 200-task cell");
+  check.expect(smx_speedup >= 0.9,
+               "sparse simplex pricing does not slow the solve down");
+  return check.exit_code();
+}

@@ -24,6 +24,7 @@
 #include <cstddef>
 
 #include "assign/assigner.h"
+#include "lp/sparse_matrix.h"
 
 namespace mecsched::assign {
 
@@ -54,6 +55,12 @@ struct LpHtaOptions {
   // kSimplex, presolve/equilibrate off — those transforms change the
   // variable space). Not owned; must outlive the assign() call.
   const Assignment* warm_hint = nullptr;
+  // Sparse-kernel dispatch, forwarded to both LP engines (see
+  // lp/sparse_matrix.h). The cluster LPs are block-structured and very
+  // sparse — 4 columns per task touching at most 3 rows each — so large
+  // clusters clear the kAuto density threshold and get the CSR kernels;
+  // small ones keep the dense path. Assignment-preserving either way.
+  lp::SparseMode sparse_mode = lp::SparseMode::kAuto;
 };
 
 struct LpHtaReport {

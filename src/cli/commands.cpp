@@ -27,6 +27,7 @@
 #include "exec/sweep_runner.h"
 #include "exec/thread_pool.h"
 #include "io/codec.h"
+#include "lp/sparse_cholesky.h"
 #include "mec/cost_breakdown.h"
 #include "io/shared_codec.h"
 #include "io/trace_codec.h"
@@ -613,6 +614,11 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out) {
   MECSCHED_REQUIRE(reps > 0, "--reps must be positive");
 
   exec::InstanceCache cache(
+      static_cast<std::size_t>(args.get_num("cache-capacity", 128)));
+  // The LP layer keeps its own pattern-keyed cache of symbolic Cholesky
+  // analyses (lp/sparse_cholesky.h); size it alongside the plan cache so
+  // every distinct constraint shape in the sweep keeps its ordering warm.
+  lp::SymbolicFactorCache::global().set_capacity(
       static_cast<std::size_t>(args.get_num("cache-capacity", 128)));
   exec::SweepOptions sweep_opts;
   sweep_opts.master_seed =

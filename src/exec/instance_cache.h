@@ -14,6 +14,13 @@
 //
 // Thread-safe: the sweep workers share one cache. Hits/misses/evictions
 // report into obs (exec.cache.*) and are also readable via stats().
+//
+// A third reuse tier lives below this one: lp::SymbolicFactorCache
+// (lp/sparse_cholesky.h) memoizes the sparse Cholesky *symbolic analysis*
+// by LP constraint-pattern fingerprint. It kicks in even when this cache
+// misses — two sweep cells with different task data but the same cluster
+// shape share the fill-reducing ordering, so only the numeric
+// factorization reruns. cmd_sweep sizes it with --cache-capacity too.
 #pragma once
 
 #include <cstdint>

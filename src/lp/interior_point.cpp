@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <tuple>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "common/error.h"
 #include "lp/cholesky.h"
 #include "lp/matrix.h"
+#include "lp/sparse_cholesky.h"
+#include "lp/sparse_matrix.h"
 #include "lp/standard_form.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
@@ -26,60 +29,113 @@ double max_step(const std::vector<double>& v, const std::vector<double>& dv,
   return std::min(1.0, damping * t);
 }
 
-}  // namespace
+// The two normal-equation backends behind the Mehrotra loop. Both expose
+// the same contract: mul/mul_t apply A and Aᵀ, factor(d) (re)factors
+// M = A·diag(d)·Aᵀ, solve applies M⁻¹. The loop itself is backend-blind.
 
-Solution InteriorPointSolver::solve(const Problem& problem) const {
-  const obs::ScopedTimer span("lp.ipm.solve", "lp");
-  Solution out = solve_impl(problem);
-  obs::Registry& reg = obs::Registry::global();
-  reg.counter("lp.ipm.solves").add();
-  reg.counter("lp.ipm.iterations").add(out.iterations);
-  reg.histogram("lp.ipm.iterations_per_solve")
-      .observe(static_cast<double>(out.iterations));
-  if (!out.optimal()) reg.counter("lp.ipm.non_optimal").add();
-  // Certificate audit (no-op at audit level off). The IPM converges to the
-  // relative-gap tolerance, not to a vertex, so vertex_expected stays off
-  // and the gap tolerance is loosened to match the termination criterion.
-  audit::LpCertificateOptions cert;
-  cert.feasibility_tolerance = 1e-5;
-  cert.gap_tolerance = 1e-5;
-  audit::check_lp(problem, out, "ipm", cert);
-  return out;
-}
+// Dense kernel — the historical path: densified A, O(m²n) assembly, dense
+// Cholesky. Still the right tool for small or dense systems.
+class DenseNormalKernel {
+ public:
+  explicit DenseNormalKernel(const SparseMatrix& a)
+      : a_(a.to_dense()), at_(a_.transposed()) {}
 
-Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
-  Solution out;
-  if (problem.num_variables() == 0) {
-    out.status = SolveStatus::kOptimal;
-    return out;
+  std::vector<double> mul(const std::vector<double>& x) const {
+    return a_.multiply(x);
+  }
+  std::vector<double> mul_t(const std::vector<double>& x) const {
+    return at_.multiply(x);
   }
 
-  const StandardForm sf = to_standard_form(problem);
+  void factor(const std::vector<double>& d) {
+    const std::size_t m = a_.rows();
+    const std::size_t n = a_.cols();
+    Matrix mmat(m, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = i; j < m; ++j) {
+        double acc = 0.0;
+        const double* ri = a_.row(i);
+        const double* rj = a_.row(j);
+        // lint:allow-dense-scan-in-kernel -- this IS the dense fallback.
+        for (std::size_t k = 0; k < n; ++k) acc += ri[k] * d[k] * rj[k];
+        mmat(i, j) = acc;
+        mmat(j, i) = acc;
+      }
+    }
+    chol_.emplace(mmat);
+  }
+
+  std::vector<double> solve(const std::vector<double>& b) const {
+    return chol_->solve(b);
+  }
+
+ private:
+  Matrix a_;
+  Matrix at_;
+  std::optional<Cholesky> chol_;
+};
+
+// Sparse kernel — CSR SpMV, pattern-only normal-equation assembly and the
+// symbolic/numeric-split Cholesky. The symbolic analysis is fetched from
+// the process-wide pattern cache, so repeated solves over the same HTA
+// constraint shape (every IPM iteration, every adjacent sweep cell) skip
+// the ordering work entirely.
+class SparseNormalKernel {
+ public:
+  explicit SparseNormalKernel(const SparseMatrix& a)
+      : a_(a),
+        at_(a.transposed()),
+        sym_(SymbolicFactorCache::global().analyze(a)) {
+    obs::Registry& reg = obs::Registry::global();
+    reg.gauge("lp.sparse.last_nnz").set(static_cast<double>(a_.nnz()));
+    reg.gauge("lp.sparse.last_factor_nnz")
+        .set(static_cast<double>(sym_->factor_nnz()));
+    reg.gauge("lp.sparse.last_fill_ratio").set(sym_->fill_ratio());
+    reg.histogram("lp.sparse.fill_ratio").observe(sym_->fill_ratio());
+  }
+
+  std::vector<double> mul(const std::vector<double>& x) const {
+    return a_.multiply(x);
+  }
+  std::vector<double> mul_t(const std::vector<double>& x) const {
+    return at_.multiply(x);
+  }
+
+  void factor(const std::vector<double>& d) {
+    chol_.emplace(a_, at_, d, sym_);
+  }
+
+  std::vector<double> solve(const std::vector<double>& b) const {
+    return chol_->solve(b);
+  }
+
+ private:
+  const SparseMatrix& a_;
+  SparseMatrix at_;
+  std::shared_ptr<const NormalEquationsSymbolic> sym_;
+  std::optional<NormalCholesky> chol_;
+};
+
+// Mehrotra predictor–corrector loop, parameterized over the normal-
+// equation backend. Identical math on both paths; only the linear-algebra
+// kernels differ.
+template <class Kernel>
+Solution ipm_loop(const Problem& problem, const StandardForm& sf,
+                  Kernel& kernel, const InteriorPointOptions& options) {
+  Solution out;
   const std::size_t m = sf.a.rows();
   const std::size_t n = sf.a.cols();
-  const Matrix at = sf.a.transposed();
 
   // --- Mehrotra starting point ---------------------------------------
   // x~ = A^T (A A^T)^-1 b ; y~ = (A A^T)^-1 A c ; s~ = c - A^T y~, then
   // shifted into the strictly positive orthant.
-  Matrix aat(m, m);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i; j < m; ++j) {
-      double acc = 0.0;
-      const double* ri = sf.a.row(i);
-      const double* rj = sf.a.row(j);
-      for (std::size_t k = 0; k < n; ++k) acc += ri[k] * rj[k];
-      aat(i, j) = acc;
-      aat(j, i) = acc;
-    }
-  }
   std::vector<double> x, y, s;
   {
-    const Cholesky chol(aat);
-    x = at.multiply(chol.solve(sf.b));
-    y = chol.solve(sf.a.multiply(sf.c));
+    kernel.factor(std::vector<double>(n, 1.0));  // M = A Aᵀ
+    x = kernel.mul_t(kernel.solve(sf.b));
+    y = kernel.solve(kernel.mul(sf.c));
     s = sf.c;
-    const std::vector<double> aty = at.multiply(y);
+    const std::vector<double> aty = kernel.mul_t(y);
     for (std::size_t i = 0; i < n; ++i) s[i] -= aty[i];
 
     double dx = 0.0, ds = 0.0;
@@ -99,11 +155,11 @@ Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
   const double b_scale = 1.0 + norm_inf(sf.b);
   const double c_scale = 1.0 + norm_inf(sf.c);
 
-  for (std::size_t iter = 0; iter < options_.max_iterations; ++iter) {
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // Residuals.
-    std::vector<double> rb = sf.a.multiply(x);  // A x - b
+    std::vector<double> rb = kernel.mul(x);  // A x - b
     for (std::size_t i = 0; i < m; ++i) rb[i] -= sf.b[i];
-    std::vector<double> rc = at.multiply(y);    // A^T y + s - c
+    std::vector<double> rc = kernel.mul_t(y);  // A^T y + s - c
     for (std::size_t i = 0; i < n; ++i) rc[i] += s[i] - sf.c[i];
     const double mu = dot(x, s) / static_cast<double>(n);
 
@@ -116,9 +172,9 @@ Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
     reg.gauge("lp.ipm.last_rel_gap").set(rel_gap);
     reg.gauge("lp.ipm.last_primal_residual").set(norm_inf(rb));
     reg.gauge("lp.ipm.last_dual_residual").set(norm_inf(rc));
-    if (norm_inf(rb) <= options_.tolerance * b_scale &&
-        norm_inf(rc) <= options_.tolerance * c_scale &&
-        rel_gap <= options_.tolerance) {
+    if (norm_inf(rb) <= options.tolerance * b_scale &&
+        norm_inf(rc) <= options.tolerance * c_scale &&
+        rel_gap <= options.tolerance) {
       out.status = SolveStatus::kOptimal;
       out.iterations = iter;
       out.x = sf.recover(x);
@@ -134,18 +190,7 @@ Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
     // Normal-equation matrix M = A diag(x/s) A^T.
     std::vector<double> d(n);
     for (std::size_t i = 0; i < n; ++i) d[i] = x[i] / s[i];
-    Matrix mmat(m, m);
-    for (std::size_t i = 0; i < m; ++i) {
-      for (std::size_t j = i; j < m; ++j) {
-        double acc = 0.0;
-        const double* ri = sf.a.row(i);
-        const double* rj = sf.a.row(j);
-        for (std::size_t k = 0; k < n; ++k) acc += ri[k] * d[k] * rj[k];
-        mmat(i, j) = acc;
-        mmat(j, i) = acc;
-      }
-    }
-    const Cholesky chol(mmat);
+    kernel.factor(d);
 
     // One Newton solve for a given complementarity target `rxs`
     // (rxs_i = x_i s_i - target_i). Returns (dx, dy, ds).
@@ -155,10 +200,10 @@ Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
       for (std::size_t i = 0; i < n; ++i) {
         tmp[i] = (rxs[i] - x[i] * rc[i]) / s[i];
       }
-      std::vector<double> rhs = sf.a.multiply(tmp);
+      std::vector<double> rhs = kernel.mul(tmp);
       for (std::size_t i = 0; i < m; ++i) rhs[i] -= rb[i];
-      std::vector<double> dy = chol.solve(rhs);
-      std::vector<double> ds = at.multiply(dy);
+      std::vector<double> dy = kernel.solve(rhs);
+      std::vector<double> ds = kernel.mul_t(dy);
       for (std::size_t i = 0; i < n; ++i) ds[i] = -rc[i] - ds[i];
       std::vector<double> dx(n);
       for (std::size_t i = 0; i < n; ++i) {
@@ -187,8 +232,8 @@ Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
     }
     auto [dx, dy, ds] = newton(rxs);
 
-    const double ap = max_step(x, dx, options_.step_damping);
-    const double ad = max_step(s, ds, options_.step_damping);
+    const double ap = max_step(x, dx, options.step_damping);
+    const double ad = max_step(s, ds, options.step_damping);
     for (std::size_t i = 0; i < n; ++i) x[i] += ap * dx[i];
     for (std::size_t i = 0; i < m; ++i) y[i] += ad * dy[i];
     for (std::size_t i = 0; i < n; ++i) s[i] += ad * ds[i];
@@ -203,8 +248,49 @@ Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
   }
 
   out.status = SolveStatus::kIterationLimit;
-  out.iterations = options_.max_iterations;
+  out.iterations = options.max_iterations;
   return out;
+}
+
+}  // namespace
+
+Solution InteriorPointSolver::solve(const Problem& problem) const {
+  const obs::ScopedTimer span("lp.ipm.solve", "lp");
+  Solution out = solve_impl(problem);
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("lp.ipm.solves").add();
+  reg.counter("lp.ipm.iterations").add(out.iterations);
+  reg.histogram("lp.ipm.iterations_per_solve")
+      .observe(static_cast<double>(out.iterations));
+  if (!out.optimal()) reg.counter("lp.ipm.non_optimal").add();
+  // Certificate audit (no-op at audit level off). The IPM converges to the
+  // relative-gap tolerance, not to a vertex, so vertex_expected stays off
+  // and the gap tolerance is loosened to match the termination criterion.
+  audit::LpCertificateOptions cert;
+  cert.feasibility_tolerance = 1e-5;
+  cert.gap_tolerance = 1e-5;
+  audit::check_lp(problem, out, "ipm", cert);
+  return out;
+}
+
+Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
+  if (problem.num_variables() == 0) {
+    Solution out;
+    out.status = SolveStatus::kOptimal;
+    return out;
+  }
+
+  const StandardForm sf = to_standard_form(problem);
+  obs::Registry& reg = obs::Registry::global();
+  if (use_sparse_kernels(sf.a.rows(), sf.a.cols(), sf.a.nnz(),
+                         options_.sparse_mode)) {
+    reg.counter("lp.sparse.ipm_solves").add();
+    SparseNormalKernel kernel(sf.a);
+    return ipm_loop(problem, sf, kernel, options_);
+  }
+  reg.counter("lp.sparse.ipm_dense_fallback").add();
+  DenseNormalKernel kernel(sf.a);
+  return ipm_loop(problem, sf, kernel, options_);
 }
 
 }  // namespace mecsched::lp

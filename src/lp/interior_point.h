@@ -16,6 +16,7 @@
 
 #include "lp/problem.h"
 #include "lp/solution.h"
+#include "lp/sparse_matrix.h"
 
 namespace mecsched::lp {
 
@@ -23,6 +24,11 @@ struct InteriorPointOptions {
   std::size_t max_iterations = 200;
   double tolerance = 1e-8;       // relative duality-gap / residual target
   double step_damping = 0.99;    // fraction of the max step to the boundary
+  // Normal-equation kernel selection. kAuto applies the density dispatch
+  // policy in lp/sparse_matrix.h (sparse CSR kernels + cached symbolic
+  // Cholesky for large sparse systems, the dense path otherwise); the
+  // force modes exist for differential tests and benchmarks.
+  SparseMode sparse_mode = SparseMode::kAuto;
 };
 
 class InteriorPointSolver {

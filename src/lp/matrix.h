@@ -1,9 +1,14 @@
 // Dense row-major matrix used by the LP solvers.
 //
-// The HTA linear programs are small (a few hundred rows/columns per
-// cluster) and mostly dense after slack augmentation, so a cache-friendly
-// dense representation beats a sparse one here and keeps the factorization
-// code simple and auditable.
+// This is the small-instance workhorse, not the only representation: the
+// HTA cluster LPs are in fact block-structured and very sparse (each
+// column touches at most 3 rows), and above the dispatch threshold in
+// lp/sparse_matrix.h (>= kSparseMinRows rows and density <=
+// kSparseDensityThreshold) the solvers switch to CSR kernels with a
+// cached symbolic Cholesky — see docs/lp-kernels.md. Below the threshold
+// the cache-friendly dense representation wins on constant factors and
+// keeps the factorization code simple and auditable, so small or dense
+// systems stay here.
 #pragma once
 
 #include <cstddef>

@@ -7,6 +7,7 @@
 #include "audit/lp_certificate.h"
 #include "common/error.h"
 #include "lp/matrix.h"
+#include "lp/sparse_matrix.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
 
@@ -89,6 +90,8 @@ class Tableau {
     std::vector<double> residual = b_;
     for (std::size_t v = 0; v < art_begin_; ++v) {
       if (x_[v] == 0.0) continue;
+      // One-time setup, before the CSC column store exists.
+      // lint:allow-dense-scan-in-kernel -- constructor, not the pivot loop.
       for (std::size_t r = 0; r < m; ++r) residual[r] -= a_(r, v) * x_[v];
     }
 
@@ -101,12 +104,15 @@ class Tableau {
         // variable whenever the warm point leaves it non-negative; the
         // row's artificial then starts (and stays) at zero.
         const std::size_t s = slack_of[r];
+        // lint:allow-dense-scan-in-kernel -- constructor, single slack entry.
         const double value = residual[r] * a_(r, s);
         if (value >= 0.0) {
           basis_[r] = s;
           state_[s] = VarState::kBasic;
           x_[s] = value;
-          binv_(r, r) = a_(r, s);  // B column = ±e_r => B^-1 entry = ±1
+          // B column = ±e_r => B^-1 entry = ±1
+          // lint:allow-dense-scan-in-kernel -- constructor, single entry.
+          binv_(r, r) = a_(r, s);
           a_(r, art) = 1.0;
           continue;
         }
@@ -118,7 +124,12 @@ class Tableau {
       x_[art] = std::fabs(residual[r]);
       binv_(r, r) = sign;  // B = diag(sign) => B^-1 = diag(sign)
     }
+
+    build_columns();
   }
+
+  // Whether the pricing/ratio-test kernels run off the CSC column store.
+  bool sparse_pricing() const { return sparse_pricing_; }
 
   // Minimizes `costs` from the current basis. Returns the phase status.
   SolveStatus optimize(const std::vector<double>& costs) {
@@ -142,10 +153,8 @@ class Tableau {
       const std::size_t entering = price(costs, y, dj_tol, bland);
       if (entering == kNone) return SolveStatus::kOptimal;
 
-      // Column in the current basis frame.
-      std::vector<double> col(m);
-      for (std::size_t r = 0; r < m; ++r) col[r] = a_(r, entering);
-      const std::vector<double> w = binv_.multiply(col);
+      // Column in the current basis frame: w = B^-1 A_entering.
+      const std::vector<double> w = ftran_column(entering);
 
       const double dir = state_[entering] == VarState::kAtLower ? 1.0 : -1.0;
 
@@ -262,20 +271,99 @@ class Tableau {
     return mx;
   }
 
+  // Builds the CSC column store for the pricing kernels when the dispatch
+  // policy picks the sparse path. Runs once, at the end of construction:
+  // the augmented matrix (including the artificial columns) never changes
+  // afterwards, only `binv_` does.
+  void build_columns() {
+    const std::size_t m = a_.rows();
+    const std::size_t n = x_.size();
+    std::size_t nnz = 0;
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* row = a_.row(r);
+      // lint:allow-dense-scan-in-kernel -- one-time setup scan.
+      for (std::size_t j = 0; j < n; ++j) nnz += row[j] != 0.0 ? 1 : 0;
+    }
+    sparse_pricing_ = use_sparse_kernels(m, n, nnz, opt_.sparse_pricing);
+    if (!sparse_pricing_) return;
+
+    acol_ptr_.assign(n + 1, 0);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* row = a_.row(r);
+      // lint:allow-dense-scan-in-kernel -- one-time setup scan.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (row[j] != 0.0) ++acol_ptr_[j + 1];
+      }
+    }
+    for (std::size_t j = 0; j < n; ++j) acol_ptr_[j + 1] += acol_ptr_[j];
+    acol_row_.resize(nnz);
+    acol_val_.resize(nnz);
+    std::vector<std::size_t> next(acol_ptr_.begin(), acol_ptr_.end() - 1);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* row = a_.row(r);
+      // lint:allow-dense-scan-in-kernel -- one-time setup scan.
+      for (std::size_t j = 0; j < n; ++j) {
+        if (row[j] == 0.0) continue;
+        const std::size_t p = next[j]++;
+        acol_row_[p] = r;
+        acol_val_[p] = row[j];
+      }
+    }
+  }
+
+  // Reduced cost c_j - y^T A_j. Both paths subtract the products in
+  // ascending row order (the sparse one merely skips exact-zero terms), so
+  // sparse pricing reproduces the dense reduced costs bit-for-bit and the
+  // pivot sequence is unchanged.
+  double reduced_cost(std::size_t j, const std::vector<double>& costs,
+                      const std::vector<double>& y) const {
+    double dj = costs[j];
+    if (sparse_pricing_) {
+      for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+        dj -= y[acol_row_[p]] * acol_val_[p];
+      }
+      return dj;
+    }
+    const std::size_t m = a_.rows();
+    // Dense fallback under the dispatch threshold (lp/sparse_matrix.h).
+    // lint:allow-dense-scan-in-kernel -- deliberate dense pricing path.
+    for (std::size_t r = 0; r < m; ++r) dj -= y[r] * a_(r, j);
+    return dj;
+  }
+
+  // w = B^-1 A_j for the entering column.
+  std::vector<double> ftran_column(std::size_t j) const {
+    const std::size_t m = a_.rows();
+    if (sparse_pricing_) {
+      std::vector<double> w(m, 0.0);
+      for (std::size_t r = 0; r < m; ++r) {
+        const double* br = binv_.row(r);
+        double acc = 0.0;
+        for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+          acc += br[acol_row_[p]] * acol_val_[p];
+        }
+        w[r] = acc;
+      }
+      return w;
+    }
+    std::vector<double> col(m);
+    // lint:allow-dense-scan-in-kernel -- dense fallback gather.
+    for (std::size_t r = 0; r < m; ++r) col[r] = a_(r, j);
+    return binv_.multiply(col);
+  }
+
   // Chooses the entering column: Dantzig (most negative effective reduced
   // cost) normally, Bland (lowest eligible index) when anti-cycling.
   std::size_t price(const std::vector<double>& costs,
                     const std::vector<double>& y, double dj_tol,
                     bool bland) const {
-    const std::size_t m = a_.rows();
     const bool devex = opt_.pricing == PricingRule::kDevex && !bland;
     std::size_t best = kNone;
     double best_score = devex ? dj_tol * dj_tol : dj_tol;
     for (std::size_t j = 0; j < x_.size(); ++j) {
       if (state_[j] == VarState::kBasic) continue;
       if (hi_[j] - lo_[j] <= opt_.tolerance) continue;  // fixed (artificials)
-      double dj = costs[j];
-      for (std::size_t r = 0; r < m; ++r) dj -= y[r] * a_(r, j);
+      const double dj = reduced_cost(j, costs, y);
       const double rate =
           state_[j] == VarState::kAtLower ? -dj : dj;  // improvement rate
       if (rate <= dj_tol) continue;                    // not eligible
@@ -299,13 +387,22 @@ class Tableau {
     if (std::fabs(alpha_q) < 1e-12) return;
     // pivot row of B^-1 (before the pivot update), then rho = row * A.
     std::vector<double> binv_row(m);
+    // lint:allow-dense-scan-in-kernel -- O(m) gather of one B^-1 row.
     for (std::size_t c = 0; c < m; ++c) binv_row[c] = binv_(r, c);
     const double wq = devex_weights_[q];
     for (std::size_t j = 0; j < x_.size(); ++j) {
       if (state_[j] == VarState::kBasic || j == q) continue;
       if (hi_[j] - lo_[j] <= opt_.tolerance) continue;
+      // rho = (pivot row of B^-1) . A_j — a reduced cost against -binv_row.
       double rho = 0.0;
-      for (std::size_t c = 0; c < m; ++c) rho += binv_row[c] * a_(c, j);
+      if (sparse_pricing_) {
+        for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+          rho += binv_row[acol_row_[p]] * acol_val_[p];
+        }
+      } else {
+        // lint:allow-dense-scan-in-kernel -- dense fallback.
+        for (std::size_t c = 0; c < m; ++c) rho += binv_row[c] * a_(c, j);
+      }
       const double cand = (rho / alpha_q) * (rho / alpha_q) * wq;
       if (cand > devex_weights_[j]) devex_weights_[j] = cand;
       // reset the framework if weights explode
@@ -340,10 +437,21 @@ class Tableau {
   // accumulated floating-point drift of the rank-1 updates.
   void refactorize() {
     const std::size_t m = a_.rows();
+    // The refactorization is dense by design (m×m basis, period-amortized).
+    // lint:allow-dense-scan-in-kernel -- Gauss-Jordan work matrix.
     Matrix bmat(m, m);
     for (std::size_t r = 0; r < m; ++r) {
-      for (std::size_t i = 0; i < m; ++i) bmat(i, r) = a_(i, basis_[r]);
+      const std::size_t j = basis_[r];
+      if (sparse_pricing_) {
+        for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+          bmat(acol_row_[p], r) = acol_val_[p];
+        }
+      } else {
+        // lint:allow-dense-scan-in-kernel -- dense fallback gather.
+        for (std::size_t i = 0; i < m; ++i) bmat(i, r) = a_(i, j);
+      }
     }
+    // lint:allow-dense-scan-in-kernel -- dense Gauss-Jordan companion.
     Matrix inv = Matrix::identity(m);
     for (std::size_t col = 0; col < m; ++col) {
       std::size_t piv = col;
@@ -380,7 +488,14 @@ class Tableau {
     std::vector<double> rhs = b_;
     for (std::size_t v = 0; v < x_.size(); ++v) {
       if (state_[v] == VarState::kBasic || x_[v] == 0.0) continue;
-      for (std::size_t r = 0; r < m; ++r) rhs[r] -= a_(r, v) * x_[v];
+      if (sparse_pricing_) {
+        for (std::size_t p = acol_ptr_[v]; p < acol_ptr_[v + 1]; ++p) {
+          rhs[acol_row_[p]] -= acol_val_[p] * x_[v];
+        }
+      } else {
+        // lint:allow-dense-scan-in-kernel -- dense fallback.
+        for (std::size_t r = 0; r < m; ++r) rhs[r] -= a_(r, v) * x_[v];
+      }
     }
     const std::vector<double> xb = binv_.multiply(rhs);
     for (std::size_t r = 0; r < m; ++r) x_[basis_[r]] = xb[r];
@@ -398,6 +513,13 @@ class Tableau {
   std::size_t n_struct_ = 0;
   std::size_t art_begin_ = 0;
   std::size_t iterations_ = 0;
+
+  // CSC copy of a_ for the pricing kernels (built only when the dispatch
+  // policy picks sparse; empty otherwise). a_ stays authoritative.
+  bool sparse_pricing_ = false;
+  std::vector<std::size_t> acol_ptr_;
+  std::vector<std::size_t> acol_row_;
+  std::vector<double> acol_val_;
 };
 
 }  // namespace
@@ -442,6 +564,9 @@ Solution SimplexSolver::solve_impl(const Problem& problem,
   }
 
   Tableau t(problem, options_, guess);
+  if (t.sparse_pricing()) {
+    obs::Registry::global().counter("lp.sparse.simplex_pricing_solves").add();
+  }
 
   // Phase 1: drive the artificials to zero.
   const SolveStatus phase1 = t.optimize(t.phase1_costs());

@@ -15,6 +15,7 @@
 
 #include "lp/problem.h"
 #include "lp/solution.h"
+#include "lp/sparse_matrix.h"
 
 namespace mecsched::lp {
 
@@ -33,6 +34,14 @@ struct SimplexOptions {
   std::size_t bland_trigger = 50;
   double tolerance = 1e-9;
   PricingRule pricing = PricingRule::kDantzig;
+  // Column-storage selection for the pricing/ratio-test kernels. Under
+  // kAuto the dispatch policy in lp/sparse_matrix.h decides from the
+  // augmented tableau's density; when sparse, reduced costs and entering
+  // columns are computed from stored CSC columns instead of dense row
+  // scans (the revised-simplex hot loop drops from O(n·m) to O(nnz) per
+  // pricing pass). The dense matrix stays authoritative either way, so
+  // the pivot sequence is identical.
+  SparseMode sparse_pricing = SparseMode::kAuto;
 };
 
 class SimplexSolver {

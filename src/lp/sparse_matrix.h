@@ -1,0 +1,103 @@
+// Compressed sparse row (CSR) matrix for the LP solvers' sparse kernels.
+//
+// The HTA constraint matrices are block sparse by construction: one
+// assignment row per task (4 nonzeros), thin coupling rows for device and
+// station capacity, and ±1 slack/bound columns. Stored sparsely they carry
+// a handful of nonzeros per row, so the normal-equation assembly, SpMV and
+// simplex pricing kernels in this layer run on the nonzero structure only.
+//
+// Dense kernels are still the right tool for small or dense systems (the
+// random cross-check LPs, tiny clusters): `use_sparse_kernels` implements
+// the dispatch policy shared by the interior-point solver and the simplex
+// pricing loop. See docs/lp-kernels.md for the policy rationale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "lp/matrix.h"
+
+namespace mecsched::lp {
+
+// How a solver chooses between its dense and sparse kernels.
+//   kAuto        — density/size heuristic (use_sparse_kernels below).
+//   kForceDense  — always the dense kernels (baseline / differential runs).
+//   kForceSparse — always the sparse kernels (tests, benchmarks).
+enum class SparseMode { kAuto, kForceDense, kForceSparse };
+
+// Dispatch thresholds for SparseMode::kAuto. Dense kernels win below
+// `kSparseMinRows` rows (cache-resident, no index indirection) and above
+// `kSparseDensityThreshold` fill (the sparse structure stops paying for
+// itself around 1 nonzero in 4).
+inline constexpr std::size_t kSparseMinRows = 32;
+inline constexpr double kSparseDensityThreshold = 0.25;
+
+// True when the sparse kernels should handle a rows×cols system with
+// `nnz` structural nonzeros under `mode`.
+bool use_sparse_kernels(std::size_t rows, std::size_t cols, std::size_t nnz,
+                        SparseMode mode);
+
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  // Builds from (row, col, value) triplets. Duplicate entries sum; exact
+  // zeros (including cancelled duplicates) are dropped. Indices must be in
+  // range.
+  static SparseMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                    std::vector<Triplet> triplets);
+
+  // Compresses a dense matrix, dropping entries with |v| <= drop_tolerance.
+  static SparseMatrix from_dense(const Matrix& dense,
+                                 double drop_tolerance = 0.0);
+
+  Matrix to_dense() const;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+  // nnz / (rows*cols); 0 for an empty shape.
+  double density() const;
+
+  // Value at (r, c): binary search within row r, 0.0 when absent. For
+  // tests and spot reads — kernels iterate the CSR arrays directly.
+  double operator()(std::size_t r, std::size_t c) const;
+
+  // CSR storage: row r spans [row_ptr()[r], row_ptr()[r+1]) in col_idx()/
+  // values(); column indices are strictly ascending within a row.
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+  // y = this * x  (x.size() == cols()).
+  std::vector<double> multiply(const std::vector<double>& x) const;
+  // y = this^T * x  (x.size() == rows()).
+  std::vector<double> multiply_transpose(const std::vector<double>& x) const;
+
+  // The transpose — also the CSC view of this matrix (row r of the result
+  // is column r of *this), which is how the simplex pricing kernel and the
+  // normal-equation assembly walk columns.
+  SparseMatrix transposed() const;
+
+  // Order-dependent 64-bit digest of the sparsity *pattern* (dimensions,
+  // row pointers, column indices — not values). Two matrices with equal
+  // fingerprints have identical structure, which is what makes a symbolic
+  // Cholesky factorization reusable between them (lp/sparse_cholesky.h).
+  std::uint64_t pattern_fingerprint() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_{0};
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace mecsched::lp

@@ -31,7 +31,6 @@ StandardForm to_standard_form(const Problem& p) {
 
   const std::size_t m = p.num_constraints() + n_ub;
   const std::size_t n = n0 + n_ub + n_row_slack;
-  sf.a = Matrix(m, n);
   sf.b.assign(m, 0.0);
   sf.c.assign(n, 0.0);
 
@@ -41,22 +40,31 @@ StandardForm to_standard_form(const Problem& p) {
     sf.objective_offset += p.cost(v) * p.lower(v);
   }
 
+  // The constraint rows stay sparse all the way: Problem terms become CSR
+  // triplets, slack/bound columns are singletons (±1 each).
+  std::vector<Triplet> triplets;
+  std::size_t nnz_estimate = 2 * n_ub + n_row_slack;
+  for (std::size_t r = 0; r < p.num_constraints(); ++r) {
+    nnz_estimate += p.constraint(r).terms.size();
+  }
+  triplets.reserve(nnz_estimate);
+
   // Original rows first; shift the RHS by A * lo.
   std::size_t slack = n0 + n_ub;
   for (std::size_t r = 0; r < p.num_constraints(); ++r) {
     const Constraint& con = p.constraint(r);
     double rhs = con.rhs;
     for (const Term& t : con.terms) {
-      sf.a(r, t.var) = t.coeff;
+      triplets.push_back({r, t.var, t.coeff});
       rhs -= t.coeff * p.lower(t.var);
     }
     sf.b[r] = rhs;
     switch (con.relation) {
       case Relation::kLessEqual:
-        sf.a(r, slack++) = 1.0;
+        triplets.push_back({r, slack++, 1.0});
         break;
       case Relation::kGreaterEqual:
-        sf.a(r, slack++) = -1.0;
+        triplets.push_back({r, slack++, -1.0});
         break;
       case Relation::kEqual:
         break;
@@ -68,12 +76,13 @@ StandardForm to_standard_form(const Problem& p) {
   std::size_t ub_col = n0;
   for (std::size_t v = 0; v < n0; ++v) {
     if (!std::isfinite(p.upper(v))) continue;
-    sf.a(ub_row, v) = 1.0;
-    sf.a(ub_row, ub_col) = 1.0;
+    triplets.push_back({ub_row, v, 1.0});
+    triplets.push_back({ub_row, ub_col, 1.0});
     sf.b[ub_row] = p.upper(v) - p.lower(v);
     ++ub_row;
     ++ub_col;
   }
+  sf.a = SparseMatrix::from_triplets(m, n, std::move(triplets));
   return sf;
 }
 

@@ -7,19 +7,24 @@
 //   * finite upper bounds become `x + s = hi - lo` rows,
 //   * inequality rows gain slack/surplus columns.
 //
+// A is kept in CSR (lp/sparse_matrix.h), assembled straight from the
+// Problem's sparse rows so the block structure of the HTA constraints is
+// never densified on the way to the solver; the interior-point solver's
+// dense kernels call `a.to_dense()` when the dispatch policy picks them.
+//
 // `recover()` maps a standard-form solution back to the original variable
 // space.
 #pragma once
 
 #include <vector>
 
-#include "lp/matrix.h"
 #include "lp/problem.h"
+#include "lp/sparse_matrix.h"
 
 namespace mecsched::lp {
 
 struct StandardForm {
-  Matrix a;                 // m x n equality matrix
+  SparseMatrix a;           // m x n equality matrix (CSR)
   std::vector<double> b;    // m
   std::vector<double> c;    // n
   std::size_t n_original;   // leading columns that map to Problem variables

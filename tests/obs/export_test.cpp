@@ -95,6 +95,57 @@ TEST(PrometheusExportTest, RendersAllThreeKinds) {
             std::string::npos);
 }
 
+TEST(PrometheusExportTest, SparseKernelSeriesFormatCorrectly) {
+  // The lp.sparse.* family mixes counters, gauges and a histogram; the
+  // dotted names must sanitize to mecsched_lp_sparse_* with the _total
+  // suffix only on counters.
+  Registry reg;
+  reg.counter("lp.sparse.ipm_solves").add(3);
+  reg.counter("lp.sparse.pattern_cache_hits").add(17);
+  reg.counter("lp.sparse.pattern_cache_misses").add();
+  reg.gauge("lp.sparse.last_fill_ratio").set(1.25);
+  reg.gauge("lp.sparse.last_factor_nnz").set(731);
+  reg.histogram("lp.sparse.fill_ratio").observe(1.25);
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("# TYPE mecsched_lp_sparse_ipm_solves_total counter\n"
+                      "mecsched_lp_sparse_ipm_solves_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE mecsched_lp_sparse_pattern_cache_hits_total counter\n"
+                "mecsched_lp_sparse_pattern_cache_hits_total 17\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("mecsched_lp_sparse_pattern_cache_misses_total 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mecsched_lp_sparse_last_fill_ratio gauge\n"
+                      "mecsched_lp_sparse_last_fill_ratio 1.25\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("mecsched_lp_sparse_last_factor_nnz 731\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE mecsched_lp_sparse_fill_ratio histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("mecsched_lp_sparse_fill_ratio_count 1"),
+            std::string::npos);
+  // Gauges must never grow a _total suffix.
+  EXPECT_EQ(text.find("mecsched_lp_sparse_last_fill_ratio_total"),
+            std::string::npos);
+}
+
+TEST(SummaryTableTest, SparseKernelCountersAppearInSummary) {
+  Registry reg;
+  reg.counter("lp.sparse.ipm_solves").add(2);
+  reg.counter("lp.sparse.simplex_pricing_solves").add(5);
+  reg.gauge("lp.sparse.last_nnz").set(730);
+  std::ostringstream os;
+  os << summary_table(reg);
+  const std::string text = os.str();
+  for (const char* needle :
+       {"lp.sparse.ipm_solves", "lp.sparse.simplex_pricing_solves",
+        "lp.sparse.last_nnz"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
 TEST(PrometheusExportTest, BucketCountsAreCumulative) {
   Registry reg;
   Histogram& h = reg.histogram("h");

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Gate the sparse LP kernel benchmark against its checked-in baseline.
+
+Usage:
+    check_lp_kernels.py RESULT_JSON [BASELINE_JSON]
+
+RESULT_JSON is the BENCH_lp_kernels.json emitted by build/bench/lp_kernels;
+BASELINE_JSON defaults to bench/lp_kernels_baseline.json next to this repo.
+
+Fails (exit 1) when:
+  * the sparse and dense kernels disagreed on any assignment, or
+  * a measured sparse/dense speedup regresses more than 20% below the
+    baseline floor (the floors are already generous, so this catches the
+    sparse path silently degenerating, not machine noise).
+"""
+
+import json
+import pathlib
+import sys
+
+REGRESSION_BUDGET = 0.8  # fail below 80% of the baseline floor
+
+
+def main(argv):
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    result_path = pathlib.Path(argv[1])
+    baseline_path = (
+        pathlib.Path(argv[2])
+        if len(argv) == 3
+        else pathlib.Path(__file__).resolve().parents[2]
+        / "bench"
+        / "lp_kernels_baseline.json"
+    )
+    result = json.loads(result_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    ok = True
+    if not result.get("assignments_identical", False):
+        print("FAIL: sparse and dense kernels produced different assignments")
+        ok = False
+
+    for engine, key in (("ipm", "ipm_speedup"), ("simplex", "simplex_speedup")):
+        measured = float(result[engine]["speedup"])
+        floor = float(baseline[key]) * REGRESSION_BUDGET
+        verdict = "ok" if measured >= floor else "FAIL"
+        print(
+            f"{verdict}: {engine} sparse/dense speedup {measured:.2f}x "
+            f"(floor {floor:.2f}x = baseline {baseline[key]}x * "
+            f"{REGRESSION_BUDGET})"
+        )
+        if measured < floor:
+            ok = False
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -30,6 +30,18 @@ Rules (each with a stable id used in messages and suppressions):
                           `TODO(#123): ...` so every deferred item is
                           trackable; untagged TODOs rot.
 
+  dense-scan-in-kernel    Element-wise `Matrix::operator()(r, c)` reads
+                          inside a loop in the hot LP kernel files
+                          (src/lp/{simplex,interior_point,sparse_matrix,
+                          sparse_cholesky}.cpp). Those loops are the
+                          per-iteration solver hot path; walk the CSR/CSC
+                          arrays (lp/sparse_matrix.h) or the dense row
+                          pointers instead. Writes (setup/assembly) are
+                          exempt. Waive on the access line for an
+                          intentional dense fallback, or on the Matrix
+                          declaration to cover every access of that
+                          identifier (e.g. a Gauss-Jordan work matrix).
+
 Suppressions: a comment `lint:allow-<rule-id>` on the offending line or on
 the line directly above it silences that one finding. Always append a
 `-- reason` so the waiver self-documents:
@@ -58,6 +70,14 @@ MODEL_DIRS = ("src/mec", "src/lp", "src/ilp", "src/assign", "src/dta")
 
 # Files exempt from rng-outside-common: the blessed RNG facility itself.
 RNG_HOME = re.compile(r"src/common/rng[^/]*$")
+
+# Solver hot-path files watched by dense-scan-in-kernel.
+HOT_KERNEL_FILES = {
+    "src/lp/simplex.cpp",
+    "src/lp/interior_point.cpp",
+    "src/lp/sparse_matrix.cpp",
+    "src/lp/sparse_cholesky.cpp",
+}
 
 SUPPRESS = "lint:allow-"
 
@@ -194,6 +214,48 @@ RE_UNORDERED_DECL = re.compile(
     r"(?P<name>[A-Za-z_]\w*)\s*[;={]"
 )
 RE_RANGE_FOR = re.compile(r"\bfor\s*\([^;)]*:\s*(?P<expr>[^)]+)\)")
+RE_DENSE_DECL = re.compile(
+    r"\b(?:const\s+)?Matrix\s*&?\s+(?P<name>[A-Za-z_]\w*)\s*(?:[;=({,)]|$)"
+)
+RE_LOOP_KW = re.compile(r"\b(for|while)\s*\(")
+
+
+def loop_line_mask(code_lines: list[str]) -> list[bool]:
+    """Marks lines that are inside (or start) a for/while loop.
+
+    Brace-depth heuristic over comment-stripped code: a `{` that follows a
+    loop header opens a loop scope; a header followed by `;` (no braces) is
+    a single-statement loop confined to that statement. Preprocessor tricks
+    can fool this — the rule using it accepts per-line waivers for a reason.
+    """
+    mask = [False] * len(code_lines)
+    scopes: list[str] = []  # "loop" | "other" per open brace
+    pending = False  # saw a loop keyword, waiting for its { or ;
+    header_parens = 0
+    header_done = False
+    for idx, line in enumerate(code_lines):
+        if pending or "loop" in scopes:
+            mask[idx] = True
+        events = [(m.start(), "kw") for m in RE_LOOP_KW.finditer(line)]
+        events += [(i, c) for i, c in enumerate(line) if c in "(){};"]
+        for _, ev in sorted(events):
+            if ev == "kw":
+                pending, header_parens, header_done = True, 0, False
+                mask[idx] = True
+            elif ev == "(" and pending and not header_done:
+                header_parens += 1
+            elif ev == ")" and pending and not header_done:
+                header_parens -= 1
+                header_done = header_parens == 0
+            elif ev == "{":
+                scopes.append("loop" if pending and header_done else "other")
+                pending = False
+            elif ev == "}":
+                if scopes:
+                    scopes.pop()
+            elif ev == ";" and pending and header_done:
+                pending = False  # single-statement loop body ended
+    return mask
 
 
 def lint_file(path: Path, rel: str) -> list[Finding]:
@@ -245,6 +307,38 @@ def lint_file(path: Path, rel: str) -> list[Finding]:
                        "order is layout-dependent; sort keys first or use "
                        "std::map")
 
+    # Dense element-wise scans on the solver hot path (hot files only).
+    if rel in HOT_KERNEL_FILES:
+        dense_decl: dict[str, int] = {}
+        for idx, line in enumerate(code, start=1):
+            for dm in RE_DENSE_DECL.finditer(line):
+                dense_decl.setdefault(dm.group("name"), idx)
+        live = {
+            name: decl
+            for name, decl in dense_decl.items()
+            # A waiver on the declaration covers every access of the name.
+            if not suppressed(raw_lines, decl, "dense-scan-in-kernel")
+        }
+        if live:
+            access = re.compile(
+                r"\b(?P<name>" + "|".join(map(re.escape, sorted(live))) +
+                r")\s*\(")
+            mask = loop_line_mask(code)
+            for idx, line in enumerate(code, start=1):
+                if not mask[idx - 1]:
+                    continue
+                for am in access.finditer(line):
+                    name = am.group("name")
+                    if dense_decl.get(name) == idx:
+                        continue  # the declaration's own constructor call
+                    if re.match(r"[^()]*\)\s*=(?!=)", line[am.end():]):
+                        continue  # plain write: assembly/setup, not a scan
+                    report(idx, "dense-scan-in-kernel",
+                           f"element-wise read of dense Matrix '{name}' in a "
+                           "loop on the solver hot path: walk the CSR/CSC "
+                           "arrays (lp/sparse_matrix.h) or add a deliberate "
+                           "waiver")
+
     # TODO tagging is checked on raw lines: TODOs live in comments.
     for idx, line in enumerate(raw_lines, start=1):
         if RE_TODO.search(line) and not RE_TODO_TAGGED.search(line):
@@ -292,6 +386,16 @@ SELF_TEST_CASES = [
      "float tolerance = 0.1f;\n"),
     ("todo-tag", "src/mec/x.cpp",
      "// TODO: make this faster\n"),
+    ("dense-scan-in-kernel", "src/lp/simplex.cpp",
+     "Matrix a_;\n"
+     "void f() {\n"
+     "  for (std::size_t r = 0; r < m; ++r) dj -= y[r] * a_(r, j);\n"
+     "}\n"),
+    ("dense-scan-in-kernel", "src/lp/interior_point.cpp",
+     "Matrix mmat(m, m);\n"
+     "while (running) {\n"
+     "  acc += mmat(i, j) * d[j];\n"
+     "}\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -306,6 +410,32 @@ SELF_TEST_CLEAN = [
     ("src/mec/x.cpp", "// TODO(#42): make this faster\n"),
     ("src/lp/x.cpp", "// a comment mentioning float and new is fine\n"),
     ("src/lp/x.cpp", 'log("string with float and new words");\n'),
+    # dense-scan-in-kernel: per-line waiver on an intentional dense fallback.
+    ("src/lp/simplex.cpp",
+     "Matrix a_;\n"
+     "void f() {\n"
+     "  for (std::size_t r = 0; r < m; ++r) {\n"
+     "    // lint:allow-dense-scan-in-kernel -- dense fallback path.\n"
+     "    dj -= y[r] * a_(r, j);\n"
+     "  }\n"
+     "}\n"),
+    # dense-scan-in-kernel: declaration-site waiver covers all accesses.
+    ("src/lp/simplex.cpp",
+     "// lint:allow-dense-scan-in-kernel -- Gauss-Jordan work matrix.\n"
+     "Matrix bmat(m, m);\n"
+     "for (std::size_t c = 0; c < m; ++c) piv += bmat(r, c);\n"),
+    # dense-scan-in-kernel: writes are assembly, not scans.
+    ("src/lp/simplex.cpp",
+     "Matrix a_;\n"
+     "for (std::size_t r = 0; r < m; ++r) a_(r, slack) = 1.0;\n"),
+    # dense-scan-in-kernel: reads outside loops are spot reads.
+    ("src/lp/simplex.cpp",
+     "Matrix a_;\n"
+     "double v = a_(0, 1);\n"),
+    # dense-scan-in-kernel: only the hot kernel files are watched.
+    ("src/lp/cholesky.cpp",
+     "Matrix m_;\n"
+     "for (std::size_t r = 0; r < n; ++r) x += m_(r, r);\n"),
 ]
 
 
