@@ -6,6 +6,8 @@
 #include <memory>
 #include <string>
 
+#include "common/deadline.h"
+
 #include "assign/assignment.h"
 #include "assign/hta_instance.h"
 
@@ -16,6 +18,18 @@ class Assigner {
   virtual ~Assigner() = default;
 
   virtual Assignment assign(const HtaInstance& instance) const = 0;
+
+  // Budget-aware entry point. The default ignores the token and runs the
+  // plain assign(): the greedy assigners (HGOS, LocalFirst, ...) finish in
+  // O(n log n) and *are* the floor a budget degrades to. Solver-backed
+  // assigners (LP-HTA, Exact-ILP) override this and thread the token into
+  // their engines.
+  virtual Assignment assign(const HtaInstance& instance,
+                            const CancellationToken& cancel) const {
+    (void)cancel;
+    return assign(instance);
+  }
+
   virtual std::string name() const = 0;
 };
 

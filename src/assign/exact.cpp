@@ -15,6 +15,14 @@ Assignment ExactHta::assign(const HtaInstance& instance) const {
   return solve(instance).assignment;
 }
 
+Assignment ExactHta::assign(const HtaInstance& instance,
+                            const CancellationToken& cancel) const {
+  if (cancel.unlimited()) return assign(instance);
+  ilp::BnbOptions budgeted = options_;
+  budgeted.cancel = cancel.with_deadline(options_.cancel.deadline());
+  return ExactHta(budgeted).solve(instance).assignment;
+}
+
 ExactResult ExactHta::solve(const HtaInstance& instance) const {
   ExactResult result;
   result.assignment.decisions.assign(instance.num_tasks(),
@@ -68,7 +76,10 @@ ExactResult ExactHta::solve(const HtaInstance& instance) const {
       result.proven_optimal = false;
       continue;
     }
-    if (mip.status == ilp::BnbStatus::kNodeLimit) result.proven_optimal = false;
+    if (mip.status == ilp::BnbStatus::kNodeLimit ||
+        mip.status == ilp::BnbStatus::kDeadline) {
+      result.proven_optimal = false;
+    }
     if (mip.x.empty()) continue;
 
     for (std::size_t idx = 0; idx < active.size(); ++idx) {

@@ -28,6 +28,14 @@ class ExactHta : public Assigner {
   explicit ExactHta(ilp::BnbOptions options = {}) : options_(options) {}
 
   Assignment assign(const HtaInstance& instance) const override;
+
+  // Budgeted entry point: the token rides into each cluster's branch-and-
+  // bound (and its node LPs). On expiry the incumbents found so far are
+  // returned — integral and feasible, just not proven optimal — and tasks
+  // in clusters without an incumbent stay cancelled.
+  Assignment assign(const HtaInstance& instance,
+                    const CancellationToken& cancel) const override;
+
   ExactResult solve(const HtaInstance& instance) const;
 
   std::string name() const override { return "Exact-ILP"; }

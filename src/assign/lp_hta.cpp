@@ -31,6 +31,14 @@ constexpr std::array<Placement, 3> kPlacements = mec::kAllPlacements;
 // Each task owns 4 consecutive columns: local, edge, cloud, cancel-slack.
 std::size_t column(std::size_t idx, std::size_t l) { return idx * 4 + l; }
 
+// A deadline-degraded relaxation is still usable when the engine kept its
+// anytime half of the kDeadline contract (a non-empty x): Steps 2-6 round
+// and repair it like any fractional point, and the final assignment audit
+// applies unchanged. An empty x (expiry before feasibility) is a failure.
+bool usable_anytime(const lp::Solution& s) {
+  return s.status == lp::SolveStatus::kDeadline && !s.x.empty();
+}
+
 lp::Solution solve_exact(const lp::Problem& p, const LpHtaOptions& options,
                          const std::vector<double>* guess = nullptr) {
   const std::size_t budget = options.max_lp_iterations;
@@ -38,18 +46,28 @@ lp::Solution solve_exact(const lp::Problem& p, const LpHtaOptions& options,
     lp::InteriorPointOptions ipm;
     if (budget > 0) ipm.max_iterations = budget;
     ipm.sparse_mode = options.sparse_mode;
+    ipm.cancel = options.cancel;
     const lp::Solution s = lp::InteriorPointSolver(ipm).solve(p);
     if (s.optimal()) return s;
+    if (usable_anytime(s)) {
+      obs::Registry::global().counter("lp_hta.anytime_relaxations").add();
+      return s;
+    }
     // The IPM certifies optimality but cannot always prove feasibility
     // issues; the simplex solver is the fallback arbiter.
   }
   lp::SimplexOptions smx;
   if (budget > 0) smx.max_iterations = budget;
   smx.sparse_pricing = options.sparse_mode;
+  smx.cancel = options.cancel;
   const lp::SimplexSolver solver(smx);
   const lp::Solution s = guess != nullptr ? solver.solve(p, *guess)
                                           : solver.solve(p);
   if (!s.optimal()) {
+    if (usable_anytime(s)) {
+      obs::Registry::global().counter("lp_hta.anytime_relaxations").add();
+      return s;
+    }
     throw SolverError("LP-HTA: cluster relaxation not optimal (" +
                       lp::to_string(s.status) + ")");
   }
@@ -304,6 +322,17 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
 Assignment LpHta::assign(const HtaInstance& instance) const {
   LpHtaReport unused;
   return assign_with_report(instance, unused);
+}
+
+Assignment LpHta::assign(const HtaInstance& instance,
+                         const CancellationToken& cancel) const {
+  if (cancel.unlimited()) return assign(instance);
+  LpHtaOptions budgeted = options_;
+  // The caller's token wins (its cancel flag is honoured), tightened to the
+  // sooner of the two deadlines when the options carry one as well.
+  budgeted.cancel = cancel.with_deadline(options_.cancel.deadline());
+  LpHtaReport unused;
+  return LpHta(budgeted).assign_with_report(instance, unused);
 }
 
 Assignment LpHta::assign_with_report(const HtaInstance& instance,

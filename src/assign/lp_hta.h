@@ -61,6 +61,13 @@ struct LpHtaOptions {
   // clusters clear the kAuto density threshold and get the CSR kernels;
   // small ones keep the dense path. Assignment-preserving either way.
   lp::SparseMode sparse_mode = lp::SparseMode::kAuto;
+  // Cooperative solve budget, forwarded to the Step-1 LP engines. On expiry
+  // a cluster whose LP holds a usable anytime point (see solution.h) keeps
+  // it — Steps 2-6 round and repair it like any relaxation, and the final
+  // assignment audit still applies — otherwise Step 1 throws SolverError
+  // ("not optimal (deadline)") and a wrapping control::FallbackChain
+  // escalates with whatever budget remains.
+  CancellationToken cancel{};
 };
 
 struct LpHtaReport {
@@ -93,6 +100,11 @@ class LpHta : public Assigner {
   explicit LpHta(LpHtaOptions options = {}) : options_(options) {}
 
   Assignment assign(const HtaInstance& instance) const override;
+
+  // Budgeted entry point: runs with `options_` plus the given token (the
+  // sooner of the two deadlines wins when both are set).
+  Assignment assign(const HtaInstance& instance,
+                    const CancellationToken& cancel) const override;
 
   // Like assign(), but also returns the Theorem-2 diagnostics.
   Assignment assign_with_report(const HtaInstance& instance,

@@ -1,5 +1,11 @@
 #include "cli/args.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 #include "common/error.h"
@@ -44,10 +50,52 @@ double ArgParser::get_num(const std::string& flag, double fallback) const {
     const double v = std::stod(it->second, &used);
     MECSCHED_REQUIRE(used == it->second.size(),
                      "not a number: --" + flag + " " + it->second);
+    // std::stod happily parses "nan", "inf" and overflows to ±inf; none of
+    // those is a meaningful value for any mecsched flag.
+    MECSCHED_REQUIRE(std::isfinite(v),
+                     "--" + flag + " wants a finite number, got '" +
+                         it->second + "'");
     return v;
   } catch (const std::logic_error&) {
     throw ModelError("not a number: --" + flag + " " + it->second);
   }
+}
+
+std::size_t ArgParser::get_count(const std::string& flag,
+                                 std::size_t fallback) const {
+  const auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  const bool digits =
+      !text.empty() && std::all_of(text.begin(), text.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      });
+  MECSCHED_REQUIRE(digits, "--" + flag +
+                               " wants a non-negative integer, got '" + text +
+                               "'");
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), nullptr, 10);
+  MECSCHED_REQUIRE(errno != ERANGE &&
+                       v <= std::numeric_limits<std::size_t>::max(),
+                   "--" + flag + " is out of range: " + text);
+  return static_cast<std::size_t>(v);
+}
+
+double ArgParser::get_positive_num(const std::string& flag,
+                                   double fallback) const {
+  const double v = get_num(flag, fallback);
+  MECSCHED_REQUIRE(v > 0.0, "--" + flag + " wants a positive number, got '" +
+                                get(flag, "") + "'");
+  return v;
+}
+
+double ArgParser::get_probability(const std::string& flag,
+                                  double fallback) const {
+  const double v = get_num(flag, fallback);
+  MECSCHED_REQUIRE(v >= 0.0 && v <= 1.0,
+                   "--" + flag + " wants a probability in [0, 1], got '" +
+                       get(flag, "") + "'");
+  return v;
 }
 
 bool ArgParser::get_switch(const std::string& name) const {

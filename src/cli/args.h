@@ -26,7 +26,17 @@ class ArgParser {
 
   bool has(const std::string& flag) const;
   std::string get(const std::string& flag, const std::string& fallback) const;
+  // Finite number; rejects "nan"/"inf" (std::stod accepts both) and
+  // trailing garbage with a ModelError naming the flag.
   double get_num(const std::string& flag, double fallback) const;
+  // Non-negative integer count. Digits only — no sign, no decimal point, so
+  // "-1" cannot wrap around to 2^64-1 — and overflow is an error, not a
+  // silent clamp.
+  std::size_t get_count(const std::string& flag, std::size_t fallback) const;
+  // Finite and strictly positive.
+  double get_positive_num(const std::string& flag, double fallback) const;
+  // Finite probability in [0, 1].
+  double get_probability(const std::string& flag, double fallback) const;
   bool get_switch(const std::string& name) const;
 
  private:

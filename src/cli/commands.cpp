@@ -1,7 +1,12 @@
 #include "cli/commands.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <memory>
 #include <utility>
 
@@ -18,6 +23,7 @@
 #include "audit/audit.h"
 #include "cli/args.h"
 #include "cli/sweep_grids.h"
+#include "common/deadline.h"
 #include "common/error.h"
 #include "common/table.h"
 #include "control/fallback.h"
@@ -36,6 +42,7 @@
 #include "obs/registry.h"
 #include "obs/tracer.h"
 #include "sim/simulator.h"
+#include "sim/solver_chaos.h"
 #include "workload/arrivals.h"
 #include "workload/faults.h"
 #include "workload/scenario.h"
@@ -98,11 +105,33 @@ struct GlobalFlags {
   std::size_t jobs = 0;
   bool has_audit = false;    // --audit off|cheap|full: certificate checks
   audit::Level audit_level = audit::Level::kOff;
+  double budget_ms = 0.0;    // --budget-ms: per-solve deadline (0 = off)
 
   bool obs_active() const {
     return summary || !trace_path.empty() || !metrics_path.empty();
   }
 };
+
+// Strict positive-integer parse for flags stripped before ArgParser runs.
+// strtoul alone is not enough: it accepts "-1" (wrapping to 2^64-1) and
+// trailing garbage.
+std::size_t parse_positive_count(const std::string& flag,
+                                 const std::string& text) {
+  const bool digits =
+      !text.empty() && std::all_of(text.begin(), text.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      });
+  MECSCHED_REQUIRE(digits, flag + " wants a positive integer, got '" + text +
+                               "'");
+  errno = 0;
+  const unsigned long long n = std::strtoull(text.c_str(), nullptr, 10);
+  MECSCHED_REQUIRE(errno != ERANGE &&
+                       n <= std::numeric_limits<std::size_t>::max(),
+                   flag + " is out of range: " + text);
+  MECSCHED_REQUIRE(n > 0, flag + " wants a positive integer, got '" + text +
+                              "'");
+  return static_cast<std::size_t>(n);
+}
 
 GlobalFlags strip_global_flags(std::vector<std::string>& tokens) {
   GlobalFlags flags;
@@ -117,13 +146,20 @@ GlobalFlags strip_global_flags(std::vector<std::string>& tokens) {
       ++i;
     } else if (tokens[i] == "--jobs") {
       MECSCHED_REQUIRE(i + 1 < tokens.size(), "--jobs requires a count");
-      char* end = nullptr;
-      const unsigned long n = std::strtoul(tokens[i + 1].c_str(), &end, 10);
-      MECSCHED_REQUIRE(end != nullptr && *end == '\0' && n > 0,
-                       "--jobs wants a positive integer, got '" +
-                           tokens[i + 1] + "'");
       flags.has_jobs = true;
-      flags.jobs = static_cast<std::size_t>(n);
+      flags.jobs = parse_positive_count("--jobs", tokens[i + 1]);
+      ++i;
+    } else if (tokens[i] == "--budget-ms") {
+      MECSCHED_REQUIRE(i + 1 < tokens.size(),
+                       "--budget-ms requires a value in milliseconds");
+      const std::string& text = tokens[i + 1];
+      char* end = nullptr;
+      const double v = std::strtod(text.c_str(), &end);
+      MECSCHED_REQUIRE(end != nullptr && end != text.c_str() && *end == '\0' &&
+                           std::isfinite(v) && v > 0.0,
+                       "--budget-ms wants a positive number of milliseconds, "
+                       "got '" + text + "'");
+      flags.budget_ms = v;
       ++i;
     } else if (tokens[i] == "--audit") {
       MECSCHED_REQUIRE(i + 1 < tokens.size(),
@@ -158,6 +194,7 @@ int dispatch(const std::string& command, const std::vector<std::string>& rest,
   if (command == "dta") return cmd_dta(rest, out);
   if (command == "churn") return cmd_churn(rest, out);
   if (command == "sweep") return cmd_sweep(rest, out);
+  if (command == "chaos") return cmd_chaos(rest, out);
   err << "unknown command: " << command << "\n\n" << usage();
   return 1;
 }
@@ -193,6 +230,10 @@ std::string usage() {
       "  sweep     [--grid fig2a|fig2b|fig4a|fig4b|smoke] [--reps N]\n"
       "            [--seed S] [--cache-capacity N] [--warm-start]\n"
       "            [--csv] [--out series.csv] [--list]\n"
+      "  chaos     [--cells N] [--tasks N] [--devices N] [--stations N]\n"
+      "            [--seed S] [--stall-prob P] [--nan-prob P]\n"
+      "            [--cancel-prob P] [--error-prob P] [--csv]\n"
+      "            (solver fault injection drill; see docs/robustness.md)\n"
       "\n"
       "global flags (any command):\n"
       "  --trace out.json      write a Chrome trace_event file of the run\n"
@@ -206,6 +247,10 @@ std::string usage() {
       "  --audit LEVEL         runtime solver certificates: off, cheap or\n"
       "                        full (default: MECSCHED_AUDIT env, else the\n"
       "                        build default; see docs/static-analysis.md)\n"
+      "  --budget-ms MS        wall-clock budget per solve: LP/ILP engines\n"
+      "                        degrade to their best anytime answer at the\n"
+      "                        deadline instead of running long (see\n"
+      "                        docs/robustness.md)\n"
       "\n"
       "algorithms: lp-hta lp-hta-ipm hgos alltoc alloffload local-first "
       "random exact brd portfolio\n";
@@ -222,14 +267,10 @@ int cmd_generate(const std::vector<std::string>& tokens, std::ostream& out) {
     cfg = io::config_from_json(
         io::Json::parse(io::read_file(args.get("config", ""))));
   }
-  cfg.num_tasks = static_cast<std::size_t>(
-      args.get_num("tasks", static_cast<double>(cfg.num_tasks)));
-  cfg.num_devices = static_cast<std::size_t>(
-      args.get_num("devices", static_cast<double>(cfg.num_devices)));
-  cfg.num_base_stations = static_cast<std::size_t>(
-      args.get_num("stations", static_cast<double>(cfg.num_base_stations)));
-  cfg.seed = static_cast<std::uint64_t>(
-      args.get_num("seed", static_cast<double>(cfg.seed)));
+  cfg.num_tasks = args.get_count("tasks", cfg.num_tasks);
+  cfg.num_devices = args.get_count("devices", cfg.num_devices);
+  cfg.num_base_stations = args.get_count("stations", cfg.num_base_stations);
+  cfg.seed = args.get_count("seed", static_cast<std::size_t>(cfg.seed));
   cfg.max_input_kb = args.get_num("max-input-kb", cfg.max_input_kb);
 
   const workload::Scenario scenario = workload::make_scenario(cfg);
@@ -330,7 +371,7 @@ int cmd_breakdown(const std::vector<std::string>& tokens, std::ostream& out) {
   ArgParser args({"scenario", "task", "placement", "out"}, {});
   args.parse(tokens);
   const workload::Scenario scenario = load_scenario(args);
-  const auto t = static_cast<std::size_t>(args.get_num("task", 0));
+  const std::size_t t = args.get_count("task", 0);
   MECSCHED_REQUIRE(t < scenario.tasks.size(), "--task index out of range");
 
   const std::string where = args.get("placement", "");
@@ -378,7 +419,7 @@ int cmd_recover(const std::vector<std::string>& tokens, std::ostream& out) {
   const assign::Assignment plan = load_plan(args);
   MECSCHED_REQUIRE(plan.size() == instance.num_tasks(),
                    "plan size does not match scenario");
-  const auto device = static_cast<std::size_t>(args.get_num("device", 0));
+  const std::size_t device = args.get_count("device", 0);
   const assign::RecoveryResult r =
       assign::replan_after_device_failure(instance, plan, device);
   io::Json j = io::assignment_to_json(r.assignment);
@@ -393,14 +434,13 @@ int cmd_generate_arrivals(const std::vector<std::string>& tokens,
   ArgParser args({"tasks", "devices", "stations", "seed", "rate", "out"}, {});
   args.parse(tokens);
   workload::ArrivalConfig cfg;
-  cfg.scenario.num_tasks = static_cast<std::size_t>(
-      args.get_num("tasks", static_cast<double>(cfg.scenario.num_tasks)));
-  cfg.scenario.num_devices = static_cast<std::size_t>(
-      args.get_num("devices", static_cast<double>(cfg.scenario.num_devices)));
-  cfg.scenario.num_base_stations = static_cast<std::size_t>(args.get_num(
-      "stations", static_cast<double>(cfg.scenario.num_base_stations)));
-  cfg.scenario.seed = static_cast<std::uint64_t>(
-      args.get_num("seed", static_cast<double>(cfg.scenario.seed)));
+  cfg.scenario.num_tasks = args.get_count("tasks", cfg.scenario.num_tasks);
+  cfg.scenario.num_devices =
+      args.get_count("devices", cfg.scenario.num_devices);
+  cfg.scenario.num_base_stations =
+      args.get_count("stations", cfg.scenario.num_base_stations);
+  cfg.scenario.seed =
+      args.get_count("seed", static_cast<std::size_t>(cfg.scenario.seed));
   cfg.arrival_rate_per_s = args.get_num("rate", cfg.arrival_rate_per_s);
   emit(io::timed_scenario_to_json(workload::make_timed_scenario(cfg)), args,
        out);
@@ -463,16 +503,11 @@ int cmd_generate_shared(const std::vector<std::string>& tokens,
   args.parse(tokens);
 
   workload::SharedDataConfig cfg;
-  cfg.num_tasks = static_cast<std::size_t>(
-      args.get_num("tasks", static_cast<double>(cfg.num_tasks)));
-  cfg.num_devices = static_cast<std::size_t>(
-      args.get_num("devices", static_cast<double>(cfg.num_devices)));
-  cfg.num_base_stations = static_cast<std::size_t>(
-      args.get_num("stations", static_cast<double>(cfg.num_base_stations)));
-  cfg.num_items = static_cast<std::size_t>(
-      args.get_num("items", static_cast<double>(cfg.num_items)));
-  cfg.seed = static_cast<std::uint64_t>(
-      args.get_num("seed", static_cast<double>(cfg.seed)));
+  cfg.num_tasks = args.get_count("tasks", cfg.num_tasks);
+  cfg.num_devices = args.get_count("devices", cfg.num_devices);
+  cfg.num_base_stations = args.get_count("stations", cfg.num_base_stations);
+  cfg.num_items = args.get_count("items", cfg.num_items);
+  cfg.seed = args.get_count("seed", static_cast<std::size_t>(cfg.seed));
   cfg.max_input_kb = args.get_num("max-input-kb", cfg.max_input_kb);
 
   const dta::SharedDataScenario scenario = workload::make_shared_scenario(cfg);
@@ -527,14 +562,14 @@ int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out) {
   args.parse(tokens);
 
   workload::ArrivalConfig arrivals;
-  arrivals.scenario.num_tasks = static_cast<std::size_t>(args.get_num(
-      "tasks", static_cast<double>(arrivals.scenario.num_tasks)));
-  arrivals.scenario.num_devices = static_cast<std::size_t>(args.get_num(
-      "devices", static_cast<double>(arrivals.scenario.num_devices)));
-  arrivals.scenario.num_base_stations = static_cast<std::size_t>(args.get_num(
-      "stations", static_cast<double>(arrivals.scenario.num_base_stations)));
-  arrivals.scenario.seed = static_cast<std::uint64_t>(
-      args.get_num("seed", static_cast<double>(arrivals.scenario.seed)));
+  arrivals.scenario.num_tasks =
+      args.get_count("tasks", arrivals.scenario.num_tasks);
+  arrivals.scenario.num_devices =
+      args.get_count("devices", arrivals.scenario.num_devices);
+  arrivals.scenario.num_base_stations =
+      args.get_count("stations", arrivals.scenario.num_base_stations);
+  arrivals.scenario.seed = args.get_count(
+      "seed", static_cast<std::size_t>(arrivals.scenario.seed));
   arrivals.arrival_rate_per_s =
       args.get_num("rate", arrivals.arrival_rate_per_s);
   const workload::TimedScenario scenario =
@@ -561,8 +596,7 @@ int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out) {
   // churn trace representative of the full solver pipeline.
   opts.lp.presolve = true;
   opts.epoch_s = args.get_num("epoch-s", opts.epoch_s);
-  opts.max_attempts = static_cast<std::size_t>(
-      args.get_num("max-attempts", static_cast<double>(opts.max_attempts)));
+  opts.max_attempts = args.get_count("max-attempts", opts.max_attempts);
   const control::ResilientResult r =
       control::ResilientController(opts).run(scenario.topology, scenario.tasks,
                                              faults);
@@ -610,19 +644,17 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out) {
   const SweepGrid* grid = find_sweep_grid(grid_name);
   MECSCHED_REQUIRE(grid != nullptr,
                    "unknown grid: " + grid_name + " (see sweep --list)");
-  const auto reps = static_cast<std::size_t>(args.get_num("reps", 3));
+  const std::size_t reps = args.get_count("reps", 3);
   MECSCHED_REQUIRE(reps > 0, "--reps must be positive");
 
-  exec::InstanceCache cache(
-      static_cast<std::size_t>(args.get_num("cache-capacity", 128)));
+  exec::InstanceCache cache(args.get_count("cache-capacity", 128));
   // The LP layer keeps its own pattern-keyed cache of symbolic Cholesky
   // analyses (lp/sparse_cholesky.h); size it alongside the plan cache so
   // every distinct constraint shape in the sweep keeps its ordering warm.
   lp::SymbolicFactorCache::global().set_capacity(
-      static_cast<std::size_t>(args.get_num("cache-capacity", 128)));
+      args.get_count("cache-capacity", 128));
   exec::SweepOptions sweep_opts;
-  sweep_opts.master_seed =
-      static_cast<std::uint64_t>(args.get_num("seed", 1));
+  sweep_opts.master_seed = args.get_count("seed", 1);
   sweep_opts.cache = &cache;
   sweep_opts.warm_start = args.get_switch("warm-start");
 
@@ -702,6 +734,99 @@ int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out) {
   return 0;
 }
 
+int cmd_chaos(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"cells", "tasks", "devices", "stations", "seed",
+                  "stall-prob", "nan-prob", "cancel-prob", "error-prob"},
+                 {"csv"});
+  args.parse(tokens);
+
+  const std::size_t cells = args.get_count("cells", 8);
+  MECSCHED_REQUIRE(cells > 0, "--cells must be positive");
+  sim::SolverChaosConfig cfg;
+  cfg.seed = args.get_count("seed", 1);
+  cfg.stall_prob = args.get_probability("stall-prob", 0.02);
+  cfg.nan_prob = args.get_probability("nan-prob", 0.02);
+  cfg.cancel_prob = args.get_probability("cancel-prob", 0.02);
+  cfg.error_prob = args.get_probability("error-prob", 0.02);
+
+  workload::ScenarioConfig base;
+  base.num_tasks = args.get_count("tasks", 24);
+  base.num_devices = args.get_count("devices", 8);
+  base.num_base_stations = args.get_count("stations", 2);
+
+  // The drill: every cell runs the full fallback chain while the armed hook
+  // injects solver faults from the seeded matrix. The per-cell table and
+  // the aggregated trace below must be byte-identical at any --jobs level
+  // (the CI chaos job diffs --jobs 1 against --jobs 4).
+  sim::SolverChaos chaos(cfg);
+  const sim::ChaosArmed armed(chaos);
+  const control::FallbackChain chain;
+
+  struct CellOutcome {
+    std::size_t rung;
+    std::uint64_t digest;
+    double energy_j;
+  };
+  exec::SweepOptions sweep_opts;
+  sweep_opts.master_seed = cfg.seed;
+  exec::SweepRunner runner(sweep_opts);
+  const std::vector<CellOutcome> results =
+      runner.run<CellOutcome>(cells, [&](exec::CellContext& ctx) {
+        workload::ScenarioConfig cell_cfg = base;
+        cell_cfg.seed = ctx.seed();
+        const workload::Scenario scenario = workload::make_scenario(cell_cfg);
+        const assign::HtaInstance instance(scenario.topology, scenario.tasks);
+        control::FallbackRung rung = control::FallbackRung::kLpHta;
+        const assign::Assignment plan =
+            chain.assign(instance, rung, ctx.cancel());
+        std::uint64_t digest = exec::fingerprint(instance);
+        for (const assign::Decision d : plan.decisions) {
+          digest = exec::mix(digest, static_cast<std::uint64_t>(d) + 1);
+        }
+        return CellOutcome{static_cast<std::size_t>(rung), digest,
+                           assign::evaluate(instance, plan).total_energy_j};
+      });
+
+  const std::vector<sim::SolverFaultRecord> trace = chaos.trace();
+  if (args.get_switch("csv")) {
+    out << "cell,rung,digest,energy_j\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out << i << ','
+          << control::to_string(
+                 static_cast<control::FallbackRung>(results[i].rung))
+          << ',' << results[i].digest << ','
+          << Table::num(results[i].energy_j, 3) << '\n';
+    }
+    out << "engine,rows,cols,iteration,kind,count\n";
+    for (const sim::SolverFaultRecord& r : trace) {
+      out << r.engine << ',' << r.rows << ',' << r.cols << ',' << r.iteration
+          << ',' << sim::to_string(r.kind) << ',' << r.count << '\n';
+    }
+    return 0;
+  }
+
+  Table cells_table({"cell", "rung", "digest", "energy (J)"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    cells_table.add_row(
+        {std::to_string(i),
+         control::to_string(static_cast<control::FallbackRung>(results[i].rung)),
+         std::to_string(results[i].digest),
+         Table::num(results[i].energy_j, 3)});
+  }
+  out << cells_table;
+  out << "injected faults: " << chaos.injected() << '\n';
+  if (!trace.empty()) {
+    Table fault_table({"engine", "rows", "cols", "iteration", "kind", "count"});
+    for (const sim::SolverFaultRecord& r : trace) {
+      fault_table.add_row({r.engine, std::to_string(r.rows),
+                           std::to_string(r.cols), std::to_string(r.iteration),
+                           sim::to_string(r.kind), std::to_string(r.count)});
+    }
+    out << fault_table;
+  }
+  return 0;
+}
+
 int run(const std::vector<std::string>& argv, std::ostream& out,
         std::ostream& err) {
   if (argv.empty() || argv[0] == "--help" || argv[0] == "help") {
@@ -719,6 +844,9 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     if (!obs_flags.trace_path.empty()) obs::Tracer::global().enable();
     if (obs_flags.has_jobs) exec::ThreadPool::set_default_jobs(obs_flags.jobs);
     if (obs_flags.has_audit) audit::set_level(obs_flags.audit_level);
+    if (obs_flags.budget_ms > 0) {
+      set_default_solve_budget_ms(obs_flags.budget_ms);
+    }
     {
       const obs::ScopedTimer span("cli." + command, "cli");
       code = dispatch(command, rest, out, err);
@@ -727,10 +855,11 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     err << "error: " << e.what() << '\n';
     code = 1;
   }
-  // The --jobs and --audit overrides are per-invocation (the test harness
-  // calls run() repeatedly in one process).
+  // The --jobs, --audit and --budget-ms overrides are per-invocation (the
+  // test harness calls run() repeatedly in one process).
   if (obs_flags.has_jobs) exec::ThreadPool::set_default_jobs(0);
   if (obs_flags.has_audit) audit::set_level(audit::default_level());
+  if (obs_flags.budget_ms > 0) set_default_solve_budget_ms(0.0);
 
   // Export even when the command failed — a trace of the failing run is
   // precisely the artifact worth keeping.

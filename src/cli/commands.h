@@ -17,6 +17,7 @@
 //   recover         — repair a plan after a device failure
 //   churn           — run the resilient controller under generated churn
 //   sweep           — run a named figure grid on the parallel sweep runner
+//   chaos           — solver fault-injection drill over the fallback chain
 #pragma once
 
 #include <ostream>
@@ -48,6 +49,7 @@ int cmd_trace(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_dta(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out);
+int cmd_chaos(const std::vector<std::string>& tokens, std::ostream& out);
 
 std::string usage();
 

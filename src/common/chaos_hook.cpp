@@ -1,0 +1,29 @@
+#include "common/chaos_hook.h"
+
+#include <atomic>
+
+namespace mecsched::chaos {
+
+namespace {
+
+std::atomic<Hook*>& installed() {
+  static std::atomic<Hook*> hook{nullptr};
+  return hook;
+}
+
+}  // namespace
+
+void arm(Hook* hook) { installed().store(hook, std::memory_order_release); }
+
+bool armed() {
+  return installed().load(std::memory_order_relaxed) != nullptr;
+}
+
+Action probe(const char* engine, std::size_t rows, std::size_t cols,
+             std::size_t iteration) {
+  Hook* hook = installed().load(std::memory_order_acquire);
+  if (hook == nullptr) return Action::kNone;
+  return hook->probe(engine, rows, cols, iteration);
+}
+
+}  // namespace mecsched::chaos

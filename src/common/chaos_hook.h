@@ -1,0 +1,44 @@
+// Solver-level chaos injection point. The solvers (lp/, ilp/) probe this
+// hook at iteration boundaries; the chaos driver (sim/solver_chaos.h)
+// implements it and arms it for the duration of a drill. The indirection
+// keeps the dependency arrow pointing the right way: lp/ cannot link sim/,
+// so the hook lives here and the driver installs itself at runtime.
+//
+// The disarmed fast path is a single relaxed atomic load — cheap enough to
+// sit inside the simplex pivot loop.
+#pragma once
+
+#include <cstddef>
+
+namespace mecsched::chaos {
+
+// What a probe tells the solver to do at this iteration. Stall and cancel
+// both surface as SolveStatus::kDeadline (a stalled solver is indistinguish-
+// able from one whose budget ran out); NaN poisoning corrupts the next
+// factorization input and must be caught by the solver's non-finite guards;
+// kError makes the solver throw a SolverError on the spot.
+enum class Action { kNone = 0, kStall, kPoisonNan, kCancel, kError };
+
+class Hook {
+ public:
+  virtual ~Hook() = default;
+  // Must be thread-safe and a pure function of its arguments (plus the
+  // driver's seed): byte-identical fault traces across thread schedules
+  // depend on it.
+  virtual Action probe(const char* engine, std::size_t rows, std::size_t cols,
+                       std::size_t iteration) = 0;
+};
+
+// Installs `hook` process-wide (not owned; nullptr disarms). The caller
+// must keep the hook alive until it disarms — sim::ChaosArmed does this
+// with RAII.
+void arm(Hook* hook);
+
+// True when a hook is installed.
+bool armed();
+
+// Probes the installed hook; Action::kNone when disarmed.
+Action probe(const char* engine, std::size_t rows, std::size_t cols,
+             std::size_t iteration);
+
+}  // namespace mecsched::chaos

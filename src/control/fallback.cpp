@@ -42,13 +42,31 @@ FallbackChain::FallbackChain(
 
 assign::Assignment FallbackChain::assign(const assign::HtaInstance& instance,
                                          FallbackRung& served) const {
+  return assign(instance, served, CancellationToken{});
+}
+
+assign::Assignment FallbackChain::assign(const assign::HtaInstance& instance,
+                                         FallbackRung& served,
+                                         const CancellationToken& cancel)
+    const {
   obs::Registry& reg = obs::Registry::global();
   obs::Tracer& tracer = obs::Tracer::global();
+  if (!cancel.deadline().is_unlimited()) {
+    reg.histogram("fallback.budget_ms").observe(cancel.deadline()
+                                                    .remaining_ms());
+  }
   std::string last_error;
   for (std::size_t r = 0; r < rungs_.size(); ++r) {
     const auto rung = static_cast<FallbackRung>(r);
+    if (r + 1 < rungs_.size() && cancel.expired()) {
+      // The budget is gone; don't even start a non-final rung, drop
+      // straight toward the floor.
+      reg.counter("fallback.skipped." + to_string(rung)).add();
+      if (last_error.empty()) last_error = "budget exhausted";
+      continue;
+    }
     try {
-      assign::Assignment plan = rungs_[r]->assign(instance);
+      assign::Assignment plan = rungs_[r]->assign(instance, cancel);
       served = rung;
       reg.counter("fallback.served." + to_string(rung)).add();
       return plan;

@@ -66,6 +66,18 @@ class FallbackChain {
   assign::Assignment assign(const assign::HtaInstance& instance,
                             FallbackRung& served) const;
 
+  // Budgeted run. Every rung receives the same token (its deadline is
+  // absolute, so later rungs automatically see only the *remaining*
+  // budget); a rung that degrades to kDeadline internally either returns
+  // an audited anytime plan or throws, in which case the next rung runs
+  // with what is left. Non-final rungs are skipped outright once the
+  // budget is exhausted — the final rung is the O(n log n) floor and
+  // always runs. Observability: histogram fallback.budget_ms (remaining
+  // budget at entry) and counters fallback.skipped.<rung>.
+  assign::Assignment assign(const assign::HtaInstance& instance,
+                            FallbackRung& served,
+                            const CancellationToken& cancel) const;
+
  private:
   std::vector<std::shared_ptr<assign::Assigner>> rungs_;
 };

@@ -1,7 +1,11 @@
 #include "control/resilient.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <numeric>
+
+#include "common/deadline.h"
 
 #include "assign/hta_instance.h"
 #include "common/error.h"
@@ -106,6 +110,9 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
   MECSCHED_REQUIRE(options_.backoff_base_epochs >= 1,
                    "backoff_base_epochs must be >= 1, got " +
                        std::to_string(options_.backoff_base_epochs));
+  MECSCHED_REQUIRE(std::isfinite(options_.decision_budget_ms) &&
+                       options_.decision_budget_ms >= 0.0,
+                   "decision_budget_ms must be finite and non-negative");
   faults.validate_against(topology.num_devices(),
                           topology.num_base_stations());
   if (shared != nullptr) {
@@ -293,7 +300,11 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
     for (const Waiting& w : batch) {
       const TimedTask& tt = tasks[w.id];
       const std::size_t issuer = tt.task.id.user;
-      const double residual = tt.task.deadline_s - (now - tt.release_s);
+      // Residual slack, net of the time this epoch's decision is allowed
+      // to burn: the scheduler's own thinking time is part of the task's
+      // latency budget.
+      const double residual = tt.task.deadline_s - (now - tt.release_s) -
+                              options_.decision_budget_ms * 1e-3;
       const std::size_t attempts_after = w.attempts + 1;
       result.outcomes[w.id].attempts = attempts_after;
 
@@ -378,7 +389,19 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
     if (lp_tasks.empty()) continue;
     const assign::HtaInstance instance(observed, lp_tasks);
     FallbackRung rung = FallbackRung::kLocalFirst;
-    const assign::Assignment plan = chain.assign(instance, rung);
+    CancellationToken epoch_token;
+    if (options_.decision_budget_ms > 0.0) {
+      epoch_token =
+          CancellationToken(Deadline::after_ms(options_.decision_budget_ms));
+    }
+    const auto decide_start = std::chrono::steady_clock::now();
+    const assign::Assignment plan =
+        chain.assign(instance, rung, epoch_token);
+    obs::Registry::global()
+        .histogram("controller.decision_ms")
+        .observe(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - decide_start)
+                     .count());
     ++result.rungs[rung];
 
     for (std::size_t i = 0; i < lp_batch.size(); ++i) {

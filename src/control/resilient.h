@@ -59,6 +59,16 @@ struct ResilientOptions {
   // Re-divide orphaned divisible tasks across surviving owners.
   bool dta_rescue = true;
   dta::DtaStrategy rescue_strategy = dta::DtaStrategy::kWorkload;
+  // Per-epoch wall-clock budget for the scheduling decision itself
+  // (0 = unlimited). When set, two things happen: (a) every batch goes to
+  // the FallbackChain with a deadline of this many milliseconds, so a
+  // stalling LP degrades to the greedy floor instead of blocking the
+  // epoch; and (b) the decision time is charged against each task's
+  // residual deadline — a task whose residual slack is smaller than the
+  // decision budget is expired at triage (the decision alone would consume
+  // what is left). Deterministic: the *configured* budget is subtracted,
+  // not the measured wall time, so results do not depend on machine speed.
+  double decision_budget_ms = 0.0;
 };
 
 // Optional data-shared view of the workload: per-item sizes, per-device

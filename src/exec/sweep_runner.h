@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "exec/instance_cache.h"
 #include "exec/thread_pool.h"
@@ -48,6 +49,13 @@ struct SweepOptions {
   InstanceCache* cache = nullptr;
   // Allow cross-cell warm hints (objective-preserving; see docs).
   bool warm_start = false;
+  // Whole-sweep wall-clock deadline (unlimited by default). The runner
+  // never kills a cell; cells opt in by passing CellContext::cancel() into
+  // budget-aware assigners/solvers, which then degrade via their anytime
+  // contracts. Cells that *start* past the deadline are tallied into
+  // exec.sweep.cells_past_deadline (on their shard, so the count is
+  // schedule-independent after the grid-order merge).
+  Deadline deadline{};
 };
 
 // Everything a cell is allowed to read. Handed to the cell function by the
@@ -72,6 +80,13 @@ class CellContext {
 
   InstanceCache* cache() const { return options_->cache; }
   bool warm_start() const { return options_->warm_start; }
+
+  // The sweep-wide budget, as a deadline and as a ready-made token for
+  // budget-aware assigners (see SweepOptions::deadline).
+  const Deadline& deadline() const { return options_->deadline; }
+  CancellationToken cancel() const {
+    return CancellationToken(options_->deadline);
+  }
 
  private:
   std::size_t index_;
@@ -107,6 +122,9 @@ class SweepRunner {
       for (std::size_t i = 0; i < num_cells; ++i) {
         futures.push_back(pool.submit([this, &fn, &shards, &slots, i] {
           CellContext ctx(i, options_, *shards[i]);
+          if (options_.deadline.expired()) {
+            shards[i]->counter("exec.sweep.cells_past_deadline").add();
+          }
           const auto start = std::chrono::steady_clock::now();
           slots[i].emplace(fn(ctx));
           const std::chrono::duration<double> dt =

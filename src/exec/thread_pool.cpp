@@ -108,7 +108,15 @@ void ThreadPool::worker_loop(std::size_t id) {
     if (try_pop(id, task)) {
       obs::Registry::global().gauge("exec.pool.queue_depth")
           .set(static_cast<double>(pending_.load(std::memory_order_relaxed)));
-      task();  // packaged_task captures any exception into its future
+      try {
+        task();  // packaged_task captures any exception into its future
+      } catch (...) {
+        // A raw enqueue()d task (or a pathological functor) must not tear
+        // the worker down mid-drain: a dead worker strands the queue and
+        // deadlocks every future still waiting on it. Swallow, count, keep
+        // draining.
+        obs::Registry::global().counter("exec.pool.task_exceptions").add();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(wake_mu_);

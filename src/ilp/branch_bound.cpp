@@ -2,17 +2,21 @@
 
 #include <cmath>
 #include <limits>
-#include <stack>
 
+#include "common/chaos_hook.h"
 #include "common/error.h"
+#include "obs/registry.h"
 
 namespace mecsched::ilp {
 namespace {
 
-// A node is the root problem plus tightened bounds on the integer vars.
+// A node is the root problem plus tightened bounds on the integer vars,
+// carrying its parent relaxation's objective as a proven lower bound on
+// every completion below it (-infinity for the root).
 struct Node {
   std::vector<double> lo;
   std::vector<double> hi;
+  double bound = -std::numeric_limits<double>::infinity();
 };
 
 // Rebuilds a Problem identical to `base` but with the node's bounds.
@@ -41,7 +45,10 @@ BnbResult BranchAndBound::solve(
                      "integer variables must be bounded");
   }
 
-  const lp::SimplexSolver solver;
+  const CancellationToken token = effective_solve_token(options_.cancel);
+  lp::SimplexOptions lp_options;
+  lp_options.cancel = token;  // node relaxations share the search budget
+  const lp::SimplexSolver solver(lp_options);
   BnbResult best;
   double incumbent = std::numeric_limits<double>::infinity();
 
@@ -53,18 +60,51 @@ BnbResult BranchAndBound::solve(
     root.hi[v] = problem.upper(v);
   }
 
-  std::stack<Node> open;
-  open.push(std::move(root));
+  // DFS stack; iterable so an early stop can report the proven bound over
+  // the unexplored frontier.
+  std::vector<Node> open;
+  open.push_back(std::move(root));
+
+  // Stops with the incumbent found so far; the proven lower bound is the
+  // min over the incumbent and every open node's inherited bound.
+  const auto stop_early = [&](BnbStatus status) {
+    best.status = status;
+    double bound = incumbent;
+    for (const Node& nd : open) bound = std::min(bound, nd.bound);
+    best.best_bound = bound;
+    if (status == BnbStatus::kDeadline) {
+      obs::Registry& reg = obs::Registry::global();
+      reg.counter("solve.deadline.bnb").add();
+      if (options_.cancel.cancel_requested()) {
+        reg.counter("solve.cancelled").add();
+      }
+      reg.gauge("ilp.bnb.last_gap").set(best.bound_gap());
+    }
+    return best;
+  };
 
   while (!open.empty()) {
+    if (token.expired()) return stop_early(BnbStatus::kDeadline);
+    if (chaos::armed()) {
+      switch (chaos::probe("bnb", problem.num_constraints(),
+                           problem.num_variables(), best.nodes_explored)) {
+        case chaos::Action::kNone:
+          break;
+        case chaos::Action::kStall:
+        case chaos::Action::kCancel:
+          return stop_early(BnbStatus::kDeadline);
+        case chaos::Action::kPoisonNan:
+        case chaos::Action::kError:
+          throw SolverError("branch-and-bound: injected solver fault");
+      }
+    }
     if (best.nodes_explored >= options_.max_nodes) {
       // Any incumbent found so far is kept in `best`, but optimality is
       // unproven.
-      best.status = BnbStatus::kNodeLimit;
-      return best;
+      return stop_early(BnbStatus::kNodeLimit);
     }
-    const Node node = open.top();
-    open.pop();
+    const Node node = open.back();
+    open.pop_back();
     ++best.nodes_explored;
 
     // Bound infeasibility can be introduced by branching (lo > hi).
@@ -84,6 +124,12 @@ BnbResult BranchAndBound::solve(
       // An unbounded relaxation of a node would make the MIP unbounded;
       // our use cases are always bounded, so treat it as a modelling bug.
       throw SolverError("branch-and-bound: unbounded LP relaxation");
+    }
+    if (relax.status == lp::SolveStatus::kDeadline) {
+      // The budget ran out inside the node LP. The node is unexplored:
+      // put it back so its bound counts toward the reported gap.
+      open.push_back(node);
+      return stop_early(BnbStatus::kDeadline);
     }
     if (relax.status != lp::SolveStatus::kOptimal) continue;
     if (relax.objective >= incumbent - options_.objective_tolerance) continue;
@@ -115,21 +161,25 @@ BnbResult BranchAndBound::solve(
     const double xval = relax.x[branch_var];
     Node down = node;
     down.hi[branch_var] = std::floor(xval);
+    down.bound = relax.objective;
     Node up = node;
     up.lo[branch_var] = std::ceil(xval);
+    up.bound = relax.objective;
     // DFS, exploring the side nearer the fractional value first (pushed
     // last so it pops first).
     if (xval - std::floor(xval) > 0.5) {
-      open.push(std::move(down));
-      open.push(std::move(up));
+      open.push_back(std::move(down));
+      open.push_back(std::move(up));
     } else {
-      open.push(std::move(up));
-      open.push(std::move(down));
+      open.push_back(std::move(up));
+      open.push_back(std::move(down));
     }
   }
 
   if (!std::isfinite(incumbent)) {
     best.status = BnbStatus::kInfeasible;
+  } else {
+    best.best_bound = best.objective;  // search exhausted: bound is tight
   }
   return best;
 }

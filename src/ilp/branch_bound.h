@@ -9,7 +9,12 @@
 // as such.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
+
+#include "common/deadline.h"
 
 #include "lp/problem.h"
 #include "lp/simplex.h"
@@ -17,13 +22,30 @@
 
 namespace mecsched::ilp {
 
-enum class BnbStatus { kOptimal, kInfeasible, kNodeLimit };
+// kDeadline: the solve budget expired mid-search. The incumbent found so
+// far (if any) is in `x`/`objective` and `best_bound` reports the proven
+// lower bound at the stop — the anytime half of the budget contract.
+enum class BnbStatus { kOptimal, kInfeasible, kNodeLimit, kDeadline };
 
 struct BnbResult {
   BnbStatus status = BnbStatus::kInfeasible;
   double objective = 0.0;
   std::vector<double> x;
   std::size_t nodes_explored = 0;
+  // Proven lower bound on the optimum (minimization) at termination:
+  // min over the incumbent and every open node's parent LP bound. Equals
+  // `objective` when status == kOptimal; -infinity when the search stopped
+  // before the root relaxation bounded anything.
+  double best_bound = -std::numeric_limits<double>::infinity();
+
+  // Optimality gap of the incumbent: zero at optimality, +infinity when
+  // there is no incumbent or no finite bound.
+  double bound_gap() const {
+    if (x.empty() || !std::isfinite(best_bound)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::max(objective - best_bound, 0.0);
+  }
 };
 
 struct BnbOptions {
@@ -31,6 +53,11 @@ struct BnbOptions {
   double integrality_tolerance = 1e-6;
   // Prune nodes whose LP bound is within this of the incumbent.
   double objective_tolerance = 1e-9;
+  // Cooperative budget, checked at every node expansion and threaded into
+  // the node LP relaxations. On expiry the search stops with kDeadline and
+  // the incumbent/bound pair above. A token without its own deadline picks
+  // up the process default budget (--budget-ms).
+  CancellationToken cancel{};
 };
 
 class BranchAndBound {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "audit/lp_certificate.h"
+#include "common/chaos_hook.h"
 #include "common/error.h"
 #include "lp/cholesky.h"
 #include "lp/matrix.h"
@@ -119,9 +120,17 @@ class SparseNormalKernel {
 // Mehrotra predictor–corrector loop, parameterized over the normal-
 // equation backend. Identical math on both paths; only the linear-algebra
 // kernels differ.
+bool has_nan(const std::vector<double>& v) {
+  for (double e : v) {
+    if (std::isnan(e)) return true;
+  }
+  return false;
+}
+
 template <class Kernel>
 Solution ipm_loop(const Problem& problem, const StandardForm& sf,
-                  Kernel& kernel, const InteriorPointOptions& options) {
+                  Kernel& kernel, const InteriorPointOptions& options,
+                  const CancellationToken& token) {
   Solution out;
   const std::size_t m = sf.a.rows();
   const std::size_t n = sf.a.cols();
@@ -155,7 +164,41 @@ Solution ipm_loop(const Problem& problem, const StandardForm& sf,
   const double b_scale = 1.0 + norm_inf(sf.b);
   const double c_scale = 1.0 + norm_inf(sf.c);
 
+  // Anytime degradation: round the current interior iterate back to the
+  // original variable space and clamp it into the bounds. Unlike the
+  // simplex anytime point, feasibility is NOT certified here — consumers
+  // repair (LP-HTA Steps 2-6) or escalate (FallbackChain).
+  const auto anytime = [&](std::size_t iter,
+                           const std::vector<double>& iterate) {
+    Solution deg;
+    deg.status = SolveStatus::kDeadline;
+    deg.iterations = iter;
+    deg.x = sf.recover(iterate);
+    for (std::size_t i = 0; i < deg.x.size(); ++i) {
+      deg.x[i] =
+          std::min(std::max(deg.x[i], problem.lower(i)), problem.upper(i));
+    }
+    deg.objective = problem.objective_value(deg.x);
+    return deg;
+  };
+
+  bool poison_next_factor = false;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (token.expired()) return anytime(iter, x);
+    if (chaos::armed()) {
+      switch (chaos::probe("ipm", m, n, iter)) {
+        case chaos::Action::kNone:
+          break;
+        case chaos::Action::kStall:
+        case chaos::Action::kCancel:
+          return anytime(iter, x);
+        case chaos::Action::kPoisonNan:
+          poison_next_factor = true;
+          break;
+        case chaos::Action::kError:
+          throw SolverError("interior-point: injected solver fault");
+      }
+    }
     // Residuals.
     std::vector<double> rb = kernel.mul(x);  // A x - b
     for (std::size_t i = 0; i < m; ++i) rb[i] -= sf.b[i];
@@ -190,6 +233,19 @@ Solution ipm_loop(const Problem& problem, const StandardForm& sf,
     // Normal-equation matrix M = A diag(x/s) A^T.
     std::vector<double> d(n);
     for (std::size_t i = 0; i < n; ++i) d[i] = x[i] / s[i];
+    if (poison_next_factor) {
+      d[0] = std::nan("");
+      poison_next_factor = false;
+    }
+    // A NaN scaling entry means the factorization input is already corrupt
+    // (chaos nan-poison injects exactly here). NaN defeats every comparison
+    // downstream, so the loop would spin silently; fail loudly instead.
+    // Note x, s > 0 is maintained by the ratio test, so a natural d is
+    // never NaN — at worst +inf, which the factorization tolerates.
+    if (has_nan(d)) {
+      throw SolverError("interior-point: NaN in factorization scaling "
+                        "(numeric breakdown)");
+    }
     kernel.factor(d);
 
     // One Newton solve for a given complementarity target `rxs`
@@ -238,9 +294,15 @@ Solution ipm_loop(const Problem& problem, const StandardForm& sf,
     for (std::size_t i = 0; i < m; ++i) y[i] += ad * dy[i];
     for (std::size_t i = 0; i < n; ++i) s[i] += ad * ds[i];
 
-    // Heuristic divergence check: if the iterates blow up while the primal
-    // residual refuses to fall, the problem is (near-)infeasible.
-    if (norm_inf(x) > 1e14 || norm_inf(s) > 1e14) {
+    // Heuristic divergence check: iterates blowing up past 1e14 mean the
+    // problem is (near-)infeasible. A NaN iterate is the same breakdown one
+    // step later — divergent arithmetic produces inf - inf — but NaN
+    // defeats the norm comparison, so it is tested explicitly; without
+    // this, the loop would spin NaN to the iteration limit. Poisoned
+    // factorizations cannot reach here: the NaN scaling guard above threw
+    // before the corrupt factor was ever used.
+    if (norm_inf(x) > 1e14 || norm_inf(s) > 1e14 ||
+        has_nan(x) || has_nan(y) || has_nan(s)) {
       out.status = SolveStatus::kInfeasible;
       out.iterations = iter;
       return out;
@@ -263,6 +325,10 @@ Solution InteriorPointSolver::solve(const Problem& problem) const {
   reg.histogram("lp.ipm.iterations_per_solve")
       .observe(static_cast<double>(out.iterations));
   if (!out.optimal()) reg.counter("lp.ipm.non_optimal").add();
+  if (out.status == SolveStatus::kDeadline) {
+    reg.counter("solve.deadline.ipm").add();
+    if (options_.cancel.cancel_requested()) reg.counter("solve.cancelled").add();
+  }
   // Certificate audit (no-op at audit level off). The IPM converges to the
   // relative-gap tolerance, not to a vertex, so vertex_expected stays off
   // and the gap tolerance is loosened to match the termination criterion.
@@ -281,16 +347,17 @@ Solution InteriorPointSolver::solve_impl(const Problem& problem) const {
   }
 
   const StandardForm sf = to_standard_form(problem);
+  const CancellationToken token = effective_solve_token(options_.cancel);
   obs::Registry& reg = obs::Registry::global();
   if (use_sparse_kernels(sf.a.rows(), sf.a.cols(), sf.a.nnz(),
                          options_.sparse_mode)) {
     reg.counter("lp.sparse.ipm_solves").add();
     SparseNormalKernel kernel(sf.a);
-    return ipm_loop(problem, sf, kernel, options_);
+    return ipm_loop(problem, sf, kernel, options_, token);
   }
   reg.counter("lp.sparse.ipm_dense_fallback").add();
   DenseNormalKernel kernel(sf.a);
-  return ipm_loop(problem, sf, kernel, options_);
+  return ipm_loop(problem, sf, kernel, options_, token);
 }
 
 }  // namespace mecsched::lp

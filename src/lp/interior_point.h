@@ -14,6 +14,8 @@
 // pipeline; the simplex solver is the arbiter elsewhere.
 #pragma once
 
+#include "common/deadline.h"
+
 #include "lp/problem.h"
 #include "lp/solution.h"
 #include "lp/sparse_matrix.h"
@@ -29,6 +31,12 @@ struct InteriorPointOptions {
   // Cholesky for large sparse systems, the dense path otherwise); the
   // force modes exist for differential tests and benchmarks.
   SparseMode sparse_mode = SparseMode::kAuto;
+  // Cooperative budget, checked once per Mehrotra iteration. On expiry the
+  // solver returns SolveStatus::kDeadline with the last centered iterate
+  // rounded into the variable bounds (anytime contract, see solution.h —
+  // feasibility is not certified, consumers repair or escalate). A token
+  // without its own deadline picks up the process default (--budget-ms).
+  CancellationToken cancel{};
 };
 
 class InteriorPointSolver {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "audit/lp_certificate.h"
+#include "common/chaos_hook.h"
 #include "common/error.h"
 #include "lp/matrix.h"
 #include "lp/sparse_matrix.h"
@@ -132,7 +133,11 @@ class Tableau {
   bool sparse_pricing() const { return sparse_pricing_; }
 
   // Minimizes `costs` from the current basis. Returns the phase status.
-  SolveStatus optimize(const std::vector<double>& costs) {
+  // `token` is checked once per pivot; on expiry the current point is left
+  // intact (it is a basic solution of the phase's system) and kDeadline is
+  // returned — the caller decides what of it is reportable.
+  SolveStatus optimize(const std::vector<double>& costs,
+                       const CancellationToken& token) {
     const std::size_t m = a_.rows();
     const double cost_scale = 1.0 + max_abs(costs);
     const double dj_tol = opt_.tolerance * cost_scale;
@@ -140,6 +145,23 @@ class Tableau {
     devex_weights_.assign(x_.size(), 1.0);  // fresh reference framework
 
     for (; iterations_ < opt_.max_iterations; ++iterations_) {
+      if (token.expired()) return SolveStatus::kDeadline;
+      if (chaos::armed()) {
+        switch (chaos::probe("simplex", m, x_.size(), iterations_)) {
+          case chaos::Action::kNone:
+            break;
+          case chaos::Action::kStall:
+          case chaos::Action::kCancel:
+            // A stalled pivot loop and a cancelled one look the same from
+            // outside: the budget is gone.
+            return SolveStatus::kDeadline;
+          case chaos::Action::kPoisonNan:
+            if (m > 0) binv_(0, 0) = std::nan("");
+            break;
+          case chaos::Action::kError:
+            throw SolverError("simplex: injected solver fault");
+        }
+      }
       if (iterations_ > 0 && iterations_ % opt_.refactor_period == 0) {
         refactorize();
       }
@@ -151,7 +173,18 @@ class Tableau {
 
       const bool bland = degenerate_run >= opt_.bland_trigger;
       const std::size_t entering = price(costs, y, dj_tol, bland);
-      if (entering == kNone) return SolveStatus::kOptimal;
+      if (entering == kNone) {
+        // NaN reduced costs make every eligibility comparison false, so a
+        // poisoned basis would otherwise masquerade as optimal (and phase 1
+        // would then report a *wrong* infeasible). Refuse loudly instead.
+        for (double v : y) {
+          if (!std::isfinite(v)) {
+            throw SolverError(
+                "simplex: non-finite dual prices (numeric breakdown)");
+          }
+        }
+        return SolveStatus::kOptimal;
+      }
 
       // Column in the current basis frame: w = B^-1 A_entering.
       const std::vector<double> w = ftran_column(entering);
@@ -546,6 +579,10 @@ Solution SimplexSolver::solve_instrumented(
   reg.histogram("lp.simplex.pivots_per_solve")
       .observe(static_cast<double>(out.iterations));
   if (!out.optimal()) reg.counter("lp.simplex.non_optimal").add();
+  if (out.status == SolveStatus::kDeadline) {
+    reg.counter("solve.deadline.simplex").add();
+    if (options_.cancel.cancel_requested()) reg.counter("solve.cancelled").add();
+  }
   // Certificate audit (no-op at audit level off): the simplex promises a
   // basic optimal solution, warm-started or not.
   audit::LpCertificateOptions cert;
@@ -563,15 +600,18 @@ Solution SimplexSolver::solve_impl(const Problem& problem,
     return out;
   }
 
+  const CancellationToken token = effective_solve_token(options_.cancel);
   Tableau t(problem, options_, guess);
   if (t.sparse_pricing()) {
     obs::Registry::global().counter("lp.sparse.simplex_pricing_solves").add();
   }
 
-  // Phase 1: drive the artificials to zero.
-  const SolveStatus phase1 = t.optimize(t.phase1_costs());
-  if (phase1 == SolveStatus::kIterationLimit) {
-    out.status = SolveStatus::kIterationLimit;
+  // Phase 1: drive the artificials to zero. On expiry here there is no
+  // feasible point to report yet: kDeadline with an empty x.
+  const SolveStatus phase1 = t.optimize(t.phase1_costs(), token);
+  if (phase1 == SolveStatus::kIterationLimit ||
+      phase1 == SolveStatus::kDeadline) {
+    out.status = phase1;
     out.iterations = t.iterations();
     return out;
   }
@@ -583,14 +623,34 @@ Solution SimplexSolver::solve_impl(const Problem& problem,
   }
 
   // Phase 2: optimize the real objective with artificials pinned at zero.
+  // An expiry here still yields a usable answer: the current point is a
+  // basic *feasible* solution (artificials are pinned), merely suboptimal —
+  // the anytime half of the kDeadline contract.
   t.pin_artificials();
-  const SolveStatus phase2 = t.optimize(t.phase2_costs());
+  const SolveStatus phase2 = t.optimize(t.phase2_costs(), token);
   out.status = phase2;
   out.iterations = t.iterations();
-  if (phase2 == SolveStatus::kOptimal) {
+  if (phase2 == SolveStatus::kOptimal || phase2 == SolveStatus::kDeadline) {
     out.x = t.structural_solution();
     out.objective = problem.objective_value(out.x);
     out.duals = t.duals(t.phase2_costs());
+    for (double v : out.x) {
+      if (!std::isfinite(v)) {
+        throw SolverError("simplex: non-finite solution (numeric breakdown)");
+      }
+    }
+    if (!std::isfinite(out.objective)) {
+      throw SolverError("simplex: non-finite objective (numeric breakdown)");
+    }
+    // Duals can be degraded at a deadline stop (mid-refactorization drift);
+    // drop them rather than report garbage. At optimality they were already
+    // proven finite by the pricing guard.
+    for (double v : out.duals) {
+      if (!std::isfinite(v)) {
+        out.duals.clear();
+        break;
+      }
+    }
   }
   return out;
 }

@@ -13,6 +13,8 @@
 
 #include <cstddef>
 
+#include "common/deadline.h"
+
 #include "lp/problem.h"
 #include "lp/solution.h"
 #include "lp/sparse_matrix.h"
@@ -42,6 +44,12 @@ struct SimplexOptions {
   // pricing pass). The dense matrix stays authoritative either way, so
   // the pivot sequence is identical.
   SparseMode sparse_pricing = SparseMode::kAuto;
+  // Cooperative budget, checked once per pivot. On expiry during phase 2
+  // the solver returns SolveStatus::kDeadline with the current basic
+  // feasible solution (anytime contract, see solution.h); during phase 1
+  // it returns kDeadline with an empty `x`. A token without its own
+  // deadline picks up the process default budget (--budget-ms).
+  CancellationToken cancel{};
 };
 
 class SimplexSolver {

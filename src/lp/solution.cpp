@@ -12,6 +12,8 @@ std::string to_string(SolveStatus s) {
       return "unbounded";
     case SolveStatus::kIterationLimit:
       return "iteration-limit";
+    case SolveStatus::kDeadline:
+      return "deadline";
   }
   return "unknown";
 }

@@ -11,6 +11,15 @@ enum class SolveStatus {
   kInfeasible,
   kUnbounded,
   kIterationLimit,
+  // The solve budget expired (or cancellation was requested) before
+  // optimality was proven. Anytime contract (docs/robustness.md): when `x`
+  // is non-empty it is the solver's best current answer — the simplex
+  // returns its current basic feasible solution (primal feasible, objective
+  // >= optimum for a minimization), the IPM its last centered iterate
+  // rounded into the variable bounds (feasibility not certified). An empty
+  // `x` means expiry hit before any feasible point existed (simplex
+  // phase 1).
+  kDeadline,
 };
 
 std::string to_string(SolveStatus s);

@@ -1,0 +1,105 @@
+// Solver-level chaos injection — the solver-side sibling of the topology
+// fault machinery in sim/fault_schedule.h. Where FaultSchedule fails
+// devices, stations and links, SolverChaos fails the *solvers themselves*:
+// iteration stalls, NaN poisoning of a factorization, forced cancellation
+// at pivot k, and spurious SolverErrors, injected through the
+// common::chaos hook the lp/ and ilp/ engines probe at their iteration
+// boundaries.
+//
+// Determinism contract (tested in solver_chaos_test.cpp and CI's chaos
+// job): the decision at each probe site is a pure hash of
+// (seed, engine, rows, cols, iteration) — never a global solve counter or
+// a clock — so the same seed yields byte-identical fault traces and final
+// assignments at any --jobs level. Stalls and cancellations surface as
+// deterministic SolveStatus::kDeadline at that iteration, with no
+// wall-clock sleeps anywhere.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/chaos_hook.h"
+
+namespace mecsched::sim {
+
+enum class SolverFaultKind {
+  kStall = 0,       // solver stops making progress -> kDeadline
+  kNanPoison,       // factorization input corrupted -> SolverError (guards)
+  kCancel,          // forced cancellation at this iteration -> kDeadline
+  kSpuriousError,   // solver throws SolverError outright
+};
+
+std::string to_string(SolverFaultKind k);
+
+// One entry of the deterministic fault matrix: fault `engine` ("simplex",
+// "ipm", "bnb") at exactly `iteration` (every solve that reaches it).
+struct ForcedSolverFault {
+  std::string engine;
+  std::size_t iteration = 0;
+  SolverFaultKind kind = SolverFaultKind::kCancel;
+};
+
+struct SolverChaosConfig {
+  std::uint64_t seed = 1;
+  // Per-probe-site fault probabilities (each site is one solver iteration;
+  // a fault fires at most one kind per site). Must each lie in [0, 1] and
+  // sum to at most 1.
+  double stall_prob = 0.0;
+  double nan_prob = 0.0;
+  double cancel_prob = 0.0;
+  double error_prob = 0.0;
+  // Deterministic overrides, checked before the probabilistic draw.
+  std::vector<ForcedSolverFault> forced;
+};
+
+// One injected fault, as recorded into the trace. Identical probe sites
+// are aggregated by `count` when the trace is read back.
+struct SolverFaultRecord {
+  std::string engine;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t iteration = 0;
+  SolverFaultKind kind = SolverFaultKind::kStall;
+  std::size_t count = 1;
+
+  friend bool operator==(const SolverFaultRecord&,
+                         const SolverFaultRecord&) = default;
+};
+
+class SolverChaos final : public chaos::Hook {
+ public:
+  // Validates the config (probabilities in range).
+  explicit SolverChaos(SolverChaosConfig config);
+
+  // The hook the solvers call. Thread-safe; deterministic in its arguments.
+  chaos::Action probe(const char* engine, std::size_t rows, std::size_t cols,
+                      std::size_t iteration) override;
+
+  // Injected-fault trace: sorted by (engine, rows, cols, iteration, kind)
+  // and aggregated, so it is byte-identical across thread schedules.
+  std::vector<SolverFaultRecord> trace() const;
+
+  // Total faults injected so far.
+  std::size_t injected() const;
+
+  const SolverChaosConfig& config() const { return config_; }
+
+ private:
+  SolverChaosConfig config_;
+  mutable std::mutex mu_;
+  std::vector<SolverFaultRecord> records_;
+};
+
+// RAII arming of the process-wide solver hook. At most one drill at a time;
+// nesting is a programming error (the inner scope would disarm the outer).
+class ChaosArmed {
+ public:
+  explicit ChaosArmed(SolverChaos& chaos) { chaos::arm(&chaos); }
+  ~ChaosArmed() { chaos::arm(nullptr); }
+  ChaosArmed(const ChaosArmed&) = delete;
+  ChaosArmed& operator=(const ChaosArmed&) = delete;
+};
+
+}  // namespace mecsched::sim

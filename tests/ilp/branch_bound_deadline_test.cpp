@@ -1,0 +1,123 @@
+// Budget behaviour of the branch-and-bound search: kDeadline stops carry
+// the incumbent and a proven bound (the anytime half of the contract), and
+// injected solver faults either degrade deterministically or surface as
+// SolverError — never as a silently wrong "optimal".
+#include "ilp/branch_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+
+#include "common/chaos_hook.h"
+#include "common/deadline.h"
+#include "common/error.h"
+#include "lp/problem.h"
+
+namespace mecsched::ilp {
+namespace {
+
+using lp::Problem;
+using lp::Relation;
+
+class FaultAt final : public chaos::Hook {
+ public:
+  FaultAt(std::string engine, std::size_t iteration, chaos::Action action)
+      : engine_(std::move(engine)), iteration_(iteration), action_(action) {
+    chaos::arm(this);
+  }
+  ~FaultAt() override { chaos::arm(nullptr); }
+  FaultAt(const FaultAt&) = delete;
+  FaultAt& operator=(const FaultAt&) = delete;
+
+  chaos::Action probe(const char* engine, std::size_t, std::size_t,
+                      std::size_t iteration) override {
+    return engine_ == engine && iteration_ == iteration ? action_
+                                                        : chaos::Action::kNone;
+  }
+
+ private:
+  std::string engine_;
+  std::size_t iteration_;
+  chaos::Action action_;
+};
+
+// An integer program whose LP relaxation is fractional, so the search must
+// actually branch: max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6, x,y int.
+Problem branching_problem(std::vector<std::size_t>& integer_vars) {
+  Problem p;
+  const auto x = p.add_variable(-5.0, 0.0, 10.0);
+  const auto y = p.add_variable(-4.0, 0.0, 10.0);
+  p.add_constraint({{x, 6.0}, {y, 4.0}}, Relation::kLessEqual, 24.0);
+  p.add_constraint({{x, 1.0}, {y, 2.0}}, Relation::kLessEqual, 6.0);
+  integer_vars = {x, y};
+  return p;
+}
+
+TEST(BnbDeadline, ExpiredTokenStopsBeforeTheRootNode) {
+  std::vector<std::size_t> ints;
+  const Problem p = branching_problem(ints);
+  BnbOptions opts;
+  opts.cancel = CancellationToken(Deadline::after_s(0.0));
+  const BnbResult r = BranchAndBound(opts).solve(p, ints);
+  EXPECT_EQ(r.status, BnbStatus::kDeadline);
+  EXPECT_TRUE(r.x.empty());
+  EXPECT_TRUE(std::isinf(r.bound_gap()));
+}
+
+TEST(BnbDeadline, OptimalSolveHasZeroGapAndTightBound) {
+  std::vector<std::size_t> ints;
+  const Problem p = branching_problem(ints);
+  const BnbResult r = BranchAndBound().solve(p, ints);
+  ASSERT_EQ(r.status, BnbStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(r.best_bound, r.objective);
+  EXPECT_DOUBLE_EQ(r.bound_gap(), 0.0);
+}
+
+TEST(BnbDeadline, CancelMidSearchReportsIncumbentAndBound) {
+  std::vector<std::size_t> ints;
+  const Problem p = branching_problem(ints);
+  const BnbResult full = BranchAndBound().solve(p, ints);
+  ASSERT_EQ(full.status, BnbStatus::kOptimal);
+  ASSERT_GT(full.nodes_explored, 1u);
+
+  for (std::size_t k = 1; k < full.nodes_explored; ++k) {
+    const FaultAt fault("bnb", k, chaos::Action::kCancel);
+    const BnbResult r = BranchAndBound().solve(p, ints);
+    ASSERT_EQ(r.status, BnbStatus::kDeadline) << "cutoff " << k;
+    // The bound is valid whenever finite: it never exceeds the optimum.
+    if (std::isfinite(r.best_bound)) {
+      EXPECT_LE(r.best_bound, full.objective + 1e-9) << "cutoff " << k;
+    }
+    // An incumbent, if any, is a genuine integral feasible point, so its
+    // objective is no better than the optimum and the gap brackets it.
+    if (!r.x.empty()) {
+      EXPECT_GE(r.objective, full.objective - 1e-9) << "cutoff " << k;
+      EXPECT_LE(r.objective - r.bound_gap(), full.objective + 1e-9)
+          << "cutoff " << k;
+      for (const std::size_t v : ints) {
+        EXPECT_NEAR(std::round(r.x[v]), r.x[v], 1e-6) << "cutoff " << k;
+      }
+    }
+  }
+}
+
+TEST(BnbDeadline, InjectedErrorFaultThrows) {
+  std::vector<std::size_t> ints;
+  const Problem p = branching_problem(ints);
+  const FaultAt fault("bnb", 0, chaos::Action::kError);
+  EXPECT_THROW(BranchAndBound().solve(p, ints), SolverError);
+}
+
+TEST(BnbDeadline, DefaultBudgetReachesTheSearch) {
+  std::vector<std::size_t> ints;
+  const Problem p = branching_problem(ints);
+  set_default_solve_budget_ms(1e-6);
+  const BnbResult r = BranchAndBound().solve(p, ints);
+  set_default_solve_budget_ms(0.0);
+  EXPECT_EQ(r.status, BnbStatus::kDeadline);
+}
+
+}  // namespace
+}  // namespace mecsched::ilp

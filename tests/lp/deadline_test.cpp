@@ -1,0 +1,148 @@
+// The anytime contract of the budgeted LP engines (docs/robustness.md):
+// an expired token yields SolveStatus::kDeadline at the next iteration
+// boundary, and whenever the degraded solution is non-empty it is a usable
+// answer — primal feasible for the simplex (its phase-2 points are BFS by
+// construction), bound-respecting for the interior-point method.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/chaos_hook.h"
+#include "common/deadline.h"
+#include "common/error.h"
+#include "lp/interior_point.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace mecsched::lp {
+namespace {
+
+// Minimal deterministic hook: fire one action at one (engine, iteration)
+// site. Armed for the lifetime of the object.
+class FaultAt final : public chaos::Hook {
+ public:
+  FaultAt(std::string engine, std::size_t iteration, chaos::Action action)
+      : engine_(std::move(engine)), iteration_(iteration), action_(action) {
+    chaos::arm(this);
+  }
+  ~FaultAt() override { chaos::arm(nullptr); }
+  FaultAt(const FaultAt&) = delete;
+  FaultAt& operator=(const FaultAt&) = delete;
+
+  chaos::Action probe(const char* engine, std::size_t, std::size_t,
+                      std::size_t iteration) override {
+    return engine_ == engine && iteration_ == iteration ? action_
+                                                        : chaos::Action::kNone;
+  }
+
+ private:
+  std::string engine_;
+  std::size_t iteration_;
+  chaos::Action action_;
+};
+
+// A small but non-trivial LP that takes several pivots: a transportation-
+// style problem with equality and inequality rows and finite bounds.
+Problem pivoting_problem() {
+  Problem p;
+  const auto x1 = p.add_variable(4.0, 0.0, 8.0);
+  const auto x2 = p.add_variable(3.0, 0.0, 8.0);
+  const auto x3 = p.add_variable(6.0, 0.0, 8.0);
+  const auto x4 = p.add_variable(2.0, 0.0, 8.0);
+  p.add_constraint({{x1, 1.0}, {x2, 1.0}}, Relation::kEqual, 5.0);
+  p.add_constraint({{x3, 1.0}, {x4, 1.0}}, Relation::kEqual, 6.0);
+  p.add_constraint({{x1, 1.0}, {x3, 1.0}}, Relation::kGreaterEqual, 4.0);
+  p.add_constraint({{x2, 1.0}, {x4, 1.0}}, Relation::kLessEqual, 9.0);
+  p.add_constraint({{x1, 2.0}, {x4, 1.0}}, Relation::kGreaterEqual, 3.0);
+  return p;
+}
+
+TEST(SimplexDeadline, ExpiredTokenReturnsDeadlineBeforeAnyPivot) {
+  SimplexOptions opts;
+  opts.cancel = CancellationToken(Deadline::after_s(0.0));
+  const Solution s = SimplexSolver(opts).solve(pivoting_problem());
+  EXPECT_EQ(s.status, SolveStatus::kDeadline);
+  EXPECT_TRUE(s.x.empty());  // expiry before a feasible point existed
+  EXPECT_EQ(s.iterations, 0u);
+}
+
+TEST(SimplexDeadline, AnytimeContractHoldsAtEveryCutoff) {
+  const Problem p = pivoting_problem();
+  const Solution full = SimplexSolver().solve(p);
+  ASSERT_TRUE(full.optimal());
+  ASSERT_GT(full.iterations, 0u);
+
+  // Cancel at every iteration a full solve passes through. Whatever the
+  // cutoff, the result is kDeadline, and a non-empty x is primal feasible
+  // with an objective no better than the optimum (minimization).
+  for (std::size_t k = 0; k < full.iterations; ++k) {
+    const FaultAt fault("simplex", k, chaos::Action::kCancel);
+    const Solution s = SimplexSolver().solve(p);
+    ASSERT_EQ(s.status, SolveStatus::kDeadline) << "cutoff " << k;
+    if (!s.x.empty()) {
+      EXPECT_LE(p.max_violation(s.x), 1e-6) << "cutoff " << k;
+      EXPECT_GE(s.objective, full.objective - 1e-9) << "cutoff " << k;
+    }
+  }
+}
+
+TEST(SimplexDeadline, StallFaultAlsoDegradesToDeadline) {
+  const FaultAt fault("simplex", 0, chaos::Action::kStall);
+  const Solution s = SimplexSolver().solve(pivoting_problem());
+  EXPECT_EQ(s.status, SolveStatus::kDeadline);
+}
+
+TEST(SimplexDeadline, NanPoisonSurfacesAsSolverErrorNotWrongAnswer) {
+  // A poisoned basis must never masquerade as kOptimal or kInfeasible —
+  // the NaN-blindness of comparisons is exactly what the finite guards in
+  // the pricing loop exist to catch.
+  const FaultAt fault("simplex", 1, chaos::Action::kPoisonNan);
+  EXPECT_THROW(SimplexSolver().solve(pivoting_problem()), SolverError);
+}
+
+TEST(SimplexDeadline, SpuriousErrorFaultPropagates) {
+  const FaultAt fault("simplex", 0, chaos::Action::kError);
+  EXPECT_THROW(SimplexSolver().solve(pivoting_problem()), SolverError);
+}
+
+TEST(SimplexDeadline, DefaultBudgetIsPickedUpByTheSolver) {
+  set_default_solve_budget_ms(1e-6);  // effectively already expired
+  const Solution s = SimplexSolver().solve(pivoting_problem());
+  set_default_solve_budget_ms(0.0);
+  EXPECT_EQ(s.status, SolveStatus::kDeadline);
+}
+
+TEST(IpmDeadline, ExpiredTokenReturnsClampedIterate) {
+  const Problem p = pivoting_problem();
+  InteriorPointOptions opts;
+  opts.cancel = CancellationToken(Deadline::after_s(0.0));
+  const Solution s = InteriorPointSolver(opts).solve(p);
+  EXPECT_EQ(s.status, SolveStatus::kDeadline);
+  ASSERT_EQ(s.x.size(), p.num_variables());
+  for (std::size_t v = 0; v < p.num_variables(); ++v) {
+    EXPECT_GE(s.x[v], p.lower(v) - 1e-9);
+    EXPECT_LE(s.x[v], p.upper(v) + 1e-9);
+  }
+}
+
+TEST(IpmDeadline, CancelMidSolveKeepsTheLastIterate) {
+  const FaultAt fault("ipm", 2, chaos::Action::kCancel);
+  const Problem p = pivoting_problem();
+  const Solution s = InteriorPointSolver().solve(p);
+  EXPECT_EQ(s.status, SolveStatus::kDeadline);
+  EXPECT_EQ(s.x.size(), p.num_variables());
+}
+
+TEST(IpmDeadline, NanPoisonSurfacesAsSolverError) {
+  const FaultAt fault("ipm", 1, chaos::Action::kPoisonNan);
+  EXPECT_THROW(InteriorPointSolver().solve(pivoting_problem()), SolverError);
+}
+
+TEST(IpmDeadline, StatusStringIsStable) {
+  EXPECT_EQ(to_string(SolveStatus::kDeadline), "deadline");
+}
+
+}  // namespace
+}  // namespace mecsched::lp

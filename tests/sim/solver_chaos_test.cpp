@@ -1,0 +1,136 @@
+// Determinism contract of the solver-chaos harness: fault decisions are a
+// pure hash of (seed, engine, rows, cols, iteration), so the same seed
+// produces the same injected faults and the same degraded solver results
+// whatever order — or thread — the solves run in.
+#include "sim/solver_chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/chaos_hook.h"
+#include "common/error.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+#include "lp/solution.h"
+
+namespace mecsched::sim {
+namespace {
+
+lp::Problem small_lp(double rhs) {
+  lp::Problem p;
+  const auto x = p.add_variable(-3.0, 0.0, lp::kInfinity);
+  const auto y = p.add_variable(-5.0, 0.0, lp::kInfinity);
+  p.add_constraint({{x, 1.0}}, lp::Relation::kLessEqual, rhs);
+  p.add_constraint({{y, 2.0}}, lp::Relation::kLessEqual, 12.0);
+  p.add_constraint({{x, 3.0}, {y, 2.0}}, lp::Relation::kLessEqual, 18.0);
+  return p;
+}
+
+TEST(SolverChaosConfigTest, RejectsBadProbabilities) {
+  SolverChaosConfig bad;
+  bad.stall_prob = 1.5;
+  EXPECT_THROW(SolverChaos{bad}, ModelError);
+  bad.stall_prob = -0.1;
+  EXPECT_THROW(SolverChaos{bad}, ModelError);
+  SolverChaosConfig sum;
+  sum.stall_prob = 0.5;
+  sum.nan_prob = 0.4;
+  sum.cancel_prob = 0.3;
+  EXPECT_THROW(SolverChaos{sum}, ModelError);
+}
+
+TEST(SolverChaosTest, DisarmedHookInjectsNothing) {
+  EXPECT_FALSE(chaos::armed());
+  EXPECT_EQ(chaos::probe("simplex", 3, 5, 0), chaos::Action::kNone);
+}
+
+TEST(SolverChaosTest, ChaosArmedIsScoped) {
+  SolverChaosConfig cfg;
+  SolverChaos chaos(cfg);
+  {
+    const ChaosArmed armed(chaos);
+    EXPECT_TRUE(chaos::armed());
+  }
+  EXPECT_FALSE(chaos::armed());
+}
+
+TEST(SolverChaosTest, ForcedFaultCancelsAtTheNamedIteration) {
+  SolverChaosConfig cfg;
+  cfg.forced.push_back({"simplex", 1, SolverFaultKind::kCancel});
+  SolverChaos chaos(cfg);
+  const ChaosArmed armed(chaos);
+
+  const lp::Solution s = lp::SimplexSolver().solve(small_lp(4.0));
+  EXPECT_EQ(s.status, lp::SolveStatus::kDeadline);
+  ASSERT_EQ(chaos.injected(), 1u);
+  const std::vector<SolverFaultRecord> trace = chaos.trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].engine, "simplex");
+  EXPECT_EQ(trace[0].iteration, 1u);
+  EXPECT_EQ(trace[0].kind, SolverFaultKind::kCancel);
+  EXPECT_EQ(trace[0].count, 1u);
+}
+
+TEST(SolverChaosTest, CertainStallFiresImmediately) {
+  SolverChaosConfig cfg;
+  cfg.stall_prob = 1.0;
+  SolverChaos chaos(cfg);
+  const ChaosArmed armed(chaos);
+  const lp::Solution s = lp::SimplexSolver().solve(small_lp(4.0));
+  EXPECT_EQ(s.status, lp::SolveStatus::kDeadline);
+  const std::vector<SolverFaultRecord> trace = chaos.trace();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace[0].iteration, 0u);
+  EXPECT_EQ(trace[0].kind, SolverFaultKind::kStall);
+}
+
+TEST(SolverChaosTest, SameSeedSameFaultsSameStatuses) {
+  const auto drill = [](std::vector<lp::SolveStatus>& statuses) {
+    SolverChaosConfig cfg;
+    cfg.seed = 42;
+    cfg.cancel_prob = 0.25;
+    SolverChaos chaos(cfg);
+    const ChaosArmed armed(chaos);
+    for (double rhs = 1.0; rhs <= 6.0; rhs += 1.0) {
+      statuses.push_back(lp::SimplexSolver().solve(small_lp(rhs)).status);
+    }
+    return chaos.trace();
+  };
+  std::vector<lp::SolveStatus> statuses_a, statuses_b;
+  const std::vector<SolverFaultRecord> trace_a = drill(statuses_a);
+  const std::vector<SolverFaultRecord> trace_b = drill(statuses_b);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(statuses_a, statuses_b);
+  EXPECT_FALSE(trace_a.empty());  // 0.25/site over many sites must fire
+}
+
+TEST(SolverChaosTest, TraceIsIndependentOfSolveOrder) {
+  const auto drill = [](bool reversed) {
+    SolverChaosConfig cfg;
+    cfg.seed = 7;
+    cfg.stall_prob = 0.2;
+    cfg.nan_prob = 0.0;  // NaN faults throw; keep the drill pure-status
+    SolverChaos chaos(cfg);
+    const ChaosArmed armed(chaos);
+    std::vector<double> rhs = {1.0, 2.0, 3.0, 4.0, 5.0};
+    if (reversed) std::reverse(rhs.begin(), rhs.end());
+    for (const double r : rhs) {
+      (void)lp::SimplexSolver().solve(small_lp(r));
+    }
+    return chaos.trace();
+  };
+  EXPECT_EQ(drill(false), drill(true));
+}
+
+TEST(SolverChaosTest, FaultKindNamesAreStable) {
+  EXPECT_EQ(to_string(SolverFaultKind::kStall), "stall");
+  EXPECT_EQ(to_string(SolverFaultKind::kNanPoison), "nan-poison");
+  EXPECT_EQ(to_string(SolverFaultKind::kCancel), "cancel");
+  EXPECT_EQ(to_string(SolverFaultKind::kSpuriousError), "spurious-error");
+}
+
+}  // namespace
+}  // namespace mecsched::sim
