@@ -135,6 +135,17 @@ int main() {
 
   bench::ShapeChecker check;
   const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+
+  // Trajectory-gated telemetry: the harsh-churn endpoint the ablation
+  // argues from (deterministic — fixed seeds and fault schedules).
+  bench::BenchTelemetry& telemetry = obs_session.telemetry();
+  telemetry.set_value("resilient_unsat_at_mtbf5", at(5, "resilient-unsat-rate"));
+  telemetry.set_value("replay_unsat_at_mtbf5", at(5, "replay-unsat-rate"));
+  telemetry.set_value("unsat_improvement_at_mtbf5",
+                      at(5, "replay-unsat-rate") -
+                          at(5, "resilient-unsat-rate"));
+  telemetry.set_value("retries_at_mtbf5", at(5, "retries"));
+
   check.expect(rungs_cover_epochs,
                "the rung histogram never exceeds the epoch count");
   check.expect(at(5, "replay-unsat-rate") > 0.0,

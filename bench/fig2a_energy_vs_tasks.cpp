@@ -42,6 +42,15 @@ int main() {
 
   bench::ShapeChecker check;
   const auto at = [&](double x, const char* s) { return series.mean(x, s); };
+
+  // Trajectory-gated telemetry: the figure's endpoint levels and the
+  // AllToC/LP-HTA separation (deterministic — fixed seeds).
+  bench::BenchTelemetry& telemetry = obs_session.telemetry();
+  telemetry.set_value("lp_hta_energy_at_100", at(100, "LP-HTA"));
+  telemetry.set_value("lp_hta_energy_at_450", at(450, "LP-HTA"));
+  telemetry.set_value("alltoc_energy_at_450", at(450, "AllToC"));
+  telemetry.set_value("energy_ratio_alltoc_lp",
+                      at(450, "AllToC") / at(450, "LP-HTA"));
   check.expect(at(450, "AllToC") > at(450, "AllOffload"),
                "AllToC costs more than AllOffload");
   check.expect(at(450, "AllOffload") > at(450, "LP-HTA"),

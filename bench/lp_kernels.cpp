@@ -12,12 +12,12 @@
 // not just in the unit tests, so a kernel regression that changes results
 // fails the bench before any timing is read.
 //
-// Emits BENCH_lp_kernels.json (override with MECSCHED_BENCH_OUT) for the CI
-// kernel-bench step, which compares the sparse/dense ratio against the
-// checked-in baseline via tools/bench/check_lp_kernels.py.
+// Emits BENCH_lp_kernels.json (override with MECSCHED_BENCH_OUT) in the
+// unified mecsched.bench.v1 schema for the CI kernel-bench step, which
+// gates the sparse/dense ratio against bench/baselines/lp_kernels.json via
+// tools/bench/trajectory.py.
 #include <algorithm>
 #include <chrono>
-#include <fstream>
 #include <iostream>
 #include <vector>
 
@@ -120,29 +120,16 @@ int main() {
             << reg.counter("lp.sparse.pattern_cache_misses").value()
             << " misses\n";
 
-  std::string out_path = bench::env_or_empty("MECSCHED_BENCH_OUT");
-  if (out_path.empty()) out_path = "BENCH_lp_kernels.json";
-  {
-    std::ofstream os(out_path);
-    os.setf(std::ios::fixed);
-    os.precision(9);
-    os << "{\n"
-       << "  \"bench\": \"lp_kernels\",\n"
-       << "  \"cell\": {\"tasks\": " << kTasks
-       << ", \"devices\": " << bench::kDevices
-       << ", \"stations\": " << bench::kStations << "},\n"
-       << "  \"timed_runs\": " << kTimedRuns << ",\n"
-       << "  \"ipm\": {\"dense_seconds\": " << ipm_dense.seconds
-       << ", \"sparse_seconds\": " << ipm_sparse.seconds
-       << ", \"speedup\": " << ipm_speedup << "},\n"
-       << "  \"simplex\": {\"dense_seconds\": " << smx_dense.seconds
-       << ", \"sparse_seconds\": " << smx_sparse.seconds
-       << ", \"speedup\": " << smx_speedup << "},\n"
-       << "  \"assignments_identical\": "
-       << ((ipm_identical && smx_identical) ? "true" : "false") << "\n"
-       << "}\n";
-  }
-  std::cout << "json: " << out_path << '\n';
+  bench::BenchTelemetry& telemetry = obs_session.telemetry();
+  telemetry.set_value("tasks", static_cast<double>(kTasks));
+  telemetry.set_value("timed_runs", static_cast<double>(kTimedRuns));
+  telemetry.set_value("ipm_dense_seconds", ipm_dense.seconds);
+  telemetry.set_value("ipm_sparse_seconds", ipm_sparse.seconds);
+  telemetry.set_value("ipm_speedup", ipm_speedup);
+  telemetry.set_value("simplex_dense_seconds", smx_dense.seconds);
+  telemetry.set_value("simplex_sparse_seconds", smx_sparse.seconds);
+  telemetry.set_value("simplex_speedup", smx_speedup);
+  telemetry.set_flag("assignments_identical", ipm_identical && smx_identical);
 
   bench::ShapeChecker check;
   check.expect(ipm_identical,

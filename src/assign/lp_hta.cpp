@@ -11,7 +11,10 @@
 #include <vector>
 
 #include "audit/assignment_audit.h"
+#include "audit/audit.h"
+#include "common/chaos_hook.h"
 #include "common/error.h"
+#include "obs/flight_recorder.h"
 #include "lp/interior_point.h"
 #include "lp/presolve.h"
 #include "lp/problem.h"
@@ -128,6 +131,8 @@ struct ClusterOutcome {
   std::size_t cancelled_infeasible = 0;
   std::size_t cancelled_capacity = 0;
   std::size_t lp_iterations = 0;
+  // The relaxation ran out of budget and served its anytime point.
+  bool deadline_degraded = false;
 };
 
 // Renders the per-cluster span args only when a trace is being captured —
@@ -183,6 +188,7 @@ ClusterOutcome solve_cluster(const HtaInstance& instance, std::size_t b,
     relax = solve_relaxation(p, options, guess);
   }
   out.lp_iterations = relax.iterations;
+  out.deadline_degraded = relax.status == lp::SolveStatus::kDeadline;
   // E_LP^(OPT) over the *real* placement columns (the cancel slack's
   // penalty is an artifact, not energy).
   for (std::size_t idx = 0; idx < active.size(); ++idx) {
@@ -338,27 +344,59 @@ Assignment LpHta::assign(const HtaInstance& instance,
 Assignment LpHta::assign_with_report(const HtaInstance& instance,
                                      LpHtaReport& report) const {
   const obs::ScopedTimer span("lp_hta.assign", "assign");
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  const std::uint64_t chaos_before =
+      flight.enabled() ? chaos::local_injections() : 0;
+  // Assign-layer flight record: one per LP-HTA run, aggregating the
+  // cluster solves (the per-LP records come from the lp layer itself).
+  const auto cut_record = [&](const std::string& status,
+                              const std::string& detail,
+                              const std::string& audit_verdict,
+                              std::uint64_t iterations, bool degraded) {
+    obs::SolveRecord r;
+    r.layer = "assign";
+    r.engine = "lp_hta";
+    r.status = status;
+    r.detail = detail;
+    r.seconds = span.elapsed_s();
+    r.iterations = iterations;
+    r.deadline_residual_ms =
+        obs::FlightRecorder::residual_ms(options_.cancel.deadline());
+    r.deadline_hit = degraded;
+    r.warm_start = options_.warm_hint != nullptr;
+    r.chaos_hits = chaos::local_injections() - chaos_before;
+    r.audit = audit_verdict;
+    flight.record(std::move(r));
+  };
   report = LpHtaReport{};
   Assignment out;
   out.decisions.assign(instance.num_tasks(), Decision::kCancelled);
   const std::size_t clusters = instance.topology().num_base_stations();
 
   std::vector<ClusterOutcome> outcomes(clusters);
-  if (options_.parallel_clusters && clusters > 1) {
-    std::vector<std::future<ClusterOutcome>> futures;
-    futures.reserve(clusters);
-    for (std::size_t b = 0; b < clusters; ++b) {
-      futures.push_back(std::async(std::launch::async, [&, b] {
-        return solve_cluster(instance, b, options_);
-      }));
+  try {
+    if (options_.parallel_clusters && clusters > 1) {
+      std::vector<std::future<ClusterOutcome>> futures;
+      futures.reserve(clusters);
+      for (std::size_t b = 0; b < clusters; ++b) {
+        futures.push_back(std::async(std::launch::async, [&, b] {
+          return solve_cluster(instance, b, options_);
+        }));
+      }
+      for (std::size_t b = 0; b < clusters; ++b) {
+        outcomes[b] = futures[b].get();
+      }
+    } else {
+      for (std::size_t b = 0; b < clusters; ++b) {
+        outcomes[b] = solve_cluster(instance, b, options_);
+      }
     }
-    for (std::size_t b = 0; b < clusters; ++b) outcomes[b] = futures[b].get();
-  } else {
-    for (std::size_t b = 0; b < clusters; ++b) {
-      outcomes[b] = solve_cluster(instance, b, options_);
-    }
+  } catch (const SolverError& e) {
+    if (flight.enabled()) cut_record("error", e.what(), "", 0, false);
+    throw;
   }
 
+  bool deadline_degraded = false;
   for (const ClusterOutcome& c : outcomes) {
     for (const auto& [t, d] : c.decisions) out.decisions[t] = d;
     report.lp_objective += c.lp_objective;
@@ -366,6 +404,7 @@ Assignment LpHta::assign_with_report(const HtaInstance& instance,
     report.cancelled_infeasible += c.cancelled_infeasible;
     report.cancelled_capacity += c.cancelled_capacity;
     report.lp_iterations += c.lp_iterations;
+    deadline_degraded = deadline_degraded || c.deadline_degraded;
   }
 
   // Final energy for the Theorem-2 diagnostics, plus Corollary 1's
@@ -393,8 +432,20 @@ Assignment LpHta::assign_with_report(const HtaInstance& instance,
   }
   // Steps 4–6 promise a deadline- and capacity-feasible plan (cancelling
   // where necessary); hold them to it.
-  audit::check_assignment(instance, out, {.deadlines = true, .capacity = true},
-                          name());
+  try {
+    audit::check_assignment(instance, out,
+                            {.deadlines = true, .capacity = true}, name());
+  } catch (const audit::AuditError& e) {
+    if (flight.enabled()) {
+      cut_record("audit-error", "", e.what(), report.lp_iterations,
+                 deadline_degraded);
+    }
+    throw;
+  }
+  if (flight.enabled()) {
+    cut_record(deadline_degraded ? "deadline" : "ok", "", "ok",
+               report.lp_iterations, deadline_degraded);
+  }
   return out;
 }
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <map>
+#include <sstream>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -100,6 +103,7 @@ void emit(const io::Json& j, const ArgParser& args, std::ostream& out) {
 struct GlobalFlags {
   std::string trace_path;    // --trace <file>: Chrome trace_event JSON
   std::string metrics_path;  // --metrics-out <file>: Prometheus text
+  std::string flight_path;   // --flight-out <file>: per-solve flight JSONL
   bool summary = false;      // --obs-summary: console table after the run
   bool has_jobs = false;     // --jobs <n>: sweep/pool worker count
   std::size_t jobs = 0;
@@ -138,11 +142,13 @@ GlobalFlags strip_global_flags(std::vector<std::string>& tokens) {
   std::vector<std::string> kept;
   kept.reserve(tokens.size());
   for (std::size_t i = 0; i < tokens.size(); ++i) {
-    if (tokens[i] == "--trace" || tokens[i] == "--metrics-out") {
+    if (tokens[i] == "--trace" || tokens[i] == "--metrics-out" ||
+        tokens[i] == "--flight-out") {
       MECSCHED_REQUIRE(i + 1 < tokens.size(),
                        tokens[i] + " requires a file argument");
-      (tokens[i] == "--trace" ? flags.trace_path : flags.metrics_path) =
-          tokens[i + 1];
+      (tokens[i] == "--trace"   ? flags.trace_path
+       : tokens[i] == "--metrics-out" ? flags.metrics_path
+                                      : flags.flight_path) = tokens[i + 1];
       ++i;
     } else if (tokens[i] == "--jobs") {
       MECSCHED_REQUIRE(i + 1 < tokens.size(), "--jobs requires a count");
@@ -195,6 +201,7 @@ int dispatch(const std::string& command, const std::vector<std::string>& rest,
   if (command == "churn") return cmd_churn(rest, out);
   if (command == "sweep") return cmd_sweep(rest, out);
   if (command == "chaos") return cmd_chaos(rest, out);
+  if (command == "report") return cmd_report(rest, out);
   err << "unknown command: " << command << "\n\n" << usage();
   return 1;
 }
@@ -234,6 +241,9 @@ std::string usage() {
       "            [--seed S] [--stall-prob P] [--nan-prob P]\n"
       "            [--cancel-prob P] [--error-prob P] [--csv]\n"
       "            (solver fault injection drill; see docs/robustness.md)\n"
+      "  report    --flight records.jsonl [--metrics out.prom] [--top N]\n"
+      "            (render a flight-record post-mortem; see\n"
+      "            docs/observability.md)\n"
       "\n"
       "global flags (any command):\n"
       "  --trace out.json      write a Chrome trace_event file of the run\n"
@@ -251,6 +261,10 @@ std::string usage() {
       "                        degrade to their best anytime answer at the\n"
       "                        deadline instead of running long (see\n"
       "                        docs/robustness.md)\n"
+      "  --flight-out f.jsonl  record one structured line per solve (engine,\n"
+      "                        status, timing, deadline residual, fallback\n"
+      "                        rung, chaos hits); written even when the\n"
+      "                        command fails — feed it to mecsched report\n"
       "\n"
       "algorithms: lp-hta lp-hta-ipm hgos alltoc alloffload local-first "
       "random exact brd portfolio\n";
@@ -827,6 +841,153 @@ int cmd_chaos(const std::vector<std::string>& tokens, std::ostream& out) {
   return 0;
 }
 
+int cmd_report(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"flight", "metrics", "top"}, {});
+  args.parse(tokens);
+  const std::string flight_path = args.get("flight", "");
+  MECSCHED_REQUIRE(!flight_path.empty(),
+                   "--flight <records.jsonl> is required");
+  const std::size_t top_k = args.get_count("top", 5);
+
+  // Null-tolerant field access: the dump writes NaN fields as JSON null.
+  const auto str_field = [](const io::Json& j, const std::string& key) {
+    return j.contains(key) && j.at(key).is_string() ? j.at(key).as_string()
+                                                    : std::string("-");
+  };
+  const auto num_field = [](const io::Json& j, const std::string& key) {
+    return j.contains(key) && j.at(key).is_number()
+               ? j.at(key).as_number()
+               : std::numeric_limits<double>::quiet_NaN();
+  };
+  const auto bool_field = [](const io::Json& j, const std::string& key) {
+    return j.contains(key) && j.at(key).is_bool() && j.at(key).as_bool();
+  };
+
+  std::vector<io::Json> records;
+  {
+    std::istringstream lines(io::read_file(flight_path));
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      records.push_back(io::Json::parse(line));
+    }
+  }
+  out << "flight report: " << records.size() << " records from "
+      << flight_path << '\n';
+  if (records.empty()) return 0;
+
+  // Outcome breakdown by (layer, engine, status). std::map keys keep the
+  // rendering deterministic regardless of record order.
+  struct Outcome {
+    std::size_t count = 0;
+    double seconds = 0.0;
+  };
+  std::map<std::string, Outcome> outcomes;
+  struct Miss {
+    std::size_t count = 0;
+    double min_residual_ms = std::numeric_limits<double>::quiet_NaN();
+  };
+  std::map<std::string, Miss> misses;
+  for (const io::Json& r : records) {
+    const std::string layer = str_field(r, "layer");
+    const std::string engine = str_field(r, "engine");
+    const std::string status = str_field(r, "status");
+    Outcome& o = outcomes[layer + "\t" + engine + "\t" + status];
+    ++o.count;
+    const double s = num_field(r, "seconds");
+    if (std::isfinite(s)) o.seconds += s;
+    if (status == "deadline" || bool_field(r, "deadline_hit")) {
+      Miss& m = misses[layer + "\t" + engine];
+      ++m.count;
+      const double residual = num_field(r, "deadline_residual_ms");
+      if (std::isfinite(residual) &&
+          !(residual >= m.min_residual_ms)) {  // NaN-safe min
+        m.min_residual_ms = residual;
+      }
+    }
+  }
+  const auto split3 = [](const std::string& key) {
+    std::vector<std::string> parts;
+    std::istringstream ss(key);
+    std::string part;
+    while (std::getline(ss, part, '\t')) parts.push_back(part);
+    while (parts.size() < 3) parts.emplace_back("-");
+    return parts;
+  };
+
+  out << "\noutcomes by layer/engine/status:\n";
+  Table outcome_table({"layer", "engine", "status", "count", "seconds"});
+  for (const auto& [key, o] : outcomes) {
+    const std::vector<std::string> parts = split3(key);
+    outcome_table.add_row({parts[0], parts[1], parts[2],
+                           std::to_string(o.count), Table::num(o.seconds, 6)});
+  }
+  out << outcome_table;
+
+  if (!misses.empty()) {
+    out << "\ndeadline misses (status deadline or expired budget):\n";
+    Table miss_table({"layer", "engine", "misses", "min_residual_ms"});
+    for (const auto& [key, m] : misses) {
+      const std::vector<std::string> parts = split3(key);
+      miss_table.add_row({parts[0], parts[1], std::to_string(m.count),
+                          std::isfinite(m.min_residual_ms)
+                              ? Table::num(m.min_residual_ms, 3)
+                              : "-"});
+    }
+    out << miss_table;
+  }
+
+  // Top-k slowest solves, the usual first stop of a latency post-mortem.
+  std::vector<const io::Json*> by_time;
+  by_time.reserve(records.size());
+  for (const io::Json& r : records) by_time.push_back(&r);
+  std::stable_sort(by_time.begin(), by_time.end(),
+                   [&](const io::Json* a, const io::Json* b) {
+                     const double sa = num_field(*a, "seconds");
+                     const double sb = num_field(*b, "seconds");
+                     return (std::isfinite(sa) ? sa : -1.0) >
+                            (std::isfinite(sb) ? sb : -1.0);
+                   });
+  if (by_time.size() > top_k) by_time.resize(top_k);
+  out << "\ntop " << by_time.size() << " slowest solves:\n";
+  Table slow_table(
+      {"seq", "layer", "engine", "status", "seconds", "iters", "detail"});
+  for (const io::Json* r : by_time) {
+    const double seq = num_field(*r, "seq");
+    const double iters = num_field(*r, "iterations");
+    std::string detail = str_field(*r, "detail");
+    if (detail.size() > 40) detail = detail.substr(0, 37) + "...";
+    slow_table.add_row(
+        {std::isfinite(seq) ? std::to_string(static_cast<long long>(seq))
+                            : "-",
+         str_field(*r, "layer"), str_field(*r, "engine"),
+         str_field(*r, "status"), Table::num(num_field(*r, "seconds"), 6),
+         std::isfinite(iters) ? std::to_string(static_cast<long long>(iters))
+                              : "-",
+         detail});
+  }
+  out << slow_table;
+
+  // Optional metrics snapshot: surface the rolling-window gauge families
+  // next to the flight record so percentiles and post-mortems line up.
+  const std::string metrics_path = args.get("metrics", "");
+  if (!metrics_path.empty()) {
+    out << "\nwindowed metrics from " << metrics_path << ":\n";
+    std::istringstream lines(io::read_file(metrics_path));
+    std::string line;
+    std::size_t shown = 0;
+    while (std::getline(lines, line)) {
+      if (line.rfind("# ", 0) == 0) continue;
+      if (line.find("_window_") != std::string::npos) {
+        out << "  " << line << '\n';
+        ++shown;
+      }
+    }
+    if (shown == 0) out << "  (no *_window_* series found)\n";
+  }
+  return 0;
+}
+
 int run(const std::vector<std::string>& argv, std::ostream& out,
         std::ostream& err) {
   if (argv.empty() || argv[0] == "--help" || argv[0] == "help") {
@@ -842,6 +1003,10 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
     obs_flags = strip_global_flags(rest);
     if (obs_flags.obs_active()) obs::Registry::global().reset();
     if (!obs_flags.trace_path.empty()) obs::Tracer::global().enable();
+    if (!obs_flags.flight_path.empty()) {
+      obs::FlightRecorder::global().clear();
+      obs::FlightRecorder::global().enable();
+    }
     if (obs_flags.has_jobs) exec::ThreadPool::set_default_jobs(obs_flags.jobs);
     if (obs_flags.has_audit) audit::set_level(obs_flags.audit_level);
     if (obs_flags.budget_ms > 0) {
@@ -862,12 +1027,29 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
   if (obs_flags.budget_ms > 0) set_default_solve_budget_ms(0.0);
 
   // Export even when the command failed — a trace of the failing run is
-  // precisely the artifact worth keeping.
+  // precisely the artifact worth keeping. The flight record doubly so: its
+  // whole point is the post-mortem of a SolverError / audit failure /
+  // blown deadline.
   try {
     if (!obs_flags.trace_path.empty()) {
+      const std::uint64_t trace_drops = obs::Tracer::global().dropped();
       obs::write_chrome_trace(obs::Tracer::global(), obs_flags.trace_path);
       obs::Tracer::global().disable();
       out << "wrote trace " << obs_flags.trace_path << '\n';
+      if (trace_drops > 0) {
+        err << "warning: tracer ring overflowed; dropped " << trace_drops
+            << " events (see obs.tracer.dropped_events)\n";
+      }
+    }
+    if (!obs_flags.flight_path.empty()) {
+      obs::FlightRecorder& flight = obs::FlightRecorder::global();
+      obs::write_flight_jsonl(flight, obs_flags.flight_path);
+      out << "wrote flight record " << obs_flags.flight_path << '\n';
+      if (flight.dropped() > 0) {
+        err << "warning: flight recorder ring overflowed; dropped "
+            << flight.dropped() << " records\n";
+      }
+      flight.disable();
     }
     if (!obs_flags.metrics_path.empty()) {
       obs::write_prometheus(obs::Registry::global(), obs_flags.metrics_path);

@@ -18,6 +18,7 @@
 //   churn           — run the resilient controller under generated churn
 //   sweep           — run a named figure grid on the parallel sweep runner
 //   chaos           — solver fault-injection drill over the fallback chain
+//   report          — render a flight-record post-mortem (see --flight-out)
 #pragma once
 
 #include <ostream>
@@ -50,6 +51,7 @@ int cmd_dta(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_chaos(const std::vector<std::string>& tokens, std::ostream& out);
+int cmd_report(const std::vector<std::string>& tokens, std::ostream& out);
 
 std::string usage();
 

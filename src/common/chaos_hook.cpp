@@ -1,6 +1,7 @@
 #include "common/chaos_hook.h"
 
 #include <atomic>
+#include <cstdint>
 
 namespace mecsched::chaos {
 
@@ -10,6 +11,8 @@ std::atomic<Hook*>& installed() {
   static std::atomic<Hook*> hook{nullptr};
   return hook;
 }
+
+thread_local std::uint64_t local_injections_count = 0;
 
 }  // namespace
 
@@ -23,7 +26,11 @@ Action probe(const char* engine, std::size_t rows, std::size_t cols,
              std::size_t iteration) {
   Hook* hook = installed().load(std::memory_order_acquire);
   if (hook == nullptr) return Action::kNone;
-  return hook->probe(engine, rows, cols, iteration);
+  const Action action = hook->probe(engine, rows, cols, iteration);
+  if (action != Action::kNone) ++local_injections_count;
+  return action;
 }
+
+std::uint64_t local_injections() { return local_injections_count; }
 
 }  // namespace mecsched::chaos

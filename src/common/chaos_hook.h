@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace mecsched::chaos {
 
@@ -40,5 +41,12 @@ bool armed();
 // Probes the installed hook; Action::kNone when disarmed.
 Action probe(const char* engine, std::size_t rows, std::size_t cols,
              std::size_t iteration);
+
+// Count of non-kNone probe results on the *calling thread* since process
+// start. A solve runs on one thread, so the flight recorder attributes
+// injected faults to a solve by taking the before/after delta — the
+// global chaos.injected.* counters are racy per-solve under parallel
+// cluster workers.
+std::uint64_t local_injections();
 
 }  // namespace mecsched::chaos

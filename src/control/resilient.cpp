@@ -10,8 +10,10 @@
 #include "assign/hta_instance.h"
 #include "common/error.h"
 #include "mec/cost_model.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "obs/window.h"
 
 namespace mecsched::control {
 namespace {
@@ -397,11 +399,28 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
     const auto decide_start = std::chrono::steady_clock::now();
     const assign::Assignment plan =
         chain.assign(instance, rung, epoch_token);
-    obs::Registry::global()
-        .histogram("controller.decision_ms")
-        .observe(std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - decide_start)
-                     .count());
+    const double decision_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - decide_start)
+            .count();
+    obs::Registry& obs_reg = obs::Registry::global();
+    obs_reg.histogram("controller.decision_ms").observe(decision_ms);
+    obs_reg.window("controller.decision_ms").observe(decision_ms);
+    obs_reg.rate("controller.decisions").record();
+    obs::FlightRecorder& flight = obs::FlightRecorder::global();
+    if (flight.enabled()) {
+      obs::SolveRecord rec;
+      rec.layer = "control";
+      rec.engine = "decision";
+      rec.status = to_string(rung);
+      rec.detail = "epoch " + std::to_string(epoch);
+      rec.seconds = decision_ms * 1e-3;
+      rec.iterations = lp_tasks.size();
+      rec.deadline_residual_ms =
+          obs::FlightRecorder::residual_ms(epoch_token.deadline());
+      rec.deadline_hit = epoch_token.expired();
+      flight.record(std::move(rec));
+    }
     ++result.rungs[rung];
 
     for (std::size_t i = 0; i < lp_batch.size(); ++i) {

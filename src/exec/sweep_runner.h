@@ -35,7 +35,9 @@
 #include "common/rng.h"
 #include "exec/instance_cache.h"
 #include "exec/thread_pool.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
+#include "obs/window.h"
 
 namespace mecsched::exec {
 
@@ -122,14 +124,45 @@ class SweepRunner {
       for (std::size_t i = 0; i < num_cells; ++i) {
         futures.push_back(pool.submit([this, &fn, &shards, &slots, i] {
           CellContext ctx(i, options_, *shards[i]);
-          if (options_.deadline.expired()) {
+          const bool past_deadline = options_.deadline.expired();
+          if (past_deadline) {
             shards[i]->counter("exec.sweep.cells_past_deadline").add();
           }
+          obs::FlightRecorder& flight = obs::FlightRecorder::global();
+          const auto cut_record = [&](const char* status,
+                                      const std::string& detail,
+                                      double seconds) {
+            obs::SolveRecord r;
+            r.layer = "exec";
+            r.engine = "sweep_cell";
+            r.status = status;
+            r.detail = "cell " + std::to_string(i) +
+                       (detail.empty() ? "" : ": " + detail);
+            r.seconds = seconds;
+            r.deadline_residual_ms =
+                obs::FlightRecorder::residual_ms(options_.deadline);
+            r.deadline_hit = past_deadline;
+            flight.record(std::move(r));
+          };
           const auto start = std::chrono::steady_clock::now();
-          slots[i].emplace(fn(ctx));
-          const std::chrono::duration<double> dt =
-              std::chrono::steady_clock::now() - start;
-          shards[i]->histogram("exec.sweep.cell_seconds").observe(dt.count());
+          const auto elapsed = [&start] {
+            return std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                .count();
+          };
+          try {
+            slots[i].emplace(fn(ctx));
+          } catch (const std::exception& e) {
+            if (flight.enabled()) cut_record("error", e.what(), elapsed());
+            throw;
+          }
+          const double dt = elapsed();
+          shards[i]->histogram("exec.sweep.cell_seconds").observe(dt);
+          shards[i]->window("exec.sweep.cell_seconds").observe(dt);
+          shards[i]->rate("exec.sweep.cells").record();
+          if (flight.enabled()) {
+            cut_record(past_deadline ? "deadline" : "ok", "", dt);
+          }
         }));
       }
       // Join every cell before touching the slots; surface the first

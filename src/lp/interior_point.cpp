@@ -6,9 +6,12 @@
 #include <tuple>
 #include <vector>
 
+#include "audit/audit.h"
 #include "audit/lp_certificate.h"
 #include "common/chaos_hook.h"
 #include "common/error.h"
+#include "obs/flight_recorder.h"
+#include "obs/window.h"
 #include "lp/cholesky.h"
 #include "lp/matrix.h"
 #include "lp/sparse_cholesky.h"
@@ -318,12 +321,43 @@ Solution ipm_loop(const Problem& problem, const StandardForm& sf,
 
 Solution InteriorPointSolver::solve(const Problem& problem) const {
   const obs::ScopedTimer span("lp.ipm.solve", "lp");
-  Solution out = solve_impl(problem);
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  const std::uint64_t chaos_before =
+      flight.enabled() ? chaos::local_injections() : 0;
+  const auto cut_record = [&](const Solution* solution,
+                              const std::string& status,
+                              const std::string& detail,
+                              const std::string& audit_verdict) {
+    obs::SolveRecord r;
+    r.layer = "lp";
+    r.engine = "ipm";
+    r.status = status;
+    r.detail = detail;
+    r.seconds = span.elapsed_s();
+    r.iterations = solution != nullptr ? solution->iterations : 0;
+    const CancellationToken token = effective_solve_token(options_.cancel);
+    r.deadline_residual_ms =
+        obs::FlightRecorder::residual_ms(token.deadline());
+    r.deadline_hit =
+        solution != nullptr && solution->status == SolveStatus::kDeadline;
+    r.chaos_hits = chaos::local_injections() - chaos_before;
+    r.audit = audit_verdict;
+    flight.record(std::move(r));
+  };
+  Solution out;
+  try {
+    out = solve_impl(problem);
+  } catch (const SolverError& e) {
+    if (flight.enabled()) cut_record(nullptr, "error", e.what(), "");
+    throw;
+  }
   obs::Registry& reg = obs::Registry::global();
   reg.counter("lp.ipm.solves").add();
   reg.counter("lp.ipm.iterations").add(out.iterations);
   reg.histogram("lp.ipm.iterations_per_solve")
       .observe(static_cast<double>(out.iterations));
+  reg.window("lp.ipm.solve.seconds").observe(span.elapsed_s());
+  reg.rate("lp.solves").record();
   if (!out.optimal()) reg.counter("lp.ipm.non_optimal").add();
   if (out.status == SolveStatus::kDeadline) {
     reg.counter("solve.deadline.ipm").add();
@@ -335,7 +369,15 @@ Solution InteriorPointSolver::solve(const Problem& problem) const {
   audit::LpCertificateOptions cert;
   cert.feasibility_tolerance = 1e-5;
   cert.gap_tolerance = 1e-5;
-  audit::check_lp(problem, out, "ipm", cert);
+  try {
+    audit::check_lp(problem, out, "ipm", cert);
+  } catch (const audit::AuditError& e) {
+    if (flight.enabled()) {
+      cut_record(&out, "audit-error", to_string(out.status), e.what());
+    }
+    throw;
+  }
+  if (flight.enabled()) cut_record(&out, to_string(out.status), "", "ok");
   return out;
 }
 

@@ -4,13 +4,17 @@
 #include <cmath>
 #include <vector>
 
+#include "audit/audit.h"
 #include "audit/lp_certificate.h"
 #include "common/chaos_hook.h"
+#include "common/deadline.h"
 #include "common/error.h"
 #include "lp/matrix.h"
 #include "lp/sparse_matrix.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "obs/window.h"
 
 namespace mecsched::lp {
 namespace {
@@ -572,12 +576,46 @@ Solution SimplexSolver::solve(const Problem& problem,
 Solution SimplexSolver::solve_instrumented(
     const Problem& problem, const std::vector<double>* guess) const {
   const obs::ScopedTimer span("lp.simplex.solve", "lp");
-  Solution out = solve_impl(problem, guess);
+  obs::FlightRecorder& flight = obs::FlightRecorder::global();
+  const std::uint64_t chaos_before =
+      flight.enabled() ? chaos::local_injections() : 0;
+  // Pre-fill the record skeleton lazily: everything below the enabled()
+  // gates is skipped on the disabled fast path.
+  const auto cut_record = [&](const Solution* solution,
+                              const std::string& status,
+                              const std::string& detail,
+                              const std::string& audit_verdict) {
+    obs::SolveRecord r;
+    r.layer = "lp";
+    r.engine = "simplex";
+    r.status = status;
+    r.detail = detail;
+    r.seconds = span.elapsed_s();
+    r.iterations = solution != nullptr ? solution->iterations : 0;
+    const CancellationToken token = effective_solve_token(options_.cancel);
+    r.deadline_residual_ms =
+        obs::FlightRecorder::residual_ms(token.deadline());
+    r.deadline_hit =
+        solution != nullptr && solution->status == SolveStatus::kDeadline;
+    r.warm_start = guess != nullptr;
+    r.chaos_hits = chaos::local_injections() - chaos_before;
+    r.audit = audit_verdict;
+    flight.record(std::move(r));
+  };
+  Solution out;
+  try {
+    out = solve_impl(problem, guess);
+  } catch (const SolverError& e) {
+    if (flight.enabled()) cut_record(nullptr, "error", e.what(), "");
+    throw;
+  }
   obs::Registry& reg = obs::Registry::global();
   reg.counter("lp.simplex.solves").add();
   reg.counter("lp.simplex.pivots").add(out.iterations);
   reg.histogram("lp.simplex.pivots_per_solve")
       .observe(static_cast<double>(out.iterations));
+  reg.window("lp.simplex.solve.seconds").observe(span.elapsed_s());
+  reg.rate("lp.solves").record();
   if (!out.optimal()) reg.counter("lp.simplex.non_optimal").add();
   if (out.status == SolveStatus::kDeadline) {
     reg.counter("solve.deadline.simplex").add();
@@ -587,8 +625,16 @@ Solution SimplexSolver::solve_instrumented(
   // basic optimal solution, warm-started or not.
   audit::LpCertificateOptions cert;
   cert.vertex_expected = true;
-  audit::check_lp(problem, out, guess != nullptr ? "simplex-warm" : "simplex",
-                  cert);
+  try {
+    audit::check_lp(problem, out,
+                    guess != nullptr ? "simplex-warm" : "simplex", cert);
+  } catch (const audit::AuditError& e) {
+    if (flight.enabled()) {
+      cut_record(&out, "audit-error", to_string(out.status), e.what());
+    }
+    throw;
+  }
+  if (flight.enabled()) cut_record(&out, to_string(out.status), "", "ok");
   return out;
 }
 

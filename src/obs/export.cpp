@@ -89,6 +89,17 @@ void write_chrome_trace(const Tracer& tracer, const std::string& path) {
   write_text_file(path, to_chrome_json(tracer));
 }
 
+namespace {
+
+// Gauge-family line pair for the windowed exports.
+void prom_window_gauge(std::ostringstream& os, const std::string& base,
+                       const char* field, double value) {
+  const std::string p = prom_name(base + ".window." + field);
+  os << "# TYPE " << p << " gauge\n" << p << " " << prom_num(value) << "\n";
+}
+
+}  // namespace
+
 std::string to_prometheus(const Registry& registry) {
   std::ostringstream os;
   for (const auto& [name, value] : registry.counters()) {
@@ -114,6 +125,20 @@ std::string to_prometheus(const Registry& registry) {
        << p << "_sum " << prom_num(s.sum()) << "\n"
        << p << "_count " << s.count() << "\n";
   }
+  for (const auto& [name, w] : registry.windows()) {
+    const WindowedHistogram::Snapshot s = w->snapshot();
+    prom_window_gauge(os, name, "count", static_cast<double>(s.count));
+    prom_window_gauge(os, name, "p50", s.p50);
+    prom_window_gauge(os, name, "p90", s.p90);
+    prom_window_gauge(os, name, "p95", s.p95);
+    prom_window_gauge(os, name, "p99", s.p99);
+    prom_window_gauge(os, name, "rate_hz", s.rate_hz);
+  }
+  for (const auto& [name, r] : registry.rates()) {
+    const RateWindow::Snapshot s = r->snapshot();
+    prom_window_gauge(os, name, "count", static_cast<double>(s.count));
+    prom_window_gauge(os, name, "rate_hz", s.rate_hz);
+  }
   return os.str();
 }
 
@@ -122,24 +147,84 @@ void write_prometheus(const Registry& registry, const std::string& path) {
 }
 
 Table summary_table(const Registry& registry) {
-  Table t({"metric", "kind", "count", "total", "mean", "min", "max"});
+  Table t({"metric", "kind", "count", "total", "mean", "min", "max", "p50",
+           "p90", "p99"});
   for (const auto& [name, value] : registry.counters()) {
-    t.add_row({name, "counter", std::to_string(value), "-", "-", "-", "-"});
+    t.add_row({name, "counter", std::to_string(value), "-", "-", "-", "-",
+               "-", "-", "-"});
   }
   for (const auto& [name, value] : registry.gauges()) {
-    t.add_row({name, "gauge", "-", Table::num(value, 4), "-", "-", "-"});
+    t.add_row({name, "gauge", "-", Table::num(value, 4), "-", "-", "-", "-",
+               "-", "-"});
   }
   for (const auto& [name, hist] : registry.histograms()) {
     const Summary s = hist->summary();
     if (s.count() == 0) {
-      t.add_row({name, "histogram", "0", "-", "-", "-", "-"});
+      t.add_row({name, "histogram", "0", "-", "-", "-", "-", "-", "-", "-"});
       continue;
     }
     t.add_row({name, "histogram", std::to_string(s.count()),
                Table::num(s.sum(), 4), Table::num(s.mean(), 6),
-               Table::num(s.min(), 6), Table::num(s.max(), 6)});
+               Table::num(s.min(), 6), Table::num(s.max(), 6),
+               Table::num(hist->approx_percentile(0.50), 6),
+               Table::num(hist->approx_percentile(0.90), 6),
+               Table::num(hist->approx_percentile(0.99), 6)});
+  }
+  for (const auto& [name, w] : registry.windows()) {
+    const WindowedHistogram::Snapshot s = w->snapshot();
+    if (s.count == 0) {
+      t.add_row({name + ".window", "window", "0", "-", "-", "-", "-", "-",
+                 "-", "-"});
+      continue;
+    }
+    t.add_row({name + ".window", "window", std::to_string(s.count),
+               Table::num(s.sum, 4),
+               Table::num(s.sum / static_cast<double>(s.count), 6),
+               Table::num(s.min, 6), Table::num(s.max, 6),
+               Table::num(s.p50, 6), Table::num(s.p90, 6),
+               Table::num(s.p99, 6)});
+  }
+  for (const auto& [name, r] : registry.rates()) {
+    const RateWindow::Snapshot s = r->snapshot();
+    // The mean column carries the rolling events/second (a mean rate).
+    t.add_row({name + ".window", "rate", std::to_string(s.count), "-",
+               std::isnan(s.rate_hz) ? "-" : Table::num(s.rate_hz, 4), "-",
+               "-", "-", "-", "-"});
   }
   return t;
+}
+
+namespace {
+
+std::string json_num_or_null(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "null";
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_flight_jsonl(const FlightRecorder& recorder) {
+  std::ostringstream os;
+  for (const SolveRecord& r : recorder.snapshot()) {
+    os << "{\"seq\":" << r.seq << ",\"layer\":\"" << json_escape(r.layer)
+       << "\",\"engine\":\"" << json_escape(r.engine) << "\",\"status\":\""
+       << json_escape(r.status) << "\",\"detail\":\"" << json_escape(r.detail)
+       << "\",\"seconds\":" << json_num_or_null(r.seconds)
+       << ",\"iterations\":" << r.iterations << ",\"deadline_residual_ms\":"
+       << json_num_or_null(r.deadline_residual_ms) << ",\"deadline_hit\":"
+       << (r.deadline_hit ? "true" : "false") << ",\"warm_start\":"
+       << (r.warm_start ? "true" : "false") << ",\"cache_hit\":"
+       << (r.cache_hit ? "true" : "false") << ",\"chaos_hits\":"
+       << r.chaos_hits << ",\"audit\":\"" << json_escape(r.audit) << "\"}\n";
+  }
+  return os.str();
+}
+
+void write_flight_jsonl(const FlightRecorder& recorder,
+                        const std::string& path) {
+  write_text_file(path, to_flight_jsonl(recorder));
 }
 
 }  // namespace mecsched::obs

@@ -1,0 +1,71 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace mecsched::obs {
+
+FlightRecorder& FlightRecorder::global() {
+  // lint:allow-naked-new -- intentionally leaked singleton, like Registry.
+  static FlightRecorder* instance = new FlightRecorder();
+  return *instance;
+}
+
+void FlightRecorder::enable(std::size_t capacity_per_shard) {
+  capacity_per_shard_ = capacity_per_shard == 0 ? 1 : capacity_per_shard;
+  clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FlightRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+FlightRecorder::Shard& FlightRecorder::shard_for_this_thread() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
+void FlightRecorder::record(SolveRecord r) {
+  if (!enabled()) return;
+  r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard_for_this_thread();
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (s.ring.size() < capacity_per_shard_) {
+    s.ring.push_back(std::move(r));
+    s.head = s.ring.size() % capacity_per_shard_;
+    return;
+  }
+  s.ring[s.head] = std::move(r);
+  s.head = (s.head + 1) % capacity_per_shard_;
+  s.wrapped = true;
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SolveRecord> FlightRecorder::snapshot() const {
+  std::vector<SolveRecord> out;
+  for (const Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    out.insert(out.end(), s.ring.begin(), s.ring.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SolveRecord& a, const SolveRecord& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::clear() {
+  for (Shard& s : shards_) {
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.ring.clear();
+    s.head = 0;
+    s.wrapped = false;
+  }
+  seq_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mecsched::obs

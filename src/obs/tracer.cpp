@@ -51,6 +51,13 @@ void Tracer::push(TraceEvent ev) {
   head_ = (head_ + 1) % capacity_;
   wrapped_ = true;
   dropped_.fetch_add(1, std::memory_order_relaxed);
+  // Surface the overflow outside the trace file too: the CLI and bench
+  // harness warn on exit when this counter moved (the trace JSON alone
+  // buries the loss in otherData). The reference is stable across
+  // Registry::reset(), so resolving it once is safe.
+  static Counter& dropped_events =
+      Registry::global().counter("obs.tracer.dropped_events");
+  dropped_events.add();
 }
 
 void Tracer::begin(const std::string& name, const std::string& category) {

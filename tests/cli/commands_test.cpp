@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "io/codec.h"
+#include "obs/flight_recorder.h"
 
 namespace mecsched::cli {
 namespace {
@@ -23,8 +24,8 @@ class CliTest : public ::testing::Test {
     return ::testing::TempDir() + "mecsched_cli_" + info->name() + "_" + name;
   }
   void TearDown() override {
-    for (const char* f :
-         {"s.json", "p.json", "m.json", "trace.json", "metrics.prom"}) {
+    for (const char* f : {"s.json", "p.json", "m.json", "trace.json",
+                          "metrics.prom", "flight.jsonl"}) {
       std::remove(path(f).c_str());
     }
   }
@@ -313,6 +314,73 @@ TEST_F(CliTest, ObsFlagsWorkOnAnyCommand) {
             0)
       << err_.str();
   EXPECT_NE(out_.str().find("cli.generate.seconds"), std::string::npos);
+}
+
+TEST_F(CliTest, FlightOutRecordsChaosFaultsAcrossLayers) {
+  const std::string flight = path("flight.jsonl");
+  ASSERT_EQ(run_cli({"chaos", "--cells", "4", "--tasks", "10", "--devices",
+                     "4", "--stations", "2", "--seed", "7", "--error-prob",
+                     "0.8", "--flight-out", flight}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("wrote flight record"), std::string::npos);
+  // The recorder is per-invocation: off again once run() returns.
+  EXPECT_FALSE(obs::FlightRecorder::global().enabled());
+
+  const std::string jsonl = io::read_file(flight);
+  // Injected faults surface as lp-layer error records, and the fallback
+  // chain's degradation shows up as control-layer rung records.
+  EXPECT_NE(jsonl.find("\"layer\":\"lp\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"layer\":\"control\""), std::string::npos);
+  EXPECT_NE(jsonl.find("injected solver fault"), std::string::npos);
+  // Every line parses as standalone JSON.
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    const io::Json record = io::Json::parse(line);
+    EXPECT_TRUE(record.contains("seq"));
+    EXPECT_TRUE(record.contains("status"));
+    ++parsed;
+  }
+  EXPECT_GT(parsed, 0u);
+}
+
+TEST_F(CliTest, FlightOutCapturesDeadlineExpiryEvenWhenTheCommandFails) {
+  const std::string flight = path("flight.jsonl");
+  // A 1-microsecond budget is gone before the first LP iteration; the
+  // sweep degrades/fails, but the flight record must still be written and
+  // must name the deadline as the terminal status.
+  const int code =
+      run_cli({"sweep", "--grid", "smoke", "--budget-ms", "0.001",
+               "--flight-out", flight});
+  (void)code;  // pass or fail, the post-mortem artifact is the contract
+  EXPECT_NE(out_.str().find("wrote flight record"), std::string::npos);
+  const std::string jsonl = io::read_file(flight);
+  EXPECT_NE(jsonl.find("\"status\":\"deadline\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"deadline_residual_ms\":"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportRendersAFlightRecordPostMortem) {
+  const std::string flight = path("flight.jsonl");
+  ASSERT_EQ(run_cli({"chaos", "--cells", "3", "--tasks", "10", "--devices",
+                     "4", "--stations", "2", "--seed", "7", "--error-prob",
+                     "0.8", "--flight-out", flight}),
+            0)
+      << err_.str();
+  ASSERT_EQ(run_cli({"report", "--flight", flight, "--top", "2"}), 0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("flight report:"), std::string::npos);
+  EXPECT_NE(out_.str().find("outcomes by layer/engine/status"),
+            std::string::npos);
+  EXPECT_NE(out_.str().find("slowest solves"), std::string::npos);
+  EXPECT_NE(out_.str().find("sweep_cell"), std::string::npos);
+}
+
+TEST_F(CliTest, ReportRequiresAFlightFile) {
+  EXPECT_EQ(run_cli({"report"}), 1);
+  EXPECT_NE(err_.str().find("--flight"), std::string::npos);
 }
 
 TEST_F(CliTest, TraceFlagRequiresValue) {

@@ -71,6 +71,43 @@ TEST(SweepRunnerTest, ShardMetricsMergeIntoTheGlobalRegistry) {
                 .summary()
                 .count(),
             10u);
+  // And its rolling-window shadow (the *.window.* family).
+  EXPECT_EQ(obs::Registry::global()
+                .window("exec.sweep.cell_seconds")
+                .snapshot()
+                .count,
+            10u);
+}
+
+TEST(SweepRunnerTest, WindowMergeIsIdenticalAcrossJobCounts) {
+  // Cells observe deterministic (index-derived) values into a shard
+  // window; the grid-order merge must make the global window's snapshot
+  // independent of how cells were scheduled across workers.
+  const auto run_windowed = [](std::size_t jobs) {
+    obs::Registry::global().reset();
+    SweepOptions options;
+    options.jobs = jobs;
+    SweepRunner runner(options);
+    runner.run<int>(24, [](CellContext& ctx) {
+      // Manual-mode window (epoch_seconds 0): no wall clock anywhere.
+      ctx.registry()
+          .window("test.sweep.window_ms", 0.0, 8)
+          .observe(static_cast<double>(ctx.index() % 7) + 0.5);
+      return 0;
+    });
+    return obs::Registry::global()
+        .window("test.sweep.window_ms", 0.0, 8)
+        .snapshot();
+  };
+  const auto serial = run_windowed(1);
+  const auto parallel = run_windowed(4);
+  EXPECT_EQ(serial.count, 24u);
+  EXPECT_EQ(parallel.count, serial.count);
+  EXPECT_DOUBLE_EQ(parallel.sum, serial.sum);
+  EXPECT_DOUBLE_EQ(parallel.min, serial.min);
+  EXPECT_DOUBLE_EQ(parallel.max, serial.max);
+  EXPECT_DOUBLE_EQ(parallel.p50, serial.p50);
+  EXPECT_DOUBLE_EQ(parallel.p99, serial.p99);
 }
 
 TEST(SweepRunnerTest, CellExceptionSurfacesAfterAllCellsJoin) {

@@ -177,5 +177,61 @@ TEST(SummaryTableTest, ListsEveryMetricWithItsKind) {
   }
 }
 
+TEST(SummaryTableTest, HistogramRowsCarryPercentileColumns) {
+  Registry reg;
+  Histogram& h = reg.histogram("dur.seconds");
+  for (int i = 0; i < 100; ++i) h.observe(0.5);
+  reg.counter("events").add(1);
+
+  std::ostringstream os;
+  os << summary_table(reg);
+  const std::string text = os.str();
+  // Deterministic column order with the new percentile columns appended.
+  const std::size_t p50 = text.find("p50");
+  const std::size_t p90 = text.find("p90");
+  const std::size_t p99 = text.find("p99");
+  ASSERT_NE(p50, std::string::npos);
+  ASSERT_NE(p90, std::string::npos);
+  ASSERT_NE(p99, std::string::npos);
+  EXPECT_LT(text.find("mean"), p50);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  // All mass at 0.5: the percentiles clamp to the observed value, while
+  // counter rows pad the columns with "-".
+  EXPECT_NE(text.find("0.5"), std::string::npos);
+  EXPECT_NE(text.find('-'), std::string::npos);
+}
+
+TEST(SummaryTableTest, WindowAndRateRowsAppear) {
+  Registry reg;
+  reg.window("decision_ms", 0.0, 4).observe(3.0);
+  reg.rate("decisions", 0.0, 4).record(5);
+
+  std::ostringstream os;
+  os << summary_table(reg);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("decision_ms.window"), std::string::npos);
+  EXPECT_NE(text.find("window"), std::string::npos);
+  EXPECT_NE(text.find("decisions"), std::string::npos);
+  EXPECT_NE(text.find("rate"), std::string::npos);
+}
+
+TEST(PrometheusExportTest, WindowFamiliesExportAsGauges) {
+  Registry reg;
+  reg.window("lp.solve.seconds", 0.0, 4).observe(0.25);
+  reg.rate("lp.solves", 0.0, 4).record(2);
+
+  const std::string text = to_prometheus(reg);
+  EXPECT_NE(text.find("mecsched_lp_solve_seconds_window_count 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("mecsched_lp_solve_seconds_window_p95"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE mecsched_lp_solve_seconds_window_p50 gauge"),
+      std::string::npos);
+  EXPECT_NE(text.find("mecsched_lp_solves_window_count 2"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace mecsched::obs

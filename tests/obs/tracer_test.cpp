@@ -60,6 +60,19 @@ TEST(TracerTest, RingWrapsOldestFirstAndCountsDrops) {
   EXPECT_EQ(events[3].name, "e9");
 }
 
+TEST(TracerTest, DroppedEventsFeedTheGlobalCounter) {
+  // Overflow is also surfaced as obs.tracer.dropped_events so a metrics
+  // scrape (and the CLI's exit warning) can see it without the trace file.
+  Counter& dropped =
+      Registry::global().counter("obs.tracer.dropped_events");
+  const std::uint64_t before = dropped.value();
+  Tracer t;
+  t.enable(2);
+  for (int i = 0; i < 5; ++i) t.instant("x", "cat");
+  EXPECT_EQ(t.dropped(), 3u);
+  EXPECT_EQ(dropped.value(), before + 3u);
+}
+
 TEST(TracerTest, ReenableClearsPreviousCapture) {
   Tracer t;
   t.enable(4);
