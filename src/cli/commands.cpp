@@ -7,6 +7,7 @@
 #include <sstream>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -44,11 +45,16 @@
 #include "obs/export.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
+#include "io/serve_codec.h"
+#include "serve/daemon.h"
+#include "serve/decision_log.h"
+#include "serve/signal_stop.h"
 #include "sim/simulator.h"
 #include "sim/solver_chaos.h"
 #include "workload/arrivals.h"
 #include "workload/faults.h"
 #include "workload/scenario.h"
+#include "workload/serve_trace.h"
 #include "workload/shared_data.h"
 
 namespace mecsched::cli {
@@ -201,6 +207,8 @@ int dispatch(const std::string& command, const std::vector<std::string>& rest,
   if (command == "churn") return cmd_churn(rest, out);
   if (command == "sweep") return cmd_sweep(rest, out);
   if (command == "chaos") return cmd_chaos(rest, out);
+  if (command == "generate-serve") return cmd_generate_serve(rest, out);
+  if (command == "serve") return cmd_serve(rest, out);
   if (command == "report") return cmd_report(rest, out);
   err << "unknown command: " << command << "\n\n" << usage();
   return 1;
@@ -241,6 +249,15 @@ std::string usage() {
       "            [--seed S] [--stall-prob P] [--nan-prob P]\n"
       "            [--cancel-prob P] [--error-prob P] [--csv]\n"
       "            (solver fault injection drill; see docs/robustness.md)\n"
+      "  generate-serve --devices N --stations N --seed S [--epochs N]\n"
+      "            [--epoch-s E] [--rate R] [--join-rate R] [--leave-rate R]\n"
+      "            [--migrate-rate R] [--max-input-kb X] [--out workload.json]\n"
+      "  serve     [--replay workload.json | generator knobs as above]\n"
+      "            [--epoch-s E] [--batch-max N] [--shards N] [--max-queue N]\n"
+      "            [--max-attempts K] [--epoch-budget-ms MS]\n"
+      "            [--cache-capacity N] [--no-warm-start]\n"
+      "            [--decisions-out log.csv] [--out result.json]\n"
+      "            (online sharded scheduling daemon; see docs/serve.md)\n"
       "  report    --flight records.jsonl [--metrics out.prom] [--top N]\n"
       "            (render a flight-record post-mortem; see\n"
       "            docs/observability.md)\n"
@@ -838,6 +855,149 @@ int cmd_chaos(const std::vector<std::string>& tokens, std::ostream& out) {
     }
     out << fault_table;
   }
+  return 0;
+}
+
+namespace {
+
+// Shared by generate-serve and serve's generator path, so a workload
+// generated inline and one replayed from the emitted JSON are identical.
+workload::ServeTraceConfig serve_trace_config_from_args(const ArgParser& args) {
+  workload::ServeTraceConfig cfg;
+  cfg.scenario.num_devices =
+      args.get_count("devices", cfg.scenario.num_devices);
+  cfg.scenario.num_base_stations =
+      args.get_count("stations", cfg.scenario.num_base_stations);
+  cfg.scenario.seed =
+      args.get_count("seed", static_cast<std::size_t>(cfg.scenario.seed));
+  cfg.scenario.max_input_kb =
+      args.get_positive_num("max-input-kb", cfg.scenario.max_input_kb);
+  cfg.epochs = args.get_count("epochs", cfg.epochs);
+  cfg.epoch_s = args.get_positive_num("epoch-s", cfg.epoch_s);
+  cfg.arrival_rate_per_s =
+      args.get_positive_num("rate", cfg.arrival_rate_per_s);
+  // Churn rates may be zero (off); get_num still rejects NaN/garbage and
+  // the generator rejects negatives.
+  cfg.join_rate_per_s = args.get_num("join-rate", cfg.join_rate_per_s);
+  cfg.leave_rate_per_s = args.get_num("leave-rate", cfg.leave_rate_per_s);
+  cfg.migrate_rate_per_s =
+      args.get_num("migrate-rate", cfg.migrate_rate_per_s);
+  return cfg;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf);
+}
+
+}  // namespace
+
+int cmd_generate_serve(const std::vector<std::string>& tokens,
+                       std::ostream& out) {
+  ArgParser args({"devices", "stations", "seed", "epochs", "epoch-s", "rate",
+                  "join-rate", "leave-rate", "migrate-rate", "max-input-kb",
+                  "out"},
+                 {});
+  args.parse(tokens);
+  const workload::ServeWorkload workload =
+      workload::make_serve_workload(serve_trace_config_from_args(args));
+  emit(io::serve_workload_to_json(workload), args, out);
+  return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& tokens, std::ostream& out) {
+  ArgParser args({"replay", "devices", "stations", "seed", "epochs", "rate",
+                  "join-rate", "leave-rate", "migrate-rate", "max-input-kb",
+                  "epoch-s", "batch-max", "shards", "max-queue",
+                  "max-attempts", "epoch-budget-ms", "cache-capacity",
+                  "decisions-out", "out"},
+                 {"no-warm-start"});
+  args.parse(tokens);
+
+  // --epoch-s is both the batching window and (generator path) the trace's
+  // epoch length, so one trace epoch is one decision epoch by default.
+  const double epoch_s = args.get_positive_num("epoch-s", 0.5);
+
+  const std::string replay = args.get("replay", "");
+  const workload::ServeWorkload workload = [&] {
+    if (!replay.empty()) {
+      return io::serve_workload_from_json(
+          io::Json::parse(io::read_file(replay)));
+    }
+    workload::ServeTraceConfig cfg = serve_trace_config_from_args(args);
+    cfg.epoch_s = epoch_s;
+    return workload::make_serve_workload(cfg);
+  }();
+
+  serve::ServeOptions opts;
+  opts.batching.window_s = epoch_s;
+  opts.batching.max_batch =
+      args.get_count("batch-max", opts.batching.max_batch);
+  opts.sharding.num_shards =
+      args.get_count("shards", opts.sharding.num_shards);
+  opts.admission.max_queue =
+      args.get_count("max-queue", opts.admission.max_queue);
+  opts.readmission.max_attempts =
+      args.get_count("max-attempts", opts.readmission.max_attempts);
+  // 0 (the default) disables the budget; get_positive_num validates the
+  // fallback too, so only consult it when the flag is present.
+  if (args.has("epoch-budget-ms")) {
+    opts.epoch_budget_ms = args.get_positive_num("epoch-budget-ms", 0.0);
+  }
+  opts.cache_capacity =
+      args.get_count("cache-capacity", opts.cache_capacity);
+  opts.warm_start = !args.get_switch("no-warm-start");
+  // Size the LP layer's symbolic-factor cache alongside the plan cache,
+  // as the sweep runner does: shard shapes recur every epoch.
+  lp::SymbolicFactorCache::global().set_capacity(opts.cache_capacity);
+
+  serve::DecisionLog log;
+  // Ctrl-C / SIGTERM stop the loop at the next epoch boundary; the normal
+  // return path then runs, so --flight-out / --metrics-out / --trace still
+  // capture the interrupted run.
+  serve::ScopedSignalStop stop;
+  const serve::ServeResult r = serve::ServeDaemon(opts).run(
+      workload.universe, workload.trace, &log, stop.token());
+
+  const std::string decisions_path = args.get("decisions-out", "");
+  if (!decisions_path.empty()) {
+    std::ostringstream csv;
+    log.write_csv(csv);
+    io::write_file(decisions_path, csv.str());
+    out << "wrote " << decisions_path << '\n';
+  }
+
+  io::JsonObject o;
+  o["events"] = r.events;
+  o["arrivals"] = r.arrivals;
+  o["admitted"] = r.admitted;
+  o["rejected"] = r.rejected;
+  o["decisions"] = r.decisions;
+  o["completed"] = r.completed;
+  o["expired"] = r.expired;
+  o["lost_issuer"] = r.lost_issuer;
+  o["exhausted"] = r.exhausted;
+  o["orphaned"] = r.orphaned;
+  o["retries"] = r.retries;
+  o["abandoned"] = r.abandoned;
+  o["epochs"] = r.epochs;
+  o["decide_epochs"] = r.decide_epochs;
+  o["shard_solves"] = r.shard_solves;
+  o["cache_hits"] = r.cache_hits;
+  o["total_energy_j"] = r.total_energy_j;
+  o["makespan_s"] = r.makespan_s;
+  o["virtual_now_s"] = r.virtual_now_s;
+  o["stopped_early"] = io::Json(r.stopped_early);
+  o["decision_digest"] = hex64(log.digest());
+  io::JsonObject rungs;
+  for (std::size_t i = 0; i < control::kNumRungs; ++i) {
+    const auto rung = static_cast<control::FallbackRung>(i);
+    rungs[control::to_string(rung)] = r.rungs.at(rung);
+  }
+  o["fallback_rungs"] = io::Json(std::move(rungs));
+  emit(io::Json(std::move(o)), args, out);
   return 0;
 }
 

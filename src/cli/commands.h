@@ -18,6 +18,8 @@
 //   churn           — run the resilient controller under generated churn
 //   sweep           — run a named figure grid on the parallel sweep runner
 //   chaos           — solver fault-injection drill over the fallback chain
+//   generate-serve  — build a serve workload (universe + event trace)
+//   serve           — online sharded scheduling daemon (replay or generate)
 //   report          — render a flight-record post-mortem (see --flight-out)
 #pragma once
 
@@ -51,6 +53,9 @@ int cmd_dta(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_churn(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_sweep(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_chaos(const std::vector<std::string>& tokens, std::ostream& out);
+int cmd_generate_serve(const std::vector<std::string>& tokens,
+                       std::ostream& out);
+int cmd_serve(const std::vector<std::string>& tokens, std::ostream& out);
 int cmd_report(const std::vector<std::string>& tokens, std::ostream& out);
 
 std::string usage();

@@ -1,0 +1,46 @@
+#include "control/readmission.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.h"
+
+namespace mecsched::control {
+
+ReadmissionQueue::ReadmissionQueue(ReadmissionOptions options)
+    : options_(options) {
+  MECSCHED_REQUIRE(options_.max_attempts >= 1,
+                   "max_attempts must be >= 1, got " +
+                       std::to_string(options_.max_attempts));
+  MECSCHED_REQUIRE(options_.backoff_base_epochs >= 1,
+                   "backoff_base_epochs must be >= 1, got " +
+                       std::to_string(options_.backoff_base_epochs));
+}
+
+void ReadmissionQueue::admit(std::size_t id, std::size_t epoch) {
+  waiting_.push_back({id, epoch, 0});
+}
+
+bool ReadmissionQueue::retry(std::size_t id, std::size_t attempts,
+                             std::size_t epoch) {
+  if (attempts >= options_.max_attempts) return false;
+  // Shift caps at 2^20 epochs: far beyond any horizon, and safely below
+  // the point where the shift itself would overflow.
+  const std::size_t delay = options_.backoff_base_epochs
+                            << std::min<std::size_t>(attempts - 1, 20);
+  waiting_.push_back({id, epoch + delay, attempts});
+  ++retries_;
+  return true;
+}
+
+std::vector<ReadmissionEntry> ReadmissionQueue::take_ready(std::size_t epoch) {
+  std::vector<ReadmissionEntry> batch;
+  std::vector<ReadmissionEntry> later;
+  for (const ReadmissionEntry& w : waiting_) {
+    (w.ready_epoch <= epoch ? batch : later).push_back(w);
+  }
+  waiting_.swap(later);
+  return batch;
+}
+
+}  // namespace mecsched::control

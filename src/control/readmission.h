@@ -1,0 +1,71 @@
+// Orphan re-admission with bounded retry and exponential epoch backoff —
+// the waiting-room every epoch-driven controller shares.
+//
+// Extracted from ResilientController so the serve daemon (serve/daemon.h)
+// and the churn CLI run one implementation of the retry policy instead of
+// two copies that drift. The contract:
+//
+//   * admit() enters a task with zero attempts consumed, ready at the
+//     given epoch;
+//   * retry() re-enters a task after a failed attempt, delayed by
+//     backoff_base_epochs * 2^(attempts-1) epochs, or refuses (returns
+//     false) once max_attempts admissions are consumed — the caller then
+//     settles the task's terminal fate;
+//   * take_ready() pops everything ready at an epoch boundary *in
+//     admission order*. Batch order is part of the determinism contract:
+//     both controllers feed the batch to solvers whose output depends on
+//     task order, and a replayed trace must produce a byte-identical
+//     decision log.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mecsched::control {
+
+struct ReadmissionOptions {
+  // Admissions per task: 1 = no retry. Each admission (first or re-)
+  // consumes one attempt.
+  std::size_t max_attempts = 3;
+  // Re-admission after a failed attempt waits backoff_base_epochs *
+  // 2^(attempts-1) epochs.
+  std::size_t backoff_base_epochs = 1;
+};
+
+// One task awaiting (re-)admission.
+struct ReadmissionEntry {
+  std::size_t id = 0;           // caller-scoped task identifier
+  std::size_t ready_epoch = 0;  // first epoch eligible for take_ready()
+  std::size_t attempts = 0;     // admissions already consumed
+};
+
+class ReadmissionQueue {
+ public:
+  // Throws ModelError for max_attempts == 0 or backoff_base_epochs == 0.
+  explicit ReadmissionQueue(ReadmissionOptions options = {});
+
+  // First admission: ready at `epoch`, zero attempts consumed yet.
+  void admit(std::size_t id, std::size_t epoch);
+
+  // Re-admission after a failed attempt (`attempts` already consumed,
+  // >= 1). True when the retry was scheduled; false when the attempt
+  // budget is exhausted.
+  bool retry(std::size_t id, std::size_t attempts, std::size_t epoch);
+
+  // Pops every entry with ready_epoch <= epoch, preserving admission
+  // order; later entries keep waiting.
+  std::vector<ReadmissionEntry> take_ready(std::size_t epoch);
+
+  std::size_t waiting() const { return waiting_.size(); }
+  bool empty() const { return waiting_.empty(); }
+  // Successful retry() calls (re-admissions beyond first attempts).
+  std::size_t retries() const { return retries_; }
+  const ReadmissionOptions& options() const { return options_; }
+
+ private:
+  ReadmissionOptions options_;
+  std::vector<ReadmissionEntry> waiting_;
+  std::size_t retries_ = 0;
+};
+
+}  // namespace mecsched::control

@@ -9,6 +9,7 @@
 
 #include "assign/hta_instance.h"
 #include "common/error.h"
+#include "control/readmission.h"
 #include "mec/cost_model.h"
 #include "obs/flight_recorder.h"
 #include "obs/registry.h"
@@ -51,13 +52,6 @@ struct Running {
   double resource = 0.0;
   bool has_external = false;
   std::size_t owner = 0;  // external data owner (valid if has_external)
-};
-
-// A task awaiting (re-)admission.
-struct Waiting {
-  std::size_t id = 0;
-  std::size_t ready_epoch = 0;
-  std::size_t attempts = 0;  // admissions already consumed
 };
 
 // The system as the controller sees it at `now`: residual capacities minus
@@ -141,7 +135,10 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
   });
 
   std::vector<Running> running;
-  std::vector<Waiting> waiting;
+  // The shared waiting-room: bounded retry + exponential epoch backoff,
+  // take_ready() in admission order (control/readmission.h).
+  ReadmissionQueue waiting(
+      {options_.max_attempts, options_.backoff_base_epochs});
   std::size_t next = 0;  // index into `order`
 
   const double epoch_s = options_.epoch_s;
@@ -156,14 +153,9 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
   // Re-admit after a failed attempt, or give up when attempts are gone.
   auto backoff_or_fail = [&](std::size_t id, std::size_t attempts,
                              std::size_t epoch) {
-    if (attempts >= options_.max_attempts) {
+    if (!waiting.retry(id, attempts, epoch)) {
       give_up(id, TaskFate::kRetriesExhausted);
-      return;
     }
-    const std::size_t delay = options_.backoff_base_epochs
-                              << std::min<std::size_t>(attempts - 1, 20);
-    waiting.push_back({id, epoch + delay, attempts});
-    ++result.retries;
   };
 
   // DTA rescue: re-divide the task's items across owners alive at `now`.
@@ -229,7 +221,7 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
         obs::Tracer::global().enabled()
             ? "\"epoch\":" + std::to_string(epoch) +
                   ",\"running\":" + std::to_string(running.size()) +
-                  ",\"waiting\":" + std::to_string(waiting.size())
+                  ",\"waiting\":" + std::to_string(waiting.waiting())
             : std::string());
     const double now = static_cast<double>(epoch + 1) * epoch_s;
     const double prev = static_cast<double>(epoch) * epoch_s;
@@ -277,18 +269,11 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
 
     // ---- Admit new arrivals.
     while (next < order.size() && tasks[order[next]].release_s <= now) {
-      waiting.push_back({order[next++], epoch, 0});
+      waiting.admit(order[next++], epoch);
     }
 
     // ---- Pull this epoch's batch out of the waiting room.
-    std::vector<Waiting> batch;
-    {
-      std::vector<Waiting> later;
-      for (const Waiting& w : waiting) {
-        (w.ready_epoch <= epoch ? batch : later).push_back(w);
-      }
-      waiting.swap(later);
-    }
+    const std::vector<ReadmissionEntry> batch = waiting.take_ready(epoch);
     if (batch.empty()) continue;
     ++result.epochs;
 
@@ -297,9 +282,9 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
     const mec::CostModel observed_cost(observed);
 
     // ---- Triage: dead issuers, dead owners (rescue), dark cells.
-    std::vector<Waiting> lp_batch;
+    std::vector<ReadmissionEntry> lp_batch;
     std::vector<mec::Task> lp_tasks;
-    for (const Waiting& w : batch) {
+    for (const ReadmissionEntry& w : batch) {
       const TimedTask& tt = tasks[w.id];
       const std::size_t issuer = tt.task.id.user;
       // Residual slack, net of the time this epoch's decision is allowed
@@ -424,7 +409,7 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
     ++result.rungs[rung];
 
     for (std::size_t i = 0; i < lp_batch.size(); ++i) {
-      const Waiting& w = lp_batch[i];
+      const ReadmissionEntry& w = lp_batch[i];
       const Decision d = plan.decisions[i];
       if (d == Decision::kCancelled) {
         backoff_or_fail(w.id, w.attempts + 1, epoch);
@@ -449,6 +434,7 @@ ResilientResult ResilientController::run(const mec::Topology& topology,
     MECSCHED_REQUIRE(o.fate != TaskFate::kPending,
                      "internal: task left pending after the epoch loop");
   }
+  result.retries = waiting.retries();
   result.unsatisfied = result.outcomes.size() - result.completed;
 
   obs::Registry& reg = obs::Registry::global();

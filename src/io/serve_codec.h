@@ -1,0 +1,22 @@
+// JSON codec for serve workloads: a universe topology plus the event
+// trace the daemon replays (src/serve/event.h).
+//
+// Round-trippable: a workload written by `mecsched generate-serve` and
+// reloaded by `mecsched serve --replay` reproduces the identical decision
+// log, because the trace's event order is preserved verbatim (the Trace
+// constructor's stable sort keeps simultaneous events in file order).
+#pragma once
+
+#include "io/json.h"
+#include "serve/event.h"
+#include "workload/serve_trace.h"
+
+namespace mecsched::io {
+
+Json serve_event_to_json(const serve::Event& event);
+serve::Event serve_event_from_json(const Json& j);
+
+Json serve_workload_to_json(const workload::ServeWorkload& workload);
+workload::ServeWorkload serve_workload_from_json(const Json& j);
+
+}  // namespace mecsched::io

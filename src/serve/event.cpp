@@ -1,0 +1,116 @@
+#include "serve/event.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsched::serve {
+
+std::string to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskArrival:
+      return "task-arrival";
+    case EventKind::kDeviceJoin:
+      return "device-join";
+    case EventKind::kDeviceLeave:
+      return "device-leave";
+    case EventKind::kDeviceMigrate:
+      return "device-migrate";
+  }
+  return "unknown";
+}
+
+Event Event::arrival(double time_s, mec::Task task) {
+  Event e;
+  e.time_s = time_s;
+  e.kind = EventKind::kTaskArrival;
+  e.task = std::move(task);
+  e.device = e.task.id.user;
+  return e;
+}
+
+Event Event::join(double time_s, std::size_t device, std::size_t station) {
+  Event e;
+  e.time_s = time_s;
+  e.kind = EventKind::kDeviceJoin;
+  e.device = device;
+  e.station = station;
+  return e;
+}
+
+Event Event::leave(double time_s, std::size_t device) {
+  Event e;
+  e.time_s = time_s;
+  e.kind = EventKind::kDeviceLeave;
+  e.device = device;
+  return e;
+}
+
+Event Event::migrate(double time_s, std::size_t device, std::size_t station) {
+  Event e;
+  e.time_s = time_s;
+  e.kind = EventKind::kDeviceMigrate;
+  e.device = device;
+  e.station = station;
+  return e;
+}
+
+Trace::Trace(std::vector<Event> events) : events_(std::move(events)) {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.time_s < b.time_s;
+                   });
+  for (const Event& e : events_) {
+    if (e.kind == EventKind::kTaskArrival) ++arrivals_;
+  }
+}
+
+double Trace::horizon_s() const {
+  return events_.empty() ? 0.0 : events_.back().time_s;
+}
+
+void Trace::validate_against(std::size_t num_devices,
+                             std::size_t num_stations) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    MECSCHED_REQUIRE(std::isfinite(e.time_s) && e.time_s >= 0.0,
+                     "event " + std::to_string(i) +
+                         ": time must be finite and non-negative");
+    MECSCHED_REQUIRE(e.device < num_devices,
+                     "event " + std::to_string(i) + ": device " +
+                         std::to_string(e.device) + " out of range (" +
+                         std::to_string(num_devices) + " devices)");
+    if (e.kind == EventKind::kDeviceJoin ||
+        e.kind == EventKind::kDeviceMigrate) {
+      MECSCHED_REQUIRE(e.station < num_stations,
+                       "event " + std::to_string(i) + ": station " +
+                           std::to_string(e.station) + " out of range (" +
+                           std::to_string(num_stations) + " stations)");
+    }
+    if (e.kind == EventKind::kTaskArrival) {
+      MECSCHED_REQUIRE(e.task.id.user == e.device,
+                       "event " + std::to_string(i) +
+                           ": arrival issuer does not match event device");
+      MECSCHED_REQUIRE(
+          e.task.local_bytes >= 0.0 && e.task.external_bytes >= 0.0,
+          "event " + std::to_string(i) + ": task data sizes must be >= 0");
+      MECSCHED_REQUIRE(e.task.resource > 0.0,
+                       "event " + std::to_string(i) +
+                           ": task resource must be positive");
+      MECSCHED_REQUIRE(std::isfinite(e.task.deadline_s) &&
+                           e.task.deadline_s > 0.0,
+                       "event " + std::to_string(i) +
+                           ": task deadline must be finite and positive");
+      if (e.task.external_bytes > 0.0) {
+        MECSCHED_REQUIRE(e.task.external_owner < num_devices,
+                         "event " + std::to_string(i) +
+                             ": external owner " +
+                             std::to_string(e.task.external_owner) +
+                             " out of range");
+      }
+    }
+  }
+}
+
+}  // namespace mecsched::serve

@@ -1,0 +1,48 @@
+#include "serve/ingest.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.h"
+
+namespace mecsched::serve {
+
+IngestCursor::IngestCursor(const Trace& trace, BatchingOptions batching)
+    : trace_(&trace), batching_(batching) {
+  MECSCHED_REQUIRE(std::isfinite(batching_.window_s) &&
+                       batching_.window_s > 0.0,
+                   "batching window must be finite and positive, got " +
+                       std::to_string(batching_.window_s));
+}
+
+Window IngestCursor::next_window(double from_s) {
+  Window w;
+  w.close_s = from_s + batching_.window_s;
+  const std::vector<Event>& events = trace_->events();
+  std::size_t arrivals = 0;
+  while (next_ < events.size() && events[next_].time_s <= w.close_s) {
+    const Event& e = events[next_++];
+    w.events.push_back(e);
+    if (e.kind == EventKind::kTaskArrival &&
+        batching_.max_batch > 0 && ++arrivals >= batching_.max_batch) {
+      // The cap'th arrival closes the window at its own timestamp; the
+      // epoch boundary moves up, never back (simultaneous events already
+      // consumed stay in this window).
+      w.close_s = std::max(from_s, e.time_s);
+      w.closed_by_size = true;
+      break;
+    }
+  }
+  return w;
+}
+
+bool AdmissionControl::offer(std::size_t queue_depth) {
+  if (options_.max_queue > 0 && queue_depth >= options_.max_queue) {
+    ++rejected_;
+    return false;
+  }
+  ++admitted_;
+  return true;
+}
+
+}  // namespace mecsched::serve

@@ -1,0 +1,78 @@
+// Ingest path: batching windows over the event trace, plus admission
+// control on the arrival queue.
+//
+// The daemon does not decide per arrival — it accumulates a *window* of
+// events and decides at the window boundary (the epoch). A window closes
+// on whichever comes first:
+//   * the deadline: window_s virtual seconds after it opened, or
+//   * the size cap: the max_batch'th task arrival (when max_batch > 0) —
+//     a burst closes the window early so queueing delay stays bounded.
+//
+// AdmissionControl bounds the undecided backlog: when the waiting queue
+// already holds max_queue tasks, further arrivals are rejected at ingest
+// (counted, logged, never solved). 0 = accept everything.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/event.h"
+
+namespace mecsched::serve {
+
+struct BatchingOptions {
+  double window_s = 0.5;      // epoch length on the virtual clock
+  std::size_t max_batch = 0;  // arrivals that force an early close; 0 = off
+};
+
+// One closed batching window.
+struct Window {
+  double close_s = 0.0;       // the epoch boundary: decisions happen here
+  std::vector<Event> events;  // trace order, time_s <= close_s
+  bool closed_by_size = false;
+};
+
+// Positional reader of the trace: each next_window() consumes the events
+// of one window. Pure function of (trace, options, call sequence) — no
+// wall clock — so replays are exact.
+class IngestCursor {
+ public:
+  // Throws ModelError for a non-positive or non-finite window_s.
+  IngestCursor(const Trace& trace, BatchingOptions batching);
+
+  bool exhausted() const { return next_ >= trace_->events().size(); }
+
+  // Closes and returns the window opening at from_s. Includes every
+  // remaining event with time_s <= close; when max_batch is set, the
+  // max_batch'th arrival is included and closes the window at its own
+  // timestamp (so the next window opens there).
+  Window next_window(double from_s);
+
+ private:
+  const Trace* trace_;
+  BatchingOptions batching_;
+  std::size_t next_ = 0;  // first unconsumed event
+};
+
+struct AdmissionOptions {
+  std::size_t max_queue = 0;  // undecided-task cap; 0 = unlimited
+};
+
+class AdmissionControl {
+ public:
+  explicit AdmissionControl(AdmissionOptions options = {})
+      : options_(options) {}
+
+  // One arrival against the current undecided backlog. True = admitted.
+  bool offer(std::size_t queue_depth);
+
+  std::size_t admitted() const { return admitted_; }
+  std::size_t rejected() const { return rejected_; }
+
+ private:
+  AdmissionOptions options_;
+  std::size_t admitted_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace mecsched::serve

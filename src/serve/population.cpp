@@ -1,0 +1,37 @@
+#include "serve/population.h"
+
+namespace mecsched::serve {
+
+Population::Population(const mec::Topology& universe)
+    : up_(universe.num_devices(), 1),
+      station_(universe.num_devices()),
+      num_up_(universe.num_devices()) {
+  for (std::size_t i = 0; i < universe.num_devices(); ++i) {
+    station_[i] = universe.device(i).base_station;
+  }
+}
+
+void Population::apply(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kTaskArrival:
+      break;
+    case EventKind::kDeviceJoin:
+      if (!up_[e.device]) {
+        up_[e.device] = 1;
+        ++num_up_;
+      }
+      station_[e.device] = e.station;
+      break;
+    case EventKind::kDeviceLeave:
+      if (up_[e.device]) {
+        up_[e.device] = 0;
+        --num_up_;
+      }
+      break;
+    case EventKind::kDeviceMigrate:
+      if (up_[e.device]) station_[e.device] = e.station;
+      break;
+  }
+}
+
+}  // namespace mecsched::serve

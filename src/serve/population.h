@@ -1,0 +1,40 @@
+// The live device population: which devices are attached, and to which
+// cell. The daemon's view of "the system as it is now".
+//
+// The universe topology fixes each device's identity, radio and home
+// station; the population overlays the mutable part — presence and the
+// *current* serving station, which churn events move around. Duplicate
+// transitions (join while up, leave while down) are tolerated no-ops so a
+// generated churn stream needs no global up/down bookkeeping.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mec/topology.h"
+#include "serve/event.h"
+
+namespace mecsched::serve {
+
+class Population {
+ public:
+  // Everyone starts up, attached to their home (topology) station.
+  explicit Population(const mec::Topology& universe);
+
+  std::size_t size() const { return up_.size(); }
+  bool up(std::size_t device) const { return up_[device]; }
+  std::size_t station(std::size_t device) const { return station_[device]; }
+  std::size_t num_up() const { return num_up_; }
+
+  // Applies one churn event (arrival events are ignored here — they do
+  // not move devices). Join re-attaches at the event's target station;
+  // migrate moves an *up* device (a migrate of a down device is a no-op).
+  void apply(const Event& e);
+
+ private:
+  std::vector<char> up_;  // vector<bool> is bit-packed; char keeps it simple
+  std::vector<std::size_t> station_;
+  std::size_t num_up_ = 0;
+};
+
+}  // namespace mecsched::serve

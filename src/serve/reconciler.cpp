@@ -1,0 +1,66 @@
+#include "serve/reconciler.h"
+
+#include <algorithm>
+
+namespace mecsched::serve {
+
+Interruptions Reconciler::observe(const Event& e) {
+  Interruptions out;
+  if (e.kind != EventKind::kDeviceLeave &&
+      e.kind != EventKind::kDeviceMigrate) {
+    return out;
+  }
+  std::vector<RunningTask> keep;
+  keep.reserve(running_.size());
+  for (const RunningTask& r : running_) {
+    if (r.finish_s <= e.time_s) {  // already done when the event struck
+      keep.push_back(r);
+      continue;
+    }
+    if (e.kind == EventKind::kDeviceLeave) {
+      if (r.issuer == e.device) {
+        out.lost_issuer.push_back(r.id);
+        continue;
+      }
+      if (r.has_external && r.owner == e.device) {
+        out.orphaned.push_back(r.id);
+        continue;
+      }
+    } else {  // kDeviceMigrate
+      if (r.issuer == e.device && r.where != assign::Decision::kLocal) {
+        out.orphaned.push_back(r.id);
+        continue;
+      }
+    }
+    keep.push_back(r);
+  }
+  running_.swap(keep);
+  return out;
+}
+
+std::vector<std::size_t> Reconciler::collect_completions(double now) {
+  std::vector<std::size_t> done;
+  for (const RunningTask& r : running_) {
+    if (r.finish_s <= now) done.push_back(r.id);
+  }
+  running_.erase(std::remove_if(running_.begin(), running_.end(),
+                                [now](const RunningTask& r) {
+                                  return r.finish_s <= now;
+                                }),
+                 running_.end());
+  return done;
+}
+
+void Reconciler::occupancy(double now, std::vector<double>& device_used,
+                           std::vector<double>& station_used) const {
+  for (const RunningTask& r : running_) {
+    if (r.finish_s <= now) continue;
+    if (r.where == assign::Decision::kLocal) {
+      device_used[r.issuer] += r.resource;
+    } else if (r.where == assign::Decision::kEdge) {
+      station_used[r.station] += r.resource;
+    }
+  }
+}
+
+}  // namespace mecsched::serve

@@ -1,0 +1,73 @@
+// Epoch reconciler: tracks in-flight work and resolves it against churn.
+//
+// Once a task is placed it occupies capacity until its analytic finish
+// time. Between epoch boundaries devices leave and migrate; the
+// reconciler classifies what that does to each in-flight task:
+//
+//   * issuer leaves        -> lost: nobody is left to receive the result;
+//   * external owner leaves-> orphaned: the data source is gone mid-fetch,
+//                             the task goes back to the waiting room;
+//   * issuer migrates      -> an edge/cloud placement is orphaned (the
+//                             serving cell changed under it; the delivery
+//                             path through the old station is gone), a
+//                             local run travels with the device and
+//                             survives;
+//   * owner migrates       -> survives (the fetch is pinned at start).
+//
+// Interruption is at whole-run granularity, matching the resilient
+// controller's analytic-execution model: a task that finished before the
+// event's timestamp is unaffected even if collection happens later.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "serve/event.h"
+
+namespace mecsched::serve {
+
+// One placed task occupying capacity somewhere.
+struct RunningTask {
+  std::size_t id = 0;  // daemon-scoped pending-task id
+  double finish_s = 0.0;
+  assign::Decision where = assign::Decision::kCancelled;
+  std::size_t issuer = 0;
+  std::size_t station = 0;  // issuer's serving cell at decision time
+  double resource = 0.0;
+  bool has_external = false;
+  std::size_t owner = 0;  // external data owner (valid if has_external)
+};
+
+// Tasks a churn event tore out of the running set.
+struct Interruptions {
+  std::vector<std::size_t> lost_issuer;  // terminal
+  std::vector<std::size_t> orphaned;     // re-admittable
+};
+
+class Reconciler {
+ public:
+  void start(const RunningTask& t) { running_.push_back(t); }
+
+  // Classifies one churn event against the running set, removing the
+  // interrupted tasks. Arrival and join events never interrupt.
+  Interruptions observe(const Event& e);
+
+  // Removes and returns (in start order) the ids of tasks with
+  // finish_s <= now.
+  std::vector<std::size_t> collect_completions(double now);
+
+  const std::vector<RunningTask>& running() const { return running_; }
+
+  // Occupancy of still-running work at `now`: per-device resource for
+  // local placements, per-station resource for edge placements. The
+  // daemon subtracts these from the universe capacities to price each
+  // epoch against the residual system.
+  void occupancy(double now, std::vector<double>& device_used,
+                 std::vector<double>& station_used) const;
+
+ private:
+  std::vector<RunningTask> running_;
+};
+
+}  // namespace mecsched::serve

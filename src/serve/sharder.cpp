@@ -1,0 +1,173 @@
+#include "serve/sharder.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+
+namespace mecsched::serve {
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+Sharder::Sharder(const mec::Topology& universe, ShardingOptions options)
+    : universe_(&universe) {
+  MECSCHED_REQUIRE(options.num_shards >= 1, "num_shards must be >= 1");
+  const std::size_t ns = universe.num_base_stations();
+  num_shards_ = std::min(options.num_shards, ns);
+  station_shard_.resize(ns);
+  for (std::size_t b = 0; b < ns; ++b) {
+    // Contiguous near-equal blocks; monotone in b, so a shard's cells are
+    // a station-id range (the "neighborhood").
+    station_shard_[b] = b * num_shards_ / ns;
+  }
+}
+
+std::size_t Sharder::shard_of_station(std::size_t station) const {
+  MECSCHED_REQUIRE(station < station_shard_.size(),
+                   "station " + std::to_string(station) + " out of range");
+  return station_shard_[station];
+}
+
+std::vector<ShardProblem> Sharder::build(
+    const Population& population,
+    const std::vector<double>& device_residual,
+    const std::vector<double>& station_residual,
+    const std::vector<const PendingTask*>& batch,
+    const std::vector<double>& residual_deadline_s) const {
+  const std::size_t nd = universe_->num_devices();
+  const std::size_t ns = universe_->num_base_stations();
+  MECSCHED_REQUIRE(device_residual.size() == nd &&
+                       station_residual.size() == ns,
+                   "residual vectors must match the universe topology");
+  MECSCHED_REQUIRE(residual_deadline_s.size() == batch.size(),
+                   "residual deadlines must align with the batch");
+
+  // Route each task to the shard of its issuer's current cell.
+  std::vector<std::vector<std::size_t>> shard_tasks(num_shards_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t issuer = batch[i]->task.id.user;
+    MECSCHED_REQUIRE(population.up(issuer),
+                     "batch task issuer " + std::to_string(issuer) +
+                         " is not up (triage must run first)");
+    shard_tasks[station_shard_[population.station(issuer)]].push_back(i);
+  }
+
+  // Bucket the up population by shard, in global-id order.
+  std::vector<std::vector<std::size_t>> shard_devices(num_shards_);
+  for (std::size_t g = 0; g < nd; ++g) {
+    if (population.up(g)) {
+      shard_devices[station_shard_[population.station(g)]].push_back(g);
+    }
+  }
+
+  // Scratch global->local maps, reset per shard via the touched lists.
+  std::vector<std::size_t> device_local(nd, kNone);
+  std::vector<std::size_t> station_local(ns, kNone);
+
+  std::vector<ShardProblem> problems;
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    if (shard_tasks[s].empty()) continue;
+
+    // Halo owners: up devices serving external data from another shard.
+    std::vector<std::size_t> halo;
+    for (const std::size_t i : shard_tasks[s]) {
+      const mec::Task& t = batch[i]->task;
+      if (t.external_bytes <= 0.0) continue;
+      MECSCHED_REQUIRE(population.up(t.external_owner),
+                       "external owner " + std::to_string(t.external_owner) +
+                           " is not up (triage must run first)");
+      if (station_shard_[population.station(t.external_owner)] != s) {
+        halo.push_back(t.external_owner);
+      }
+    }
+    std::sort(halo.begin(), halo.end());
+    halo.erase(std::unique(halo.begin(), halo.end()), halo.end());
+
+    // Station roster: the shard's own block, then halo cells (sorted).
+    std::vector<std::size_t> stations;
+    for (std::size_t b = 0; b < ns; ++b) {
+      if (station_shard_[b] == s) stations.push_back(b);
+    }
+    const std::size_t core_stations = stations.size();
+    {
+      std::vector<std::size_t> halo_stations;
+      for (const std::size_t g : halo) {
+        halo_stations.push_back(population.station(g));
+      }
+      std::sort(halo_stations.begin(), halo_stations.end());
+      halo_stations.erase(
+          std::unique(halo_stations.begin(), halo_stations.end()),
+          halo_stations.end());
+      stations.insert(stations.end(), halo_stations.begin(),
+                      halo_stations.end());
+    }
+    for (std::size_t local = 0; local < stations.size(); ++local) {
+      station_local[stations[local]] = local;
+    }
+
+    std::vector<mec::BaseStation> shard_stations;
+    shard_stations.reserve(stations.size());
+    for (std::size_t local = 0; local < stations.size(); ++local) {
+      mec::BaseStation bs = universe_->base_station(stations[local]);
+      bs.id = local;
+      // Halo cells carry zero capacity: their ledger belongs to the
+      // owning shard.
+      bs.max_resource = local < core_stations
+                            ? std::max(0.0, station_residual[stations[local]])
+                            : 0.0;
+      shard_stations.push_back(bs);
+    }
+
+    // Device roster: core population, then halo owners.
+    std::vector<std::size_t> roster = shard_devices[s];
+    roster.insert(roster.end(), halo.begin(), halo.end());
+    for (std::size_t local = 0; local < roster.size(); ++local) {
+      device_local[roster[local]] = local;
+    }
+    std::vector<mec::Device> shard_dev;
+    shard_dev.reserve(roster.size());
+    for (std::size_t local = 0; local < roster.size(); ++local) {
+      const std::size_t g = roster[local];
+      mec::Device d = universe_->device(g);
+      d.id = local;
+      d.base_station = station_local[population.station(g)];
+      d.max_resource = local < shard_devices[s].size()
+                           ? std::max(0.0, device_residual[g])
+                           : 0.0;
+      shard_dev.push_back(d);
+    }
+
+    std::vector<mec::Task> tasks;
+    std::vector<std::size_t> task_ids;
+    tasks.reserve(shard_tasks[s].size());
+    task_ids.reserve(shard_tasks[s].size());
+    for (const std::size_t i : shard_tasks[s]) {
+      mec::Task t = batch[i]->task;
+      t.id.user = device_local[t.id.user];
+      t.external_owner =
+          t.external_bytes > 0.0 ? device_local[t.external_owner] : 0;
+      t.deadline_s = residual_deadline_s[i];
+      tasks.push_back(std::move(t));
+      task_ids.push_back(batch[i]->id);
+    }
+
+    // Reset the scratch maps for the next shard.
+    for (const std::size_t g : roster) device_local[g] = kNone;
+    for (const std::size_t b : stations) station_local[b] = kNone;
+
+    problems.push_back(ShardProblem{
+        s,
+        mec::Topology(std::move(shard_dev), std::move(shard_stations),
+                      universe_->params()),
+        std::move(tasks), std::move(task_ids), std::move(roster),
+        halo.size()});
+  }
+  return problems;
+}
+
+}  // namespace mecsched::serve

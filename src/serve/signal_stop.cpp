@@ -1,0 +1,42 @@
+#include "serve/signal_stop.h"
+
+#include <atomic>
+#include <csignal>
+
+#include "common/error.h"
+
+namespace mecsched::serve {
+namespace {
+
+// The one live instance's source. The handler reads this atomically and
+// only touches the source's own atomic flag, keeping the handler body
+// async-signal-safe.
+std::atomic<CancellationSource*> g_active{nullptr};
+
+void handle_signal(int /*signum*/) {
+  CancellationSource* src = g_active.load(std::memory_order_acquire);
+  if (src != nullptr) src->request_cancel();
+}
+
+using Handler = void (*)(int);
+Handler g_prev_int = SIG_DFL;
+Handler g_prev_term = SIG_DFL;
+
+}  // namespace
+
+ScopedSignalStop::ScopedSignalStop() {
+  CancellationSource* expected = nullptr;
+  MECSCHED_REQUIRE(g_active.compare_exchange_strong(
+                       expected, &source_, std::memory_order_acq_rel),
+                   "only one ScopedSignalStop may be live at a time");
+  g_prev_int = std::signal(SIGINT, &handle_signal);
+  g_prev_term = std::signal(SIGTERM, &handle_signal);
+}
+
+ScopedSignalStop::~ScopedSignalStop() {
+  std::signal(SIGINT, g_prev_int);
+  std::signal(SIGTERM, g_prev_term);
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace mecsched::serve

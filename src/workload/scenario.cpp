@@ -91,6 +91,47 @@ std::size_t pick_external_owner(const mec::Topology& topo, std::size_t user,
 
 }  // namespace
 
+mec::Task sample_task(const ScenarioConfig& config,
+                      const mec::Topology& topology,
+                      const mec::CostModel& cost, std::size_t user,
+                      std::size_t index, Rng& rng) {
+  mec::Task task;
+  task.id = {user, index};
+
+  const double input_bytes = kilobytes(
+      rng.uniform(config.min_input_fraction, 1.0) * config.max_input_kb);
+  const double ext_fraction = rng.uniform(0.0, config.external_ratio_max);
+  // α + β = input, β = f·α  =>  α = input / (1 + f).
+  task.local_bytes = input_bytes / (1.0 + ext_fraction);
+  task.external_bytes = input_bytes - task.local_bytes;
+  task.external_owner = pick_external_owner(
+      topology, user, config.cross_cluster_prob, rng);
+  if (task.external_owner == user) {
+    // No distinct owner exists (single-device topologies).
+    task.local_bytes = input_bytes;
+    task.external_bytes = 0.0;
+  }
+
+  task.cycles_per_byte = config.params.cycles_per_byte;
+  task.result_kind = config.result_kind;
+  task.result_ratio = config.result_ratio;
+  task.result_const_bytes = kilobytes(config.result_const_kb);
+  task.resource =
+      rng.uniform(std::min(1.0, config.resource_max_units),
+                  config.resource_max_units);
+
+  // Deadline: slack multiple of the *best* placement's latency, so the
+  // task is feasible somewhere but not everywhere.
+  const mec::TaskCosts costs = cost.evaluate(task);
+  double best = costs.latency(mec::Placement::kLocal);
+  for (mec::Placement p : mec::kAllPlacements) {
+    best = std::min(best, costs.latency(p));
+  }
+  task.deadline_s =
+      best * rng.uniform(config.deadline_slack_min, config.deadline_slack_max);
+  return task;
+}
+
 Scenario make_scenario(const ScenarioConfig& config) {
   Rng rng(config.seed);
   mec::Topology topology = make_topology(config, rng);
@@ -101,45 +142,11 @@ Scenario make_scenario(const ScenarioConfig& config) {
 
   const mec::CostModel cost(topology);
   for (std::size_t t = 0; t < config.num_tasks; ++t) {
-    mec::Task task;
     // Tasks spread round-robin so every user raises ~the same number, as
     // the paper assumes.
     const std::size_t user = t % config.num_devices;
-    task.id = {user, per_user_count[user]++};
-
-    const double input_bytes = kilobytes(
-        rng.uniform(config.min_input_fraction, 1.0) * config.max_input_kb);
-    const double ext_fraction = rng.uniform(0.0, config.external_ratio_max);
-    // α + β = input, β = f·α  =>  α = input / (1 + f).
-    task.local_bytes = input_bytes / (1.0 + ext_fraction);
-    task.external_bytes = input_bytes - task.local_bytes;
-    task.external_owner = pick_external_owner(
-        topology, user, config.cross_cluster_prob, rng);
-    if (task.external_owner == user) {
-      // No distinct owner exists (single-device topologies).
-      task.local_bytes = input_bytes;
-      task.external_bytes = 0.0;
-    }
-
-    task.cycles_per_byte = config.params.cycles_per_byte;
-    task.result_kind = config.result_kind;
-    task.result_ratio = config.result_ratio;
-    task.result_const_bytes = kilobytes(config.result_const_kb);
-    task.resource =
-        rng.uniform(std::min(1.0, config.resource_max_units),
-                    config.resource_max_units);
-
-    // Deadline: slack multiple of the *best* placement's latency, so the
-    // task is feasible somewhere but not everywhere.
-    const mec::TaskCosts costs = cost.evaluate(task);
-    double best = costs.latency(mec::Placement::kLocal);
-    for (mec::Placement p : mec::kAllPlacements) {
-      best = std::min(best, costs.latency(p));
-    }
-    task.deadline_s =
-        best * rng.uniform(config.deadline_slack_min, config.deadline_slack_max);
-
-    tasks.push_back(task);
+    tasks.push_back(
+        sample_task(config, topology, cost, user, per_user_count[user]++, rng));
   }
   return Scenario{std::move(topology), std::move(tasks)};
 }

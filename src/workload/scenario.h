@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "mec/cost_model.h"
 #include "mec/parameters.h"
 #include "mec/task.h"
 #include "mec/topology.h"
@@ -80,6 +81,16 @@ struct Scenario {
 
 // Builds the topology only (devices, stations, radio assignment).
 mec::Topology make_topology(const ScenarioConfig& config, Rng& rng);
+
+// Draws one task for `user` from the config distributions — the body of
+// make_scenario's task loop, exposed so streaming generators (the serve
+// trace) sample from the *same* distributions. Draw order is part of the
+// reproducibility contract: a given rng state yields the same task here
+// and in make_scenario.
+mec::Task sample_task(const ScenarioConfig& config,
+                      const mec::Topology& topology,
+                      const mec::CostModel& cost, std::size_t user,
+                      std::size_t index, Rng& rng);
 
 // Builds topology + tasks.
 Scenario make_scenario(const ScenarioConfig& config);

@@ -1,0 +1,117 @@
+#include "workload/serve_trace.h"
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "mec/cost_model.h"
+
+namespace mecsched::workload {
+namespace {
+
+// Substream namespaces. Each epoch offsets its kind's base key by a
+// golden-ratio stride so (kind, epoch) pairs never collide.
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ULL;
+constexpr std::uint64_t kUniverseKey = 0x5EBBE7D1C0000001ULL;
+constexpr std::uint64_t kArrivalsKey = 0x5EBBE7D1C0000002ULL;
+constexpr std::uint64_t kJoinKey = 0x5EBBE7D1C0000003ULL;
+constexpr std::uint64_t kLeaveKey = 0x5EBBE7D1C0000004ULL;
+constexpr std::uint64_t kMigrateKey = 0x5EBBE7D1C0000005ULL;
+
+std::uint64_t epoch_key(std::uint64_t base, std::size_t epoch) {
+  return base + kGolden * (static_cast<std::uint64_t>(epoch) + 1);
+}
+
+// Event times for one Poisson process restricted to [start, end): fresh
+// exponential gaps from the epoch's own substream, so the draw count in
+// one epoch never shifts another epoch's events.
+std::vector<double> poisson_times(double rate_per_s, double start, double end,
+                                  Rng& rng) {
+  std::vector<double> times;
+  if (rate_per_s <= 0.0) return times;
+  double t = start + rng.exponential(1.0 / rate_per_s);
+  while (t < end) {
+    times.push_back(t);
+    t += rng.exponential(1.0 / rate_per_s);
+  }
+  return times;
+}
+
+std::size_t pick_device(const mec::Topology& topo, Rng& rng) {
+  return static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(topo.num_devices()) - 1));
+}
+
+std::size_t pick_station(const mec::Topology& topo, Rng& rng) {
+  return static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(topo.num_base_stations()) - 1));
+}
+
+}  // namespace
+
+ServeWorkload make_serve_workload(const ServeTraceConfig& config) {
+  MECSCHED_REQUIRE(config.epochs > 0, "serve trace needs at least one epoch");
+  MECSCHED_REQUIRE(std::isfinite(config.epoch_s) && config.epoch_s > 0.0,
+                   "epoch_s must be finite and positive");
+  for (const double rate :
+       {config.arrival_rate_per_s, config.join_rate_per_s,
+        config.leave_rate_per_s, config.migrate_rate_per_s}) {
+    MECSCHED_REQUIRE(std::isfinite(rate) && rate >= 0.0,
+                     "event rates must be finite and non-negative");
+  }
+
+  const Rng root(config.scenario.seed);
+  Rng topo_rng = root.substream(kUniverseKey);
+  mec::Topology universe = make_topology(config.scenario, topo_rng);
+  const mec::CostModel cost(universe);
+
+  // Task indices per issuer accumulate across epochs in generation order,
+  // which preserves the prefix property: epoch k sees the same counts no
+  // matter how many epochs follow it.
+  std::vector<std::size_t> per_user_count(universe.num_devices(), 0);
+
+  std::vector<serve::Event> events;
+  for (std::size_t e = 0; e < config.epochs; ++e) {
+    const double start = static_cast<double>(e) * config.epoch_s;
+    const double end = start + config.epoch_s;
+
+    Rng arrivals = root.substream(epoch_key(kArrivalsKey, e));
+    for (const double t :
+         poisson_times(config.arrival_rate_per_s, start, end, arrivals)) {
+      const std::size_t user = pick_device(universe, arrivals);
+      events.push_back(serve::Event::arrival(
+          t, sample_task(config.scenario, universe, cost, user,
+                         per_user_count[user]++, arrivals)));
+    }
+
+    Rng joins = root.substream(epoch_key(kJoinKey, e));
+    for (const double t :
+         poisson_times(config.join_rate_per_s, start, end, joins)) {
+      const std::size_t device = pick_device(universe, joins);
+      events.push_back(
+          serve::Event::join(t, device, pick_station(universe, joins)));
+    }
+
+    Rng leaves = root.substream(epoch_key(kLeaveKey, e));
+    for (const double t :
+         poisson_times(config.leave_rate_per_s, start, end, leaves)) {
+      events.push_back(serve::Event::leave(t, pick_device(universe, leaves)));
+    }
+
+    Rng migrates = root.substream(epoch_key(kMigrateKey, e));
+    for (const double t :
+         poisson_times(config.migrate_rate_per_s, start, end, migrates)) {
+      const std::size_t device = pick_device(universe, migrates);
+      events.push_back(
+          serve::Event::migrate(t, device, pick_station(universe, migrates)));
+    }
+  }
+
+  serve::Trace trace(std::move(events));
+  trace.validate_against(universe.num_devices(), universe.num_base_stations());
+  return ServeWorkload{std::move(universe), std::move(trace)};
+}
+
+}  // namespace mecsched::workload

@@ -1,0 +1,49 @@
+// Seeded event-trace generator for the serve daemon — Poisson task
+// arrivals plus device churn (join/leave/migrate) over a horizon of
+// fixed-length epochs.
+//
+// Determinism contract: every (epoch, event-kind) pair draws from its own
+// `Rng::substream`, so epoch k's events are byte-identical no matter how
+// many total epochs the trace spans (prefix property) and no matter what
+// other consumers derived from the root seed. Regenerating with a larger
+// `epochs` extends the trace without perturbing the shared prefix, and
+// the bytes are stable across `--jobs` because nothing here depends on
+// draw position (see rng.h).
+#pragma once
+
+#include <cstddef>
+
+#include "serve/event.h"
+#include "workload/scenario.h"
+
+namespace mecsched::workload {
+
+struct ServeTraceConfig {
+  // Topology and task distributions (num_tasks is ignored; the arrival
+  // process decides how many tasks the trace carries).
+  ScenarioConfig scenario{};
+
+  // Horizon: `epochs` windows of `epoch_s` seconds each. Matching the
+  // daemon's batching window to `epoch_s` makes one trace epoch one
+  // decision epoch, but the trace itself is just timestamped events.
+  std::size_t epochs = 10;
+  double epoch_s = 0.5;
+
+  // Mean events per second for each process (exponential gaps within an
+  // epoch; a rate of zero disables the process).
+  double arrival_rate_per_s = 20.0;
+  double join_rate_per_s = 0.0;
+  double leave_rate_per_s = 0.0;
+  double migrate_rate_per_s = 0.0;
+};
+
+struct ServeWorkload {
+  mec::Topology universe;
+  serve::Trace trace;
+};
+
+// Builds the universe topology and the event trace. Pure function of
+// `config`; the root seed is `config.scenario.seed`.
+ServeWorkload make_serve_workload(const ServeTraceConfig& config);
+
+}  // namespace mecsched::workload

@@ -1,0 +1,107 @@
+// `mecsched serve` / `generate-serve` end-to-end through cli::run — the
+// same in-process harness commands_test.cpp uses.
+#include "cli/commands.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/json.h"
+
+namespace mecsched::cli {
+namespace {
+
+class ServeCliTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) const {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "mecsched_serve_" + info->name() + "_" +
+           name;
+  }
+  void TearDown() override {
+    for (const char* f : {"w.json", "r.json", "d1.csv", "d4.csv"}) {
+      std::remove(path(f).c_str());
+    }
+  }
+
+  int run_cli(const std::vector<std::string>& argv) {
+    out_.str("");
+    err_.str("");
+    return run(argv, out_, err_);
+  }
+
+  std::ostringstream out_, err_;
+};
+
+const std::vector<std::string> kKnobs = {
+    "--devices", "25", "--stations", "3", "--seed",       "9",
+    "--epochs",  "4",  "--rate",     "25", "--leave-rate", "2",
+    "--migrate-rate", "2"};
+
+std::vector<std::string> with_knobs(std::vector<std::string> argv) {
+  argv.insert(argv.end(), kKnobs.begin(), kKnobs.end());
+  return argv;
+}
+
+TEST_F(ServeCliTest, ServeEmitsAConsistentSummary) {
+  ASSERT_EQ(run_cli(with_knobs({"serve", "--shards", "2"})), 0)
+      << err_.str();
+  const io::Json j = io::Json::parse(out_.str());
+  EXPECT_GT(j.at("arrivals").as_number(), 0.0);
+  EXPECT_GT(j.at("decisions").as_number(), 0.0);
+  EXPECT_EQ(j.at("arrivals").as_number(),
+            j.at("admitted").as_number() + j.at("rejected").as_number());
+  EXPECT_TRUE(j.at("decision_digest").is_string());
+  EXPECT_TRUE(j.contains("fallback_rungs"));
+}
+
+TEST_F(ServeCliTest, DecisionLogIsIdenticalAcrossJobs) {
+  ASSERT_EQ(run_cli(with_knobs({"serve", "--shards", "2", "--jobs", "1",
+                                "--decisions-out", path("d1.csv"),
+                                "--out", path("r.json")})),
+            0)
+      << err_.str();
+  ASSERT_EQ(run_cli(with_knobs({"serve", "--shards", "2", "--jobs", "4",
+                                "--decisions-out", path("d4.csv"),
+                                "--out", path("r.json")})),
+            0)
+      << err_.str();
+  std::ifstream f1(path("d1.csv")), f4(path("d4.csv"));
+  const std::string c1((std::istreambuf_iterator<char>(f1)),
+                       std::istreambuf_iterator<char>());
+  const std::string c4((std::istreambuf_iterator<char>(f4)),
+                       std::istreambuf_iterator<char>());
+  ASSERT_FALSE(c1.empty());
+  EXPECT_EQ(c1, c4);
+}
+
+TEST_F(ServeCliTest, GeneratedWorkloadReplaysIdentically) {
+  ASSERT_EQ(run_cli(with_knobs({"generate-serve", "--out", path("w.json")})),
+            0)
+      << err_.str();
+  ASSERT_EQ(run_cli(with_knobs({"serve", "--shards", "2"})), 0) << err_.str();
+  const io::Json inline_run = io::Json::parse(out_.str());
+  ASSERT_EQ(run_cli({"serve", "--replay", path("w.json"), "--shards", "2"}),
+            0)
+      << err_.str();
+  const io::Json replayed = io::Json::parse(out_.str());
+  EXPECT_EQ(inline_run.at("decision_digest").as_string(),
+            replayed.at("decision_digest").as_string());
+}
+
+TEST_F(ServeCliTest, RejectsMalformedFlags) {
+  EXPECT_NE(run_cli({"serve", "--epoch-s", "0"}), 0);
+  EXPECT_NE(run_cli({"serve", "--epoch-s", "nan"}), 0);
+  EXPECT_NE(run_cli({"serve", "--shards", "-3"}), 0);
+  EXPECT_NE(run_cli({"serve", "--epoch-budget-ms", "-5"}), 0);
+  EXPECT_NE(run_cli({"serve", "--rate", "bogus"}), 0);
+  EXPECT_NE(run_cli({"serve", "--no-such-flag"}), 0);
+}
+
+}  // namespace
+}  // namespace mecsched::cli

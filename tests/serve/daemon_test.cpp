@@ -1,0 +1,199 @@
+// End-to-end daemon tests: replay determinism across worker counts, churn
+// reconciliation, admission accounting, and task conservation.
+#include "serve/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mec/parameters.h"
+#include "workload/serve_trace.h"
+
+namespace mecsched::serve {
+namespace {
+
+mec::Topology make_universe(std::size_t num_devices,
+                            std::size_t num_stations) {
+  std::vector<mec::Device> devices(num_devices);
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    devices[i].id = i;
+    devices[i].base_station = i % num_stations;
+    devices[i].cpu_hz = 1.5e9;
+    devices[i].radio = mec::kWiFi;
+    devices[i].max_resource = 8.0;
+  }
+  std::vector<mec::BaseStation> stations(num_stations);
+  for (std::size_t b = 0; b < num_stations; ++b) {
+    stations[b].id = b;
+    stations[b].cpu_hz = mec::SystemParameters{}.base_station_hz;
+    stations[b].max_resource = 40.0;
+  }
+  return mec::Topology(std::move(devices), std::move(stations),
+                       mec::SystemParameters{});
+}
+
+// A task heavy enough to still be running several epochs after placement.
+mec::Task slow_task(std::size_t user, std::size_t owner,
+                    double external_bytes) {
+  mec::Task t;
+  t.id = {user, 0};
+  t.local_bytes = 5e6;
+  t.external_bytes = external_bytes;
+  t.external_owner = owner;
+  t.resource = 1.0;
+  t.deadline_s = 100.0;
+  return t;
+}
+
+workload::ServeWorkload churny_workload() {
+  workload::ServeTraceConfig cfg;
+  cfg.scenario.num_devices = 30;
+  cfg.scenario.num_base_stations = 4;
+  cfg.scenario.seed = 11;
+  cfg.epochs = 5;
+  cfg.epoch_s = 0.5;
+  cfg.arrival_rate_per_s = 25.0;
+  cfg.join_rate_per_s = 2.0;
+  cfg.leave_rate_per_s = 3.0;
+  cfg.migrate_rate_per_s = 3.0;
+  return workload::make_serve_workload(cfg);
+}
+
+TEST(ServeDaemonTest, DecisionLogIsByteIdenticalAcrossWorkerCounts) {
+  const workload::ServeWorkload w = churny_workload();
+  ServeOptions opts;
+  opts.sharding.num_shards = 3;
+
+  opts.jobs = 1;
+  DecisionLog log1;
+  const ServeResult r1 = ServeDaemon(opts).run(w.universe, w.trace, &log1);
+
+  opts.jobs = 4;
+  DecisionLog log4;
+  const ServeResult r4 = ServeDaemon(opts).run(w.universe, w.trace, &log4);
+
+  EXPECT_EQ(log1.digest(), log4.digest());
+  std::ostringstream csv1, csv4;
+  log1.write_csv(csv1);
+  log4.write_csv(csv4);
+  EXPECT_EQ(csv1.str(), csv4.str());
+  EXPECT_EQ(r1.decisions, r4.decisions);
+  EXPECT_EQ(r1.completed, r4.completed);
+  EXPECT_DOUBLE_EQ(r1.total_energy_j, r4.total_energy_j);
+  EXPECT_GT(r1.decisions, 0u);
+}
+
+TEST(ServeDaemonTest, AdmittedTasksAllReachExactlyOneTerminalState) {
+  const workload::ServeWorkload w = churny_workload();
+  ServeOptions opts;
+  opts.sharding.num_shards = 2;
+  const ServeResult r = ServeDaemon(opts).run(w.universe, w.trace);
+  EXPECT_FALSE(r.stopped_early);
+  EXPECT_EQ(r.arrivals, r.admitted + r.rejected);
+  EXPECT_EQ(r.admitted, r.completed + r.expired + r.lost_issuer +
+                            r.exhausted + r.abandoned);
+  EXPECT_GE(r.decisions, r.completed);
+}
+
+TEST(ServeDaemonTest, DepartingOwnerOrphansTheRunningTask) {
+  const mec::Topology universe = make_universe(4, 2);
+  std::vector<Event> events;
+  events.push_back(Event::arrival(0.1, slow_task(0, 2, 1e6)));
+  events.push_back(Event::leave(0.7, 2));  // the data owner departs
+  const Trace trace(std::move(events));
+
+  ServeOptions opts;
+  opts.readmission.max_attempts = 2;
+  DecisionLog log;
+  const ServeResult r = ServeDaemon(opts).run(universe, trace, &log);
+  // Decided at the first boundary, torn out when the owner left, and the
+  // owner never returns: the retry budget runs out.
+  EXPECT_GE(r.orphaned, 1u);
+  EXPECT_GE(r.retries, 1u);
+  EXPECT_EQ(r.exhausted, 1u);
+  EXPECT_EQ(r.completed, 0u);
+  bool saw_retry = false, saw_exhausted = false;
+  for (const DecisionRecord& rec : log.records()) {
+    saw_retry |= rec.kind == DecisionKind::kRetry;
+    saw_exhausted |= rec.kind == DecisionKind::kExhausted;
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_TRUE(saw_exhausted);
+}
+
+TEST(ServeDaemonTest, DepartingIssuerLosesTheRunningTask) {
+  const mec::Topology universe = make_universe(4, 2);
+  std::vector<Event> events;
+  events.push_back(Event::arrival(0.1, slow_task(0, 0, 0.0)));
+  events.push_back(Event::leave(0.7, 0));  // the issuer itself departs
+  const Trace trace(std::move(events));
+  const ServeResult r = ServeDaemon(ServeOptions{}).run(universe, trace);
+  EXPECT_EQ(r.lost_issuer, 1u);
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.exhausted, 0u);
+}
+
+TEST(ServeDaemonTest, MidEpochMigrationReroutesTheTaskToTheNewCell) {
+  // Two stations, two shards. Device 0 issues from station 0, then
+  // migrates to station 1 before the window closes: the decision must be
+  // made in shard 1, against the device's current cell.
+  const mec::Topology universe = make_universe(4, 2);
+  mec::Task task = slow_task(0, 0, 0.0);
+  task.local_bytes = 100e3;  // light: decided and completed promptly
+  std::vector<Event> events;
+  events.push_back(Event::arrival(0.1, task));
+  events.push_back(Event::migrate(0.2, 0, 1));
+  const Trace trace(std::move(events));
+
+  ServeOptions opts;
+  opts.sharding.num_shards = 2;
+  DecisionLog log;
+  const ServeResult r = ServeDaemon(opts).run(universe, trace, &log);
+  EXPECT_EQ(r.decisions, 1u);
+  bool saw_decide = false;
+  for (const DecisionRecord& rec : log.records()) {
+    if (rec.kind != DecisionKind::kDecide) continue;
+    saw_decide = true;
+    EXPECT_EQ(rec.shard, 1u);
+  }
+  EXPECT_TRUE(saw_decide);
+}
+
+TEST(ServeDaemonTest, AdmissionRejectionsAreCountedAndLogged) {
+  const workload::ServeWorkload w = churny_workload();
+  ServeOptions opts;
+  opts.admission.max_queue = 3;
+  DecisionLog log;
+  const ServeResult r = ServeDaemon(opts).run(w.universe, w.trace, &log);
+  EXPECT_GT(r.rejected, 0u);
+  EXPECT_EQ(r.arrivals, r.admitted + r.rejected);
+  std::size_t reject_records = 0;
+  for (const DecisionRecord& rec : log.records()) {
+    reject_records += rec.kind == DecisionKind::kReject ? 1 : 0;
+  }
+  EXPECT_EQ(reject_records, r.rejected);
+}
+
+TEST(ServeDaemonTest, PreCancelledStopTokenEndsTheRunImmediately) {
+  const workload::ServeWorkload w = churny_workload();
+  CancellationSource stop;
+  stop.request_cancel();
+  const ServeResult r =
+      ServeDaemon(ServeOptions{}).run(w.universe, w.trace, nullptr, stop.token());
+  EXPECT_TRUE(r.stopped_early);
+  EXPECT_EQ(r.events, 0u);
+  EXPECT_EQ(r.decisions, 0u);
+}
+
+TEST(ServeDaemonTest, BatchSizeCapStillDrainsEveryArrival) {
+  const workload::ServeWorkload w = churny_workload();
+  ServeOptions opts;
+  opts.batching.max_batch = 4;  // force many small epochs
+  const ServeResult r = ServeDaemon(opts).run(w.universe, w.trace);
+  EXPECT_EQ(r.arrivals, r.admitted + r.rejected);
+  EXPECT_EQ(r.admitted, r.completed + r.expired + r.lost_issuer +
+                            r.exhausted + r.abandoned);
+}
+
+}  // namespace
+}  // namespace mecsched::serve

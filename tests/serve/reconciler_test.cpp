@@ -1,0 +1,106 @@
+// Reconciler edge cases: what churn does to in-flight work at shard
+// boundaries — the scenarios docs/serve.md calls out.
+#include "serve/reconciler.h"
+
+#include <gtest/gtest.h>
+
+namespace mecsched::serve {
+namespace {
+
+RunningTask running(std::size_t id, assign::Decision where, double finish_s) {
+  RunningTask t;
+  t.id = id;
+  t.finish_s = finish_s;
+  t.where = where;
+  t.issuer = 0;
+  t.station = 0;
+  t.resource = 2.0;
+  return t;
+}
+
+TEST(ReconcilerTest, IssuerLeaveLosesTheTask) {
+  Reconciler rec;
+  rec.start(running(1, assign::Decision::kEdge, 5.0));
+  const Interruptions i = rec.observe(Event::leave(1.0, 0));
+  ASSERT_EQ(i.lost_issuer.size(), 1u);
+  EXPECT_EQ(i.lost_issuer[0], 1u);
+  EXPECT_TRUE(rec.running().empty());
+}
+
+TEST(ReconcilerTest, OwnerLeaveOrphansOnlyExternalTasks) {
+  Reconciler rec;
+  RunningTask with_ext = running(1, assign::Decision::kEdge, 5.0);
+  with_ext.has_external = true;
+  with_ext.owner = 3;
+  rec.start(with_ext);
+  rec.start(running(2, assign::Decision::kEdge, 5.0));  // no external data
+  const Interruptions i = rec.observe(Event::leave(1.0, 3));
+  ASSERT_EQ(i.orphaned.size(), 1u);
+  EXPECT_EQ(i.orphaned[0], 1u);
+  EXPECT_TRUE(i.lost_issuer.empty());
+  ASSERT_EQ(rec.running().size(), 1u);
+  EXPECT_EQ(rec.running()[0].id, 2u);
+}
+
+TEST(ReconcilerTest, IssuerMigrationOrphansOffloadedWorkOnly) {
+  Reconciler rec;
+  rec.start(running(1, assign::Decision::kLocal, 5.0));
+  rec.start(running(2, assign::Decision::kEdge, 5.0));
+  rec.start(running(3, assign::Decision::kCloud, 5.0));
+  const Interruptions i = rec.observe(Event::migrate(1.0, 0, 1));
+  // Local work travels with the device; edge/cloud lose their delivery
+  // path through the old cell.
+  ASSERT_EQ(i.orphaned.size(), 2u);
+  EXPECT_EQ(i.orphaned[0], 2u);
+  EXPECT_EQ(i.orphaned[1], 3u);
+  ASSERT_EQ(rec.running().size(), 1u);
+  EXPECT_EQ(rec.running()[0].where, assign::Decision::kLocal);
+}
+
+TEST(ReconcilerTest, OwnerMigrationNeverInterrupts) {
+  Reconciler rec;
+  RunningTask t = running(1, assign::Decision::kEdge, 5.0);
+  t.has_external = true;
+  t.owner = 3;
+  rec.start(t);
+  const Interruptions i = rec.observe(Event::migrate(1.0, 3, 1));
+  EXPECT_TRUE(i.orphaned.empty());
+  EXPECT_TRUE(i.lost_issuer.empty());
+}
+
+TEST(ReconcilerTest, FinishedWorkSurvivesLaterChurn) {
+  Reconciler rec;
+  rec.start(running(1, assign::Decision::kEdge, 0.5));
+  const Interruptions i = rec.observe(Event::leave(1.0, 0));
+  EXPECT_TRUE(i.lost_issuer.empty());
+  const std::vector<std::size_t> done = rec.collect_completions(1.0);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 1u);
+}
+
+TEST(ReconcilerTest, OccupancyChargesDevicesForLocalAndStationsForEdge) {
+  Reconciler rec;
+  rec.start(running(1, assign::Decision::kLocal, 5.0));
+  rec.start(running(2, assign::Decision::kEdge, 5.0));
+  rec.start(running(3, assign::Decision::kCloud, 5.0));
+  rec.start(running(4, assign::Decision::kEdge, 0.5));  // already finished
+  std::vector<double> dev(2, 0.0), sta(2, 0.0);
+  rec.occupancy(1.0, dev, sta);
+  EXPECT_DOUBLE_EQ(dev[0], 2.0);  // the local run
+  EXPECT_DOUBLE_EQ(sta[0], 2.0);  // the live edge run only
+  EXPECT_DOUBLE_EQ(dev[1], 0.0);
+  EXPECT_DOUBLE_EQ(sta[1], 0.0);
+}
+
+TEST(ReconcilerTest, CollectCompletionsReturnsStartOrder) {
+  Reconciler rec;
+  rec.start(running(5, assign::Decision::kEdge, 0.2));
+  rec.start(running(6, assign::Decision::kEdge, 0.1));
+  const std::vector<std::size_t> done = rec.collect_completions(0.3);
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 5u);
+  EXPECT_EQ(done[1], 6u);
+}
+
+}  // namespace
+}  // namespace mecsched::serve

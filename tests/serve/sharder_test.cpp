@@ -1,0 +1,180 @@
+#include "serve/sharder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "mec/cost_model.h"
+#include "mec/parameters.h"
+#include "serve/population.h"
+
+namespace mecsched::serve {
+namespace {
+
+// 8 devices round-robin over 4 stations: device i lives at station i % 4.
+mec::Topology make_universe(std::size_t num_devices = 8,
+                            std::size_t num_stations = 4) {
+  std::vector<mec::Device> devices(num_devices);
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    devices[i].id = i;
+    devices[i].base_station = i % num_stations;
+    devices[i].cpu_hz = 1.5e9;
+    devices[i].radio = mec::kWiFi;
+    devices[i].max_resource = 8.0;
+  }
+  std::vector<mec::BaseStation> stations(num_stations);
+  for (std::size_t b = 0; b < num_stations; ++b) {
+    stations[b].id = b;
+    stations[b].cpu_hz = mec::SystemParameters{}.base_station_hz;
+    stations[b].max_resource = 40.0;
+  }
+  return mec::Topology(std::move(devices), std::move(stations),
+                       mec::SystemParameters{});
+}
+
+PendingTask pending(std::size_t id, std::size_t user, std::size_t owner,
+                    double external_bytes) {
+  PendingTask p;
+  p.id = id;
+  p.task.id = {user, 0};
+  p.task.local_bytes = 500e3;
+  p.task.external_bytes = external_bytes;
+  p.task.external_owner = owner;
+  p.task.resource = 1.0;
+  p.task.deadline_s = 10.0;
+  return p;
+}
+
+std::vector<double> full_device_residual(const mec::Topology& topo) {
+  std::vector<double> r(topo.num_devices());
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = topo.device(i).max_resource;
+  return r;
+}
+
+std::vector<double> full_station_residual(const mec::Topology& topo) {
+  std::vector<double> r(topo.num_base_stations());
+  for (std::size_t b = 0; b < r.size(); ++b) {
+    r[b] = topo.base_station(b).max_resource;
+  }
+  return r;
+}
+
+TEST(SharderTest, RejectsZeroShardsAndClampsExcess) {
+  const mec::Topology universe = make_universe();
+  EXPECT_THROW(Sharder(universe, {0}), ModelError);
+  EXPECT_EQ(Sharder(universe, {100}).num_shards(), 4u);
+}
+
+TEST(SharderTest, StationBlocksAreContiguousAndMonotone) {
+  const mec::Topology universe = make_universe();
+  const Sharder sharder(universe, {2});
+  EXPECT_EQ(sharder.shard_of_station(0), 0u);
+  EXPECT_EQ(sharder.shard_of_station(1), 0u);
+  EXPECT_EQ(sharder.shard_of_station(2), 1u);
+  EXPECT_EQ(sharder.shard_of_station(3), 1u);
+}
+
+TEST(SharderTest, RoutesTaskByIssuersCurrentCell) {
+  const mec::Topology universe = make_universe();
+  const Sharder sharder(universe, {2});
+  Population pop(universe);
+  // Device 0 lives at station 0 (shard 0) but has migrated to station 3.
+  pop.apply(Event::migrate(0.0, 0, 3));
+
+  const PendingTask p = pending(0, 0, 0, 0.0);
+  const std::vector<const PendingTask*> batch{&p};
+  const auto problems =
+      sharder.build(pop, full_device_residual(universe),
+                    full_station_residual(universe), batch, {10.0});
+  ASSERT_EQ(problems.size(), 1u);  // empty shard 0 omitted
+  EXPECT_EQ(problems[0].shard, 1u);
+  ASSERT_EQ(problems[0].task_ids.size(), 1u);
+  EXPECT_EQ(problems[0].task_ids[0], 0u);
+}
+
+TEST(SharderTest, HaloOwnerPricesCrossShardFetchExactly) {
+  const mec::Topology universe = make_universe();
+  const Sharder sharder(universe, {2});
+  const Population pop(universe);
+  // Issuer 0 sits in shard 0; its external data lives on device 2 whose
+  // cell (station 2) is in shard 1, so the owner comes in as a halo copy.
+  const PendingTask p = pending(0, 0, 2, 200e3);
+  const std::vector<const PendingTask*> batch{&p};
+  const auto problems =
+      sharder.build(pop, full_device_residual(universe),
+                    full_station_residual(universe), batch, {10.0});
+  ASSERT_EQ(problems.size(), 1u);
+  const ShardProblem& shard = problems[0];
+  EXPECT_EQ(shard.shard, 0u);
+  ASSERT_EQ(shard.halo_devices, 1u);
+
+  // The halo entry is the trailing device, maps back to universe id 2 and
+  // carries no schedulable capacity.
+  const std::size_t halo = shard.topology.num_devices() - 1;
+  EXPECT_EQ(shard.device_global[halo], 2u);
+  EXPECT_DOUBLE_EQ(shard.topology.device(halo).max_resource, 0.0);
+
+  // Cost parity: the shard topology prices every placement of the task
+  // exactly as the universe does — the halo carries the owner's radio and
+  // its cell, so the cross-neighborhood fetch leg is identical.
+  const mec::TaskCosts in_universe = mec::CostModel(universe).evaluate(p.task);
+  ASSERT_EQ(shard.tasks.size(), 1u);
+  const mec::TaskCosts in_shard =
+      mec::CostModel(shard.topology).evaluate(shard.tasks[0]);
+  for (const mec::Placement placement : mec::kAllPlacements) {
+    EXPECT_DOUBLE_EQ(in_shard.latency(placement),
+                     in_universe.latency(placement));
+    EXPECT_DOUBLE_EQ(in_shard.energy(placement),
+                     in_universe.energy(placement));
+  }
+}
+
+TEST(SharderTest, ResidualCapacitiesOverrideTheUniverseCaps) {
+  const mec::Topology universe = make_universe();
+  const Sharder sharder(universe, {2});
+  const Population pop(universe);
+  std::vector<double> dev = full_device_residual(universe);
+  std::vector<double> sta = full_station_residual(universe);
+  dev[0] = 2.5;
+  sta[0] = 7.0;
+  const PendingTask p = pending(0, 0, 0, 0.0);
+  const std::vector<const PendingTask*> batch{&p};
+  const auto problems = sharder.build(pop, dev, sta, batch, {10.0});
+  ASSERT_EQ(problems.size(), 1u);
+  const ShardProblem& shard = problems[0];
+  // Local device 0 of shard 0 is universe device 0.
+  ASSERT_EQ(shard.device_global[0], 0u);
+  EXPECT_DOUBLE_EQ(shard.topology.device(0).max_resource, 2.5);
+  EXPECT_DOUBLE_EQ(shard.topology.base_station(0).max_resource, 7.0);
+}
+
+TEST(SharderTest, DownDevicesAreExcludedFromTheShardTopology) {
+  const mec::Topology universe = make_universe();
+  const Sharder sharder(universe, {2});
+  Population pop(universe);
+  pop.apply(Event::leave(0.0, 4));  // station 0, shard 0
+  const PendingTask p = pending(0, 0, 0, 0.0);
+  const std::vector<const PendingTask*> batch{&p};
+  const auto problems =
+      sharder.build(pop, full_device_residual(universe),
+                    full_station_residual(universe), batch, {10.0});
+  ASSERT_EQ(problems.size(), 1u);
+  for (const std::size_t global : problems[0].device_global) {
+    EXPECT_NE(global, 4u);
+  }
+}
+
+TEST(SharderTest, DeadlineOverrideReplacesTheIssuedDeadline) {
+  const mec::Topology universe = make_universe();
+  const Sharder sharder(universe, {2});
+  const Population pop(universe);
+  const PendingTask p = pending(0, 0, 0, 0.0);  // issued deadline 10s
+  const std::vector<const PendingTask*> batch{&p};
+  const auto problems =
+      sharder.build(pop, full_device_residual(universe),
+                    full_station_residual(universe), batch, {3.25});
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_DOUBLE_EQ(problems[0].tasks[0].deadline_s, 3.25);
+}
+
+}  // namespace
+}  // namespace mecsched::serve
