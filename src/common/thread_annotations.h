@@ -1,0 +1,171 @@
+// Clang thread-safety annotations + the annotated mutex vocabulary.
+//
+// The project's headline contract — byte-identical decision logs and sweep
+// metrics at any --jobs count — used to be guarded only dynamically (TSan
+// jobs, replay diffs). This header moves the locking discipline into the
+// type system: every mutex-guarded member in the tree is declared with
+// MECSCHED_GUARDED_BY, every lock-holding helper with MECSCHED_REQUIRES,
+// and a Clang build with -Werror=thread-safety (CI job `thread-safety`,
+// locally -DMECSCHED_THREAD_SAFETY=ON) rejects any access that the
+// analysis cannot prove race-free. Off Clang every macro expands to
+// nothing and Mutex/MutexLock/CondVar behave exactly like std::mutex /
+// std::lock_guard / std::condition_variable.
+//
+// Usage pattern (see docs/static-analysis.md, "Thread-safety annotations"):
+//
+//   class Cache {
+//    public:
+//     void insert(Key k, Value v) MECSCHED_EXCLUDES(mu_) {
+//       const MutexLock lock(mu_);
+//       entries_[k] = std::move(v);   // proven: mu_ is held
+//     }
+//    private:
+//     std::size_t evict_locked() MECSCHED_REQUIRES(mu_);
+//     mutable Mutex mu_;
+//     std::map<Key, Value> entries_ MECSCHED_GUARDED_BY(mu_);
+//   };
+//
+// Waivers: a function that must step outside the analysis (e.g. adopting
+// a lock across an FFI boundary) carries MECSCHED_NO_THREAD_SAFETY_ANALYSIS
+// with a justification comment; the project lint's `unannotated-mutex`
+// rule keeps classes from growing unannotated guarded state off-Clang.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang exposes the analysis attributes behind __has_attribute; GCC and
+// MSVC define neither, so the macros vanish there and the wrappers cost
+// exactly what the std primitives cost.
+#if defined(__clang__) && defined(__has_attribute)
+#define MECSCHED_TSA_HAS(x) __has_attribute(x)
+#else
+#define MECSCHED_TSA_HAS(x) 0
+#endif
+
+#if MECSCHED_TSA_HAS(capability)
+#define MECSCHED_TSA(x) __attribute__((x))
+#else
+#define MECSCHED_TSA(x)
+#endif
+
+// A type usable as a capability ("mutex" names the capability kind in
+// diagnostics). Applied to the Mutex wrapper below.
+#define MECSCHED_CAPABILITY(x) MECSCHED_TSA(capability(x))
+
+// RAII types that acquire in their constructor and release in their
+// destructor (MutexLock).
+#define MECSCHED_SCOPED_CAPABILITY MECSCHED_TSA(scoped_lockable)
+
+// Data members: readable/writable only while the named capability is held.
+#define MECSCHED_GUARDED_BY(x) MECSCHED_TSA(guarded_by(x))
+// Pointer members: the *pointee* is guarded (the pointer itself is not).
+#define MECSCHED_PT_GUARDED_BY(x) MECSCHED_TSA(pt_guarded_by(x))
+
+// Functions: caller must hold the capability (exclusively / shared).
+#define MECSCHED_REQUIRES(...) \
+  MECSCHED_TSA(requires_capability(__VA_ARGS__))
+#define MECSCHED_REQUIRES_SHARED(...) \
+  MECSCHED_TSA(requires_shared_capability(__VA_ARGS__))
+
+// Functions: acquire/release the capability (lock(), unlock(), RAII
+// ctors/dtors). ACQUIRE/RELEASE with no argument refer to `this` — the
+// pattern scoped lockers use.
+#define MECSCHED_ACQUIRE(...) \
+  MECSCHED_TSA(acquire_capability(__VA_ARGS__))
+#define MECSCHED_ACQUIRE_SHARED(...) \
+  MECSCHED_TSA(acquire_shared_capability(__VA_ARGS__))
+#define MECSCHED_RELEASE(...) \
+  MECSCHED_TSA(release_capability(__VA_ARGS__))
+#define MECSCHED_TRY_ACQUIRE(...) \
+  MECSCHED_TSA(try_acquire_capability(__VA_ARGS__))
+
+// Functions: caller must NOT hold the capability (deadlock guard for
+// public entry points of self-locking classes).
+#define MECSCHED_EXCLUDES(...) MECSCHED_TSA(locks_excluded(__VA_ARGS__))
+
+// Lock-ordering declarations, checked under -Wthread-safety-beta: a
+// seeded inversion is a compile error in the thread-safety CI job (and
+// regression-tested by tests/analysis/).
+#define MECSCHED_ACQUIRED_BEFORE(...) \
+  MECSCHED_TSA(acquired_before(__VA_ARGS__))
+#define MECSCHED_ACQUIRED_AFTER(...) \
+  MECSCHED_TSA(acquired_after(__VA_ARGS__))
+
+// Functions returning a reference to a capability (rare; accessors that
+// expose a member mutex to a sibling class).
+#define MECSCHED_RETURN_CAPABILITY(x) MECSCHED_TSA(lock_returned(x))
+
+// Escape hatch. Every use must carry a justification comment — the
+// documented waiver policy (docs/static-analysis.md); there is no other
+// sanctioned way to silence the analysis.
+#define MECSCHED_NO_THREAD_SAFETY_ANALYSIS \
+  MECSCHED_TSA(no_thread_safety_analysis)
+
+namespace mecsched {
+
+// std::mutex with the capability attribute the analysis needs. The tree
+// uses this wrapper for every lock (the project lint's `unannotated-mutex`
+// rule assumes it); std::mutex itself carries no annotations in either
+// standard library, so locks taken through it are invisible to the
+// analysis.
+class MECSCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MECSCHED_ACQUIRE() { mu_.lock(); }
+  void unlock() MECSCHED_RELEASE() { mu_.unlock(); }
+  bool try_lock() MECSCHED_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The underlying handle, for CondVar only: the analysis cannot track
+  // operations made through it.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock — the project's std::lock_guard. Scoped-capability annotated,
+// so the analysis knows the capability is held exactly for the lifetime
+// of the lock object.
+class MECSCHED_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MECSCHED_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~MutexLock() MECSCHED_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to the annotated Mutex. wait() requires the
+// caller to hold `mu` (enforced on Clang); internally it adopts the native
+// handle for the duration of the std wait, which releases and reacquires —
+// the capability is held again on return, so from the caller's point of
+// view the requirement is continuous, matching the analysis model.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) MECSCHED_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mecsched

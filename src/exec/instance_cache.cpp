@@ -68,7 +68,7 @@ InstanceCache::InstanceCache(std::size_t capacity) : capacity_(capacity) {
 
 std::shared_ptr<const assign::Assignment> InstanceCache::find(
     std::uint64_t key) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -82,7 +82,7 @@ std::shared_ptr<const assign::Assignment> InstanceCache::find(
 }
 
 void InstanceCache::insert(std::uint64_t key, assign::Assignment assignment) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto shared = std::make_shared<const assign::Assignment>(std::move(assignment));
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -102,7 +102,7 @@ void InstanceCache::insert(std::uint64_t key, assign::Assignment assignment) {
 
 std::shared_ptr<const assign::Assignment> InstanceCache::warm_hint(
     std::uint64_t family) const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = warm_.find(family);
   return it == warm_.end() ? nullptr : it->second;
 }
@@ -110,12 +110,12 @@ std::shared_ptr<const assign::Assignment> InstanceCache::warm_hint(
 void InstanceCache::store_warm(
     std::uint64_t family,
     std::shared_ptr<const assign::Assignment> assignment) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   warm_[family] = std::move(assignment);
 }
 
 std::uint64_t InstanceCache::contents_fingerprint() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   // index_/warm_ are unordered; hash over sorted keys so the digest is a
   // function of the *set* of entries, not of bucket layout.
   std::vector<std::uint64_t> keys;
@@ -142,17 +142,17 @@ std::uint64_t InstanceCache::contents_fingerprint() const {
 }
 
 std::size_t InstanceCache::size() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return lru_.size();
 }
 
 CacheStats InstanceCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
 void InstanceCache::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
   warm_.clear();

@@ -26,13 +26,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "assign/assignment.h"
 #include "assign/hta_instance.h"
+#include "common/thread_annotations.h"
 
 namespace mecsched::exec {
 
@@ -86,13 +86,15 @@ class InstanceCache {
  private:
   using Entry = std::pair<std::uint64_t, std::shared_ptr<const assign::Assignment>>;
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  mutable Mutex mu_;
+  std::size_t capacity_;  // immutable after construction
+  // front = most recently used
+  std::list<Entry> lru_ MECSCHED_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_
+      MECSCHED_GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, std::shared_ptr<const assign::Assignment>>
-      warm_;
-  CacheStats stats_;
+      warm_ MECSCHED_GUARDED_BY(mu_);
+  CacheStats stats_ MECSCHED_GUARDED_BY(mu_);
 };
 
 }  // namespace mecsched::exec

@@ -49,7 +49,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(wake_mu_);
+    const MutexLock lock(wake_mu_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -60,13 +60,13 @@ void ThreadPool::shutdown() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(wake_mu_);
+    const MutexLock lock(wake_mu_);
     MECSCHED_REQUIRE(!stop_, "ThreadPool: submit after shutdown");
   }
   const std::size_t shard =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   {
-    const std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+    const MutexLock lock(shards_[shard]->mu);
     shards_[shard]->queue.push_back(std::move(task));
   }
   const std::size_t depth =
@@ -80,7 +80,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
 bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task) {
   {
     Shard& own = *shards_[id];
-    const std::lock_guard<std::mutex> lock(own.mu);
+    const MutexLock lock(own.mu);
     if (!own.queue.empty()) {
       task = std::move(own.queue.back());
       own.queue.pop_back();
@@ -90,7 +90,7 @@ bool ThreadPool::try_pop(std::size_t id, std::function<void()>& task) {
   }
   for (std::size_t k = 1; k < shards_.size(); ++k) {
     Shard& victim = *shards_[(id + k) % shards_.size()];
-    const std::lock_guard<std::mutex> lock(victim.mu);
+    const MutexLock lock(victim.mu);
     if (!victim.queue.empty()) {
       task = std::move(victim.queue.front());
       victim.queue.pop_front();
@@ -119,10 +119,13 @@ void ThreadPool::worker_loop(std::size_t id) {
       }
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] {
-      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
-    });
+    // Open-coded predicate wait: the analysis sees stop_ read with
+    // wake_mu_ held here, where a predicate lambda handed to a
+    // condition_variable would be analyzed as a lock-free function.
+    const MutexLock lock(wake_mu_);
+    while (!stop_ && pending_.load(std::memory_order_relaxed) == 0) {
+      wake_cv_.wait(wake_mu_);
+    }
     if (stop_ && pending_.load(std::memory_order_relaxed) == 0) return;
   }
 }

@@ -18,16 +18,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace mecsched::exec {
 
@@ -71,8 +71,8 @@ class ThreadPool {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::deque<std::function<void()>> queue;
+    mutable Mutex mu;
+    std::deque<std::function<void()>> queue MECSCHED_GUARDED_BY(mu);
   };
 
   void enqueue(std::function<void()> task);
@@ -80,11 +80,13 @@ class ThreadPool {
   // Pops own work from the back, else steals from a sibling's front.
   bool try_pop(std::size_t id, std::function<void()>& task);
 
+  // Immutable after construction (workers are spawned last in the ctor),
+  // so shards_/workers_ need no guard; each Shard locks itself.
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> workers_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool stop_ = false;                  // guarded by wake_mu_
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  bool stop_ MECSCHED_GUARDED_BY(wake_mu_) = false;
   std::atomic<std::size_t> pending_{0};
   std::atomic<std::uint64_t> next_shard_{0};
 };

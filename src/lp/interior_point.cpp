@@ -60,7 +60,6 @@ class DenseNormalKernel {
         double acc = 0.0;
         const double* ri = a_.row(i);
         const double* rj = a_.row(j);
-        // lint:allow-dense-scan-in-kernel -- this IS the dense fallback.
         for (std::size_t k = 0; k < n; ++k) acc += ri[k] * d[k] * rj[k];
         mmat(i, j) = acc;
         mmat(j, i) = acc;

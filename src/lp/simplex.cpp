@@ -318,7 +318,6 @@ class Tableau {
     std::size_t nnz = 0;
     for (std::size_t r = 0; r < m; ++r) {
       const double* row = a_.row(r);
-      // lint:allow-dense-scan-in-kernel -- one-time setup scan.
       for (std::size_t j = 0; j < n; ++j) nnz += row[j] != 0.0 ? 1 : 0;
     }
     sparse_pricing_ = use_sparse_kernels(m, n, nnz, opt_.sparse_pricing);
@@ -327,7 +326,6 @@ class Tableau {
     acol_ptr_.assign(n + 1, 0);
     for (std::size_t r = 0; r < m; ++r) {
       const double* row = a_.row(r);
-      // lint:allow-dense-scan-in-kernel -- one-time setup scan.
       for (std::size_t j = 0; j < n; ++j) {
         if (row[j] != 0.0) ++acol_ptr_[j + 1];
       }
@@ -338,7 +336,6 @@ class Tableau {
     std::vector<std::size_t> next(acol_ptr_.begin(), acol_ptr_.end() - 1);
     for (std::size_t r = 0; r < m; ++r) {
       const double* row = a_.row(r);
-      // lint:allow-dense-scan-in-kernel -- one-time setup scan.
       for (std::size_t j = 0; j < n; ++j) {
         if (row[j] == 0.0) continue;
         const std::size_t p = next[j]++;

@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.h"
+#include "common/thread_annotations.h"
 #include "obs/registry.h"
 
 namespace mecsched::lp {
@@ -202,10 +202,11 @@ double NormalEquationsSymbolic::fill_ratio() const {
 struct SymbolicFactorCache::Impl {
   using Entry =
       std::pair<std::uint64_t, std::shared_ptr<const NormalEquationsSymbolic>>;
-  mutable std::mutex mu;
-  std::size_t capacity;
-  std::list<Entry> lru;  // front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+  mutable Mutex mu;
+  std::size_t capacity MECSCHED_GUARDED_BY(mu);
+  std::list<Entry> lru MECSCHED_GUARDED_BY(mu);  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index
+      MECSCHED_GUARDED_BY(mu);
 };
 
 SymbolicFactorCache& SymbolicFactorCache::global() {
@@ -215,6 +216,9 @@ SymbolicFactorCache& SymbolicFactorCache::global() {
 
 SymbolicFactorCache::SymbolicFactorCache(std::size_t capacity)
     : impl_(std::make_shared<Impl>()) {
+  // The Impl was just created and is not shared yet, but taking the (free)
+  // lock keeps the guarded write visible to the thread-safety analysis.
+  const MutexLock lock(impl_->mu);
   impl_->capacity = capacity == 0 ? 1 : capacity;
 }
 
@@ -223,7 +227,7 @@ std::shared_ptr<const NormalEquationsSymbolic> SymbolicFactorCache::analyze(
   const std::uint64_t key = a.pattern_fingerprint();
   obs::Registry& reg = obs::Registry::global();
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    const MutexLock lock(impl_->mu);
     const auto it = impl_->index.find(key);
     if (it != impl_->index.end()) {
       impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
@@ -238,7 +242,7 @@ std::shared_ptr<const NormalEquationsSymbolic> SymbolicFactorCache::analyze(
   auto computed = std::make_shared<const NormalEquationsSymbolic>(a);
   reg.gauge("lp.sparse.last_ordering_seconds").set(computed->analysis_seconds());
 
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   const auto it = impl_->index.find(key);
   if (it != impl_->index.end()) return it->second->second;  // lost the race
   impl_->lru.emplace_front(key, computed);
@@ -252,7 +256,7 @@ std::shared_ptr<const NormalEquationsSymbolic> SymbolicFactorCache::analyze(
 }
 
 void SymbolicFactorCache::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   impl_->capacity = capacity == 0 ? 1 : capacity;
   while (impl_->lru.size() > impl_->capacity) {
     impl_->index.erase(impl_->lru.back().first);
@@ -262,12 +266,12 @@ void SymbolicFactorCache::set_capacity(std::size_t capacity) {
 }
 
 std::size_t SymbolicFactorCache::size() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   return impl_->lru.size();
 }
 
 void SymbolicFactorCache::clear() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   impl_->lru.clear();
   impl_->index.clear();
 }

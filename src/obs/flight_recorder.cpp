@@ -13,7 +13,8 @@ FlightRecorder& FlightRecorder::global() {
 }
 
 void FlightRecorder::enable(std::size_t capacity_per_shard) {
-  capacity_per_shard_ = capacity_per_shard == 0 ? 1 : capacity_per_shard;
+  capacity_per_shard_.store(capacity_per_shard == 0 ? 1 : capacity_per_shard,
+                            std::memory_order_relaxed);
   clear();
   enabled_.store(true, std::memory_order_relaxed);
 }
@@ -31,15 +32,17 @@ FlightRecorder::Shard& FlightRecorder::shard_for_this_thread() {
 void FlightRecorder::record(SolveRecord r) {
   if (!enabled()) return;
   r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t capacity =
+      capacity_per_shard_.load(std::memory_order_relaxed);
   Shard& s = shard_for_this_thread();
-  const std::lock_guard<std::mutex> lock(s.mu);
-  if (s.ring.size() < capacity_per_shard_) {
+  const MutexLock lock(s.mu);
+  if (s.ring.size() < capacity) {
     s.ring.push_back(std::move(r));
-    s.head = s.ring.size() % capacity_per_shard_;
+    s.head = s.ring.size() % capacity;
     return;
   }
   s.ring[s.head] = std::move(r);
-  s.head = (s.head + 1) % capacity_per_shard_;
+  s.head = (s.head + 1) % capacity;
   s.wrapped = true;
   dropped_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -47,7 +50,7 @@ void FlightRecorder::record(SolveRecord r) {
 std::vector<SolveRecord> FlightRecorder::snapshot() const {
   std::vector<SolveRecord> out;
   for (const Shard& s : shards_) {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const MutexLock lock(s.mu);
     out.insert(out.end(), s.ring.begin(), s.ring.end());
   }
   std::sort(out.begin(), out.end(),
@@ -59,7 +62,7 @@ std::vector<SolveRecord> FlightRecorder::snapshot() const {
 
 void FlightRecorder::clear() {
   for (Shard& s : shards_) {
-    const std::lock_guard<std::mutex> lock(s.mu);
+    const MutexLock lock(s.mu);
     s.ring.clear();
     s.head = 0;
     s.wrapped = false;

@@ -21,11 +21,11 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/thread_annotations.h"
 
 namespace mecsched::obs {
 
@@ -95,10 +95,10 @@ class FlightRecorder {
 
  private:
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<SolveRecord> ring;
-    std::size_t head = 0;
-    bool wrapped = false;
+    mutable Mutex mu;
+    std::vector<SolveRecord> ring MECSCHED_GUARDED_BY(mu);
+    std::size_t head MECSCHED_GUARDED_BY(mu) = 0;
+    bool wrapped MECSCHED_GUARDED_BY(mu) = false;
   };
 
   Shard& shard_for_this_thread();
@@ -106,7 +106,9 @@ class FlightRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint64_t> dropped_{0};
-  std::size_t capacity_per_shard_ = 1 << 12;
+  // Written by enable() while record() reads it under a *shard* lock, not
+  // a common one — atomic, like enabled_, rather than guarded.
+  std::atomic<std::size_t> capacity_per_shard_{1 << 12};
   Shard shards_[kShards];
 };
 

@@ -19,7 +19,7 @@ const std::vector<double>& Histogram::bucket_bounds() {
 }
 
 void Histogram::observe(double v) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   summary_.add(v);
   if (buckets_.empty()) buckets_.assign(bucket_bounds().size(), 0);
   // NaN is kept out of the ordered bucket search; it lands only in the
@@ -34,12 +34,12 @@ void Histogram::observe(double v) {
 }
 
 Summary Histogram::summary() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return summary_;
 }
 
 std::vector<std::uint64_t> Histogram::cumulative_buckets() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::uint64_t> out(bucket_bounds().size(), 0);
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < out.size(); ++i) {
@@ -54,7 +54,7 @@ void Histogram::merge_from(const Histogram& other) {
   // ours, so self-merge and concurrent writers stay safe.
   const Summary s = other.summary();
   const std::vector<std::uint64_t> cumulative = other.cumulative_buckets();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (s.count() == 0) return;
   summary_.merge(s);
   if (buckets_.empty()) buckets_.assign(bucket_bounds().size(), 0);
@@ -66,7 +66,7 @@ void Histogram::merge_from(const Histogram& other) {
 }
 
 void Histogram::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   summary_ = Summary{};
   buckets_.clear();
 }
@@ -74,7 +74,7 @@ void Histogram::reset() {
 double Histogram::approx_percentile(double q) const {
   // One lock for a consistent (buckets, summary) pair; the accessors each
   // lock on their own and std::mutex is not recursive.
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::uint64_t> cumulative(bucket_bounds().size(), 0);
   std::uint64_t acc = 0;
   for (std::size_t i = 0; i < cumulative.size(); ++i) {
@@ -145,7 +145,7 @@ void require_unregistered(const Map& m, const std::string& name,
 }  // namespace
 
 Counter& Registry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     require_unregistered(gauges_, name, "gauge");
@@ -156,7 +156,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     require_unregistered(counters_, name, "counter");
@@ -167,7 +167,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     require_unregistered(counters_, name, "counter");
@@ -180,7 +180,7 @@ Histogram& Registry::histogram(const std::string& name) {
 WindowedHistogram& Registry::window(const std::string& name,
                                     double epoch_seconds,
                                     std::size_t num_epochs) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = windows_.find(name);
   if (it == windows_.end()) {
     require_unregistered(rates_, name, "rate window");
@@ -194,7 +194,7 @@ WindowedHistogram& Registry::window(const std::string& name,
 
 RateWindow& Registry::rate(const std::string& name, double epoch_seconds,
                            std::size_t num_epochs) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = rates_.find(name);
   if (it == rates_.end()) {
     require_unregistered(windows_, name, "window");
@@ -207,7 +207,7 @@ RateWindow& Registry::rate(const std::string& name, double epoch_seconds,
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
@@ -233,7 +233,7 @@ void Registry::merge_from(const Registry& other) {
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
@@ -241,7 +241,7 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
 }
 
 std::vector<std::pair<std::string, double>> Registry::gauges() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
@@ -250,7 +250,7 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
 
 std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
     const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::pair<std::string, const Histogram*>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
@@ -259,7 +259,7 @@ std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
 
 std::vector<std::pair<std::string, const WindowedHistogram*>>
 Registry::windows() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::pair<std::string, const WindowedHistogram*>> out;
   out.reserve(windows_.size());
   for (const auto& [name, w] : windows_) out.emplace_back(name, w.get());
@@ -268,7 +268,7 @@ Registry::windows() const {
 
 std::vector<std::pair<std::string, const RateWindow*>> Registry::rates()
     const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<std::pair<std::string, const RateWindow*>> out;
   out.reserve(rates_.size());
   for (const auto& [name, r] : rates_) out.emplace_back(name, r.get());

@@ -21,11 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_annotations.h"
 
 namespace mecsched::obs {
 
@@ -82,9 +82,10 @@ class Histogram {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  Summary summary_;
-  std::vector<std::uint64_t> buckets_;  // sized lazily on first observe
+  mutable Mutex mu_;
+  Summary summary_ MECSCHED_GUARDED_BY(mu_);
+  // sized lazily on first observe
+  std::vector<std::uint64_t> buckets_ MECSCHED_GUARDED_BY(mu_);
 };
 
 // Shared quantile kernel for Histogram::approx_percentile and the
@@ -156,12 +157,19 @@ class Registry {
   std::vector<std::pair<std::string, const RateWindow*>> rates() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<WindowedHistogram>> windows_;
-  std::map<std::string, std::unique_ptr<RateWindow>> rates_;
+  // mu_ guards the name→entry maps only; the metric objects themselves
+  // are thread-safe and are handed out as long-lived references.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MECSCHED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      MECSCHED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MECSCHED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windows_
+      MECSCHED_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<RateWindow>> rates_
+      MECSCHED_GUARDED_BY(mu_);
 };
 
 }  // namespace mecsched::obs

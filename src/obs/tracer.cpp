@@ -20,28 +20,35 @@ Tracer& Tracer::global() {
   return *instance;
 }
 
+std::int64_t Tracer::steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void Tracer::enable(std::size_t capacity) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.clear();
   ring_.reserve(capacity_);
   head_ = 0;
   wrapped_ = false;
   dropped_.store(0, std::memory_order_relaxed);
-  epoch_ = std::chrono::steady_clock::now();
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
 }
 
 void Tracer::disable() { enabled_.store(false, std::memory_order_relaxed); }
 
 std::int64_t Tracer::now_us() const {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
+  // Same truncation as the previous duration_cast-to-microseconds of a
+  // time_point difference: integer nanoseconds divided toward zero.
+  return (steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed)) /
+         1000;
 }
 
 void Tracer::push(TraceEvent ev) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(ev));
     head_ = ring_.size() % capacity_;
@@ -86,7 +93,7 @@ void Tracer::instant(const std::string& name, const std::string& category,
 }
 
 std::vector<TraceEvent> Tracer::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (wrapped_) {
@@ -101,7 +108,7 @@ std::vector<TraceEvent> Tracer::snapshot() const {
 }
 
 void Tracer::clear() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
   wrapped_ = false;

@@ -21,9 +21,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace mecsched::obs {
 
@@ -79,16 +80,20 @@ class Tracer {
 
  private:
   void push(TraceEvent ev);
+  static std::int64_t steady_now_ns();
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> dropped_{0};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_ = 1 << 16;
-  std::size_t head_ = 0;  // next slot to write
-  bool wrapped_ = false;
-  std::chrono::steady_clock::time_point epoch_ =
-      std::chrono::steady_clock::now();
+  // The epoch is read lock-free by now_us() on every record path while
+  // enable() rewrites it, so it lives in an atomic (nanoseconds on the
+  // steady clock) rather than under mu_ — the compile-time analysis
+  // rejects the previous unguarded time_point.
+  std::atomic<std::int64_t> epoch_ns_{steady_now_ns()};
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ MECSCHED_GUARDED_BY(mu_);
+  std::size_t capacity_ MECSCHED_GUARDED_BY(mu_) = 1 << 16;
+  std::size_t head_ MECSCHED_GUARDED_BY(mu_) = 0;  // next slot to write
+  bool wrapped_ MECSCHED_GUARDED_BY(mu_) = false;
 };
 
 // RAII span: times the enclosed scope. Duration always lands in the

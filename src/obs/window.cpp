@@ -18,11 +18,14 @@ double elapsed_seconds(std::chrono::steady_clock::time_point start) {
 
 WindowedHistogram::WindowedHistogram(double epoch_seconds,
                                      std::size_t num_epochs)
-    : epoch_seconds_(epoch_seconds), num_epochs_(num_epochs) {
+    // ring_ is sized in the init list: guarded members are initialized
+    // before the object can be shared, keeping the constructor body free
+    // of guarded accesses.
+    : epoch_seconds_(epoch_seconds), num_epochs_(num_epochs),
+      ring_(num_epochs) {
   MECSCHED_REQUIRE(std::isfinite(epoch_seconds) && epoch_seconds >= 0.0,
                    "window epoch_seconds must be finite and >= 0");
   MECSCHED_REQUIRE(num_epochs > 0, "window needs at least one epoch");
-  ring_.resize(num_epochs_);
 }
 
 std::uint64_t WindowedHistogram::current_index_locked() const {
@@ -50,7 +53,7 @@ WindowedHistogram::Epoch& WindowedHistogram::epoch_for_write_locked(
 }
 
 void WindowedHistogram::observe(double v) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Epoch& e = epoch_for_write_locked(current_index_locked());
   ++e.count;
   e.sum += v;
@@ -67,7 +70,7 @@ void WindowedHistogram::observe(double v) {
 }
 
 void WindowedHistogram::advance(std::size_t epochs) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   manual_offset_ += epochs;
 }
 
@@ -92,7 +95,7 @@ WindowedHistogram::Aggregate WindowedHistogram::aggregate_locked(
 }
 
 WindowedHistogram::Aggregate WindowedHistogram::aggregate() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return aggregate_locked(current_index_locked());
 }
 
@@ -100,7 +103,7 @@ WindowedHistogram::Snapshot WindowedHistogram::snapshot() const {
   Aggregate agg;
   double span = 0.0;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     agg = aggregate_locked(current_index_locked());
     if (epoch_seconds_ > 0.0) {
       // Covered span: what the window has actually seen — the full ring
@@ -152,23 +155,23 @@ void WindowedHistogram::merge_from(const WindowedHistogram& other) {
   // Snapshot `other` under its own lock before taking ours — same
   // self-merge / concurrent-writer discipline as Histogram::merge_from.
   const Aggregate agg = other.aggregate();
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   fold_locked(agg);
 }
 
 void WindowedHistogram::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (Epoch& e : ring_) e = Epoch{};
   manual_offset_ = 0;
   start_ = std::chrono::steady_clock::now();
 }
 
 RateWindow::RateWindow(double epoch_seconds, std::size_t num_epochs)
-    : epoch_seconds_(epoch_seconds), num_epochs_(num_epochs) {
+    : epoch_seconds_(epoch_seconds), num_epochs_(num_epochs),
+      ring_(num_epochs) {
   MECSCHED_REQUIRE(std::isfinite(epoch_seconds) && epoch_seconds >= 0.0,
                    "window epoch_seconds must be finite and >= 0");
   MECSCHED_REQUIRE(num_epochs > 0, "window needs at least one epoch");
-  ring_.resize(num_epochs_);
 }
 
 std::uint64_t RateWindow::current_index_locked() const {
@@ -181,7 +184,7 @@ std::uint64_t RateWindow::current_index_locked() const {
 }
 
 void RateWindow::record(std::uint64_t n) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const std::uint64_t index = current_index_locked();
   Epoch& e = ring_[static_cast<std::size_t>(index % num_epochs_)];
   if (!e.live || e.index != index) {
@@ -193,7 +196,7 @@ void RateWindow::record(std::uint64_t n) {
 }
 
 void RateWindow::advance(std::size_t epochs) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   manual_offset_ += epochs;
 }
 
@@ -208,7 +211,7 @@ std::uint64_t RateWindow::live_count_locked(std::uint64_t now_index) const {
 }
 
 RateWindow::Snapshot RateWindow::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Snapshot s;
   s.count = live_count_locked(current_index_locked());
   if (epoch_seconds_ > 0.0) {
@@ -223,7 +226,7 @@ RateWindow::Snapshot RateWindow::snapshot() const {
 void RateWindow::merge_from(const RateWindow& other) {
   std::uint64_t live = 0;
   {
-    const std::lock_guard<std::mutex> lock(other.mu_);
+    const MutexLock lock(other.mu_);
     live = other.live_count_locked(other.current_index_locked());
   }
   if (live == 0) return;
@@ -231,7 +234,7 @@ void RateWindow::merge_from(const RateWindow& other) {
 }
 
 void RateWindow::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (Epoch& e : ring_) e = Epoch{};
   manual_offset_ = 0;
   start_ = std::chrono::steady_clock::now();

@@ -27,9 +27,9 @@
 #include <chrono>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/registry.h"
 
 namespace mecsched::obs {
@@ -93,19 +93,20 @@ class WindowedHistogram {
     std::vector<std::uint64_t> buckets;
   };
 
-  std::uint64_t current_index_locked() const;
-  Epoch& epoch_for_write_locked(std::uint64_t index);
-  Aggregate aggregate_locked(std::uint64_t now_index) const;
-  Aggregate aggregate() const;
-  void fold_locked(const Aggregate& agg);
+  std::uint64_t current_index_locked() const MECSCHED_REQUIRES(mu_);
+  Epoch& epoch_for_write_locked(std::uint64_t index) MECSCHED_REQUIRES(mu_);
+  Aggregate aggregate_locked(std::uint64_t now_index) const
+      MECSCHED_REQUIRES(mu_);
+  Aggregate aggregate() const MECSCHED_EXCLUDES(mu_);
+  void fold_locked(const Aggregate& agg) MECSCHED_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  double epoch_seconds_;
-  std::size_t num_epochs_;
-  std::uint64_t manual_offset_ = 0;
-  std::chrono::steady_clock::time_point start_ =
+  mutable Mutex mu_;
+  double epoch_seconds_;   // immutable after construction
+  std::size_t num_epochs_;  // immutable after construction
+  std::uint64_t manual_offset_ MECSCHED_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point start_ MECSCHED_GUARDED_BY(mu_) =
       std::chrono::steady_clock::now();
-  std::vector<Epoch> ring_;
+  std::vector<Epoch> ring_ MECSCHED_GUARDED_BY(mu_);
 };
 
 // Rolling event rate over the last `num_epochs * epoch_seconds` seconds —
@@ -140,16 +141,17 @@ class RateWindow {
     std::uint64_t count = 0;
   };
 
-  std::uint64_t current_index_locked() const;
-  std::uint64_t live_count_locked(std::uint64_t now_index) const;
+  std::uint64_t current_index_locked() const MECSCHED_REQUIRES(mu_);
+  std::uint64_t live_count_locked(std::uint64_t now_index) const
+      MECSCHED_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  double epoch_seconds_;
-  std::size_t num_epochs_;
-  std::uint64_t manual_offset_ = 0;
-  std::chrono::steady_clock::time_point start_ =
+  mutable Mutex mu_;
+  double epoch_seconds_;   // immutable after construction
+  std::size_t num_epochs_;  // immutable after construction
+  std::uint64_t manual_offset_ MECSCHED_GUARDED_BY(mu_) = 0;
+  std::chrono::steady_clock::time_point start_ MECSCHED_GUARDED_BY(mu_) =
       std::chrono::steady_clock::now();
-  std::vector<Epoch> ring_;
+  std::vector<Epoch> ring_ MECSCHED_GUARDED_BY(mu_);
 };
 
 }  // namespace mecsched::obs

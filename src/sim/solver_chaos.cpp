@@ -121,7 +121,7 @@ chaos::Action SolverChaos::probe(const char* engine, std::size_t rows,
   if (!fire) return chaos::Action::kNone;
 
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     records_.push_back({engine, rows, cols, iteration, kind, 1});
   }
   obs::Registry::global().counter("chaos.injected." + to_string(kind)).add();
@@ -131,7 +131,7 @@ chaos::Action SolverChaos::probe(const char* engine, std::size_t rows,
 std::vector<SolverFaultRecord> SolverChaos::trace() const {
   std::vector<SolverFaultRecord> out;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     out = records_;
   }
   std::sort(out.begin(), out.end(),
@@ -158,7 +158,7 @@ std::vector<SolverFaultRecord> SolverChaos::trace() const {
 }
 
 std::size_t SolverChaos::injected() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return records_.size();
 }
 

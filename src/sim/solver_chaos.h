@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/chaos_hook.h"
+#include "common/thread_annotations.h"
 
 namespace mecsched::sim {
 
@@ -87,9 +87,9 @@ class SolverChaos final : public chaos::Hook {
   const SolverChaosConfig& config() const { return config_; }
 
  private:
-  SolverChaosConfig config_;
-  mutable std::mutex mu_;
-  std::vector<SolverFaultRecord> records_;
+  SolverChaosConfig config_;  // immutable after construction
+  mutable Mutex mu_;
+  std::vector<SolverFaultRecord> records_ MECSCHED_GUARDED_BY(mu_);
 };
 
 // RAII arming of the process-wide solver hook. At most one drill at a time;

@@ -1,0 +1,33 @@
+// Positive fixture for the thread-safety compile suite: a correctly
+// annotated class. Must compile under every supported compiler — with
+// -Werror=thread-safety{,-beta} on Clang, and trivially elsewhere (the
+// macros expand to nothing). If this fixture stops compiling, the macro
+// layer itself regressed, not a user of it.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) MECSCHED_EXCLUDES(mu_) {
+    const mecsched::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() const MECSCHED_EXCLUDES(mu_) {
+    const mecsched::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable mecsched::Mutex mu_;
+  int balance_ MECSCHED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(3);
+  return a.balance() == 3 ? 0 : 1;
+}

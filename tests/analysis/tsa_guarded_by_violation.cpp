@@ -1,0 +1,27 @@
+// Negative fixture for the thread-safety compile suite: writes a
+// MECSCHED_GUARDED_BY member without holding its mutex. Under Clang with
+// -Werror=thread-safety this must FAIL to compile — that failure is the
+// test. Under other compilers the annotations are no-ops and the fixture
+// must compile (tests/analysis/CMakeLists.txt flips the expectation).
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // seeded violation: mu_ is not held here
+  }
+
+ private:
+  mutable mecsched::Mutex mu_;
+  int balance_ MECSCHED_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(3);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Negative fixture for the thread-safety compile suite: acquires two
+// mutexes against their declared MECSCHED_ACQUIRED_BEFORE order. Caught
+// by the beta checks (-Werror=thread-safety-beta) on Clang, where this
+// must FAIL to compile; elsewhere the annotations are no-ops and it must
+// compile.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Transfer {
+ public:
+  void wrong_order() {
+    const mecsched::MutexLock hold_b(b_mu_);
+    const mecsched::MutexLock hold_a(a_mu_);  // inversion: a_mu_ first
+    ++a_;
+    ++b_;
+  }
+
+ private:
+  mecsched::Mutex a_mu_ MECSCHED_ACQUIRED_BEFORE(b_mu_);
+  mecsched::Mutex b_mu_;
+  int a_ MECSCHED_GUARDED_BY(a_mu_) = 0;
+  int b_ MECSCHED_GUARDED_BY(b_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Transfer t;
+  t.wrong_order();
+  return 0;
+}
