@@ -62,6 +62,8 @@ lp::Solution solve_exact(const lp::Problem& p, const LpHtaOptions& options,
   lp::SimplexOptions smx;
   if (budget > 0) smx.max_iterations = budget;
   smx.sparse_pricing = options.sparse_mode;
+  smx.pricing = options.pricing;
+  smx.basis = options.basis;
   smx.cancel = options.cancel;
   const lp::SimplexSolver solver(smx);
   const lp::Solution s = guess != nullptr ? solver.solve(p, *guess)

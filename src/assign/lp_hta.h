@@ -24,6 +24,7 @@
 #include <cstddef>
 
 #include "assign/assigner.h"
+#include "lp/simplex.h"
 #include "lp/sparse_matrix.h"
 
 namespace mecsched::assign {
@@ -61,6 +62,15 @@ struct LpHtaOptions {
   // clusters clear the kAuto density threshold and get the CSR kernels;
   // small ones keep the dense path. Assignment-preserving either way.
   lp::SparseMode sparse_mode = lp::SparseMode::kAuto;
+  // Step-1 simplex tuning, forwarded verbatim to lp::SimplexOptions
+  // (ignored by the interior-point engine). The defaults — eta-file LU
+  // basis kernel, Dantzig pricing — are the measured-fastest combination
+  // on the paper's cluster LPs; kDenseInverse is the differential-testing
+  // escape hatch (see lp/simplex.h), and kDevex / kSteepestEdge trade
+  // more work per pivot for fewer pivots on degenerate instances.
+  // Assignment-preserving: every combination reaches the same optimum.
+  lp::PricingRule pricing = lp::PricingRule::kDantzig;
+  lp::BasisKernel basis = lp::BasisKernel::kEtaLu;
   // Cooperative solve budget, forwarded to the Step-1 LP engines. On expiry
   // a cluster whose LP holds a usable anytime point (see solution.h) keeps
   // it — Steps 2-6 round and repair it like any relaxation, and the final

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "audit/audit.h"
@@ -9,8 +10,10 @@
 #include "common/chaos_hook.h"
 #include "common/deadline.h"
 #include "common/error.h"
-#include "lp/matrix.h"
+#include "lp/basis_dense.h"
+#include "lp/basis_lu.h"
 #include "lp/sparse_matrix.h"
+#include "lp/workspace.h"
 #include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
@@ -19,67 +22,154 @@
 namespace mecsched::lp {
 namespace {
 
-enum class VarState { kBasic, kAtLower, kAtUpper };
+enum class VarState : unsigned char { kBasic, kAtLower, kAtUpper };
 
 // The augmented LP (structural + slack + artificial columns) plus all the
-// mutable solver state for one solve.
+// mutable solver state for one solve. Everything is carved out of the
+// per-thread SimplexWorkspace arena, the augmented matrix is held as CSC
+// columns only (a dense column copy is materialized solely for the
+// force-dense pricing fallback), and the basis lives behind one of two
+// kernels: the eta-file LU (lp/basis_lu.h, default) or the historical
+// explicit dense inverse (lp/basis_dense.h).
 class Tableau {
  public:
   // `guess` (optional, one entry per structural variable) warm-starts the
   // solve: structurals snap to their nearest finite bound and rows whose
   // slack can absorb the residual get a slack-basic crash start. The cold
-  // path (guess == nullptr) is bit-identical to the historical all-
-  // artificial start.
+  // path (guess == nullptr) keeps the historical all-artificial start.
   Tableau(const Problem& p, const SimplexOptions& opt,
-          const std::vector<double>* guess) : opt_(opt) {
+          const std::vector<double>* guess, SimplexWorkspace& ws)
+      : opt_(opt), ws_(ws), use_lu_(opt.basis == BasisKernel::kEtaLu) {
+    ws_.begin_solve();
     const std::size_t m = p.num_constraints();
+    m_ = m;
     n_struct_ = p.num_variables();
 
     // Count slacks first so column indices are stable.
     std::size_t n_slack = 0;
+    std::size_t total_terms = 0;
     for (std::size_t r = 0; r < m; ++r) {
       if (p.constraint(r).relation != Relation::kEqual) ++n_slack;
+      total_terms += p.constraint(r).terms.size();
     }
-    const std::size_t n_total = n_struct_ + n_slack + m;  // + m artificials
-    a_ = Matrix(m, n_total);
-    b_.resize(m);
-    lo_.assign(n_total, 0.0);
-    hi_.assign(n_total, kInfinity);
-    cost_.assign(n_total, 0.0);
+    art_begin_ = n_struct_ + n_slack;
+    n_total_ = art_begin_ + m;  // + m artificials
 
+    b_ = ws_.alloc<double>(m);
+    lo_ = ws_.alloc<double>(n_total_);
+    hi_ = ws_.alloc<double>(n_total_);
+    cost_ = ws_.alloc<double>(n_total_);
+    x_ = ws_.alloc<double>(n_total_);
+    state_ = ws_.alloc<VarState>(n_total_);
+    basis_ = ws_.alloc<std::size_t>(m);
+    weights_ = ws_.alloc<double>(n_total_);
+    costs_buf_ = ws_.alloc<double>(n_total_);
+    cb_ = ws_.alloc<double>(m);
+    w_ = ws_.alloc<double>(m);
+    rho_ = ws_.alloc<double>(m);
+    sev_ = ws_.alloc<double>(m);
+    rhs_ = ws_.alloc<double>(m);
+
+    std::fill(lo_, lo_ + n_total_, 0.0);
+    std::fill(hi_, hi_ + n_total_, kInfinity);
+    std::fill(cost_, cost_ + n_total_, 0.0);
     for (std::size_t v = 0; v < n_struct_; ++v) {
       lo_[v] = p.lower(v);
       hi_[v] = p.upper(v);
       cost_[v] = p.cost(v);
     }
 
+    // Compact each row's terms (last write wins on duplicates, matching
+    // the historical dense-matrix assembly) so the CSC build below can
+    // count and fill in one deterministic sweep per pass.
+    std::size_t* stamp = ws_.alloc<std::size_t>(n_struct_);
+    std::size_t* pos = ws_.alloc<std::size_t>(n_struct_);
+    std::size_t* row_ptr = ws_.alloc<std::size_t>(m + 1);
+    std::size_t* term_var = ws_.alloc<std::size_t>(total_terms);
+    double* term_val = ws_.alloc<double>(total_terms);
+    std::size_t* slack_of = ws_.alloc<std::size_t>(m);
+    std::fill(stamp, stamp + n_struct_, kNone);
+    std::size_t cursor = 0;
     std::size_t slack = n_struct_;
-    std::vector<std::size_t> slack_of(m, kNone);
     for (std::size_t r = 0; r < m; ++r) {
       const Constraint& c = p.constraint(r);
-      for (const Term& t : c.terms) a_(r, t.var) = t.coeff;
+      row_ptr[r] = cursor;
+      for (const Term& t : c.terms) {
+        if (stamp[t.var] == r) {
+          term_val[pos[t.var]] = t.coeff;
+          continue;
+        }
+        stamp[t.var] = r;
+        pos[t.var] = cursor;
+        term_var[cursor] = t.var;
+        term_val[cursor] = t.coeff;
+        ++cursor;
+      }
       b_[r] = c.rhs;
+      slack_of[r] = kNone;
       switch (c.relation) {
         case Relation::kLessEqual:
-          slack_of[r] = slack;
-          a_(r, slack++) = 1.0;
+          slack_of[r] = slack++;
           break;
         case Relation::kGreaterEqual:
-          slack_of[r] = slack;
-          a_(r, slack++) = -1.0;
+          slack_of[r] = slack++;
           break;
         case Relation::kEqual:
           break;
       }
     }
-    art_begin_ = n_struct_ + n_slack;
+    row_ptr[m] = cursor;
+
+    // CSC column store for the whole augmented tableau. Filling row-major
+    // keeps the rows of every column in ascending order — the invariant
+    // the bit-identical sparse/dense pricing contract rests on.
+    std::size_t nnz = n_slack + m;  // slacks and artificials: one entry each
+    for (std::size_t i = 0; i < cursor; ++i) nnz += term_val[i] != 0.0;
+    acol_ptr_ = ws_.alloc<std::size_t>(n_total_ + 1);
+    acol_row_ = ws_.alloc<std::size_t>(nnz);
+    acol_val_ = ws_.alloc<double>(nnz);
+    nnz_ = nnz;
+    std::fill(acol_ptr_, acol_ptr_ + n_total_ + 1, 0);
+    for (std::size_t i = 0; i < cursor; ++i) {
+      if (term_val[i] != 0.0) ++acol_ptr_[term_var[i] + 1];
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      if (slack_of[r] != kNone) ++acol_ptr_[slack_of[r] + 1];
+      ++acol_ptr_[art_begin_ + r + 1];
+    }
+    for (std::size_t j = 0; j < n_total_; ++j) acol_ptr_[j + 1] += acol_ptr_[j];
+    std::size_t* next = stamp;  // reuse: stamp is dead past this point
+    std::copy(acol_ptr_, acol_ptr_ + n_struct_, next);
+    std::size_t* next_aux = ws_.alloc<std::size_t>(n_slack + m);
+    for (std::size_t j = n_struct_; j < n_total_; ++j) {
+      next_aux[j - n_struct_] = acol_ptr_[j];
+    }
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+        if (term_val[i] == 0.0) continue;
+        const std::size_t pslot = next[term_var[i]]++;
+        acol_row_[pslot] = r;
+        acol_val_[pslot] = term_val[i];
+      }
+      if (slack_of[r] != kNone) {
+        const std::size_t pslot = next_aux[slack_of[r] - n_struct_]++;
+        acol_row_[pslot] = r;
+        acol_val_[pslot] =
+            p.constraint(r).relation == Relation::kGreaterEqual ? -1.0 : 1.0;
+      }
+      // Artificial of row r: single entry, value filled after the crash
+      // basis fixes its sign.
+      const std::size_t pslot = next_aux[art_begin_ + r - n_struct_]++;
+      acol_row_[pslot] = r;
+      acol_val_[pslot] = 0.0;
+    }
 
     // Nonbasic start: every non-artificial variable at its (finite) lower
     // bound — or, when warm-starting, at whichever finite bound the guess
     // is nearest to. Artificials absorb the residual with a ±1 coefficient
     // so their phase-1 value is non-negative.
-    state_.assign(n_total, VarState::kAtLower);
-    x_.assign(n_total, 0.0);
+    std::fill(state_, state_ + n_total_, VarState::kAtLower);
+    std::fill(x_, x_ + n_total_, 0.0);
     for (std::size_t v = 0; v < art_begin_; ++v) x_[v] = lo_[v];
     if (guess != nullptr) {
       for (std::size_t v = 0; v < n_struct_; ++v) {
@@ -92,66 +182,91 @@ class Tableau {
       }
     }
 
-    std::vector<double> residual = b_;
+    double* residual = rhs_;  // scratch; refactorize() will reuse it
+    std::copy(b_, b_ + m, residual);
     for (std::size_t v = 0; v < art_begin_; ++v) {
       if (x_[v] == 0.0) continue;
-      // One-time setup, before the CSC column store exists.
-      // lint:allow-dense-scan-in-kernel -- constructor, not the pivot loop.
-      for (std::size_t r = 0; r < m; ++r) residual[r] -= a_(r, v) * x_[v];
+      for (std::size_t pcol = acol_ptr_[v]; pcol < acol_ptr_[v + 1]; ++pcol) {
+        residual[acol_row_[pcol]] -= acol_val_[pcol] * x_[v];
+      }
     }
 
-    basis_.resize(m);
-    binv_ = Matrix(m, m);
+    if (use_lu_) {
+      lu_ = &ws_.lu();
+      lu_->limits().max_etas = opt_.refactor_period;
+    } else {
+      dense_.reset_diagonal(m);
+    }
     for (std::size_t r = 0; r < m; ++r) {
       const std::size_t art = art_begin_ + r;
+      const std::size_t art_entry = acol_ptr_[art];  // its single CSC slot
       if (guess != nullptr && slack_of[r] != kNone) {
         // Crash start: the slack column is ±e_r, so it serves as the basic
         // variable whenever the warm point leaves it non-negative; the
         // row's artificial then starts (and stays) at zero.
         const std::size_t s = slack_of[r];
-        // lint:allow-dense-scan-in-kernel -- constructor, single slack entry.
-        const double value = residual[r] * a_(r, s);
+        const double sign = acol_val_[acol_ptr_[s]];
+        const double value = residual[r] * sign;
         if (value >= 0.0) {
           basis_[r] = s;
           state_[s] = VarState::kBasic;
           x_[s] = value;
-          // B column = ±e_r => B^-1 entry = ±1
-          // lint:allow-dense-scan-in-kernel -- constructor, single entry.
-          binv_(r, r) = a_(r, s);
-          a_(r, art) = 1.0;
+          acol_val_[art_entry] = 1.0;
+          if (!use_lu_) dense_.set_diag(r, sign);  // B col = ±e_r
           continue;
         }
       }
       const double sign = residual[r] >= 0.0 ? 1.0 : -1.0;
-      a_(r, art) = sign;
+      acol_val_[art_entry] = sign;
       basis_[r] = art;
       state_[art] = VarState::kBasic;
       x_[art] = std::fabs(residual[r]);
-      binv_(r, r) = sign;  // B = diag(sign) => B^-1 = diag(sign)
+      if (!use_lu_) dense_.set_diag(r, sign);  // B = diag(sign)
     }
+    if (use_lu_) factorize_basis();
 
-    build_columns();
+    // Pricing storage dispatch (lp/sparse_matrix.h): above the density
+    // threshold pricing walks the CSC nonzeros; below it, a dense
+    // column-major copy is scanned instead. Same products in the same
+    // ascending-row order either way, so the reduced costs — and the
+    // pivot sequence — are bit-identical.
+    sparse_pricing_ = use_sparse_kernels(m, n_total_, nnz_, opt_.sparse_pricing);
+    if (!sparse_pricing_) {
+      dense_cols_ = ws_.alloc<double>(m * n_total_);
+      std::fill(dense_cols_, dense_cols_ + m * n_total_, 0.0);
+      for (std::size_t j = 0; j < n_total_; ++j) {
+        for (std::size_t pcol = acol_ptr_[j]; pcol < acol_ptr_[j + 1];
+             ++pcol) {
+          dense_cols_[j * m + acol_row_[pcol]] = acol_val_[pcol];
+        }
+      }
+    }
   }
 
   // Whether the pricing/ratio-test kernels run off the CSC column store.
   bool sparse_pricing() const { return sparse_pricing_; }
 
-  // Minimizes `costs` from the current basis. Returns the phase status.
-  // `token` is checked once per pivot; on expiry the current point is left
-  // intact (it is a basic solution of the phase's system) and kDeadline is
-  // returned — the caller decides what of it is reportable.
-  SolveStatus optimize(const std::vector<double>& costs,
-                       const CancellationToken& token) {
-    const std::size_t m = a_.rows();
-    const double cost_scale = 1.0 + max_abs(costs);
+  // Minimizes `costs` (n_total entries) from the current basis. Returns
+  // the phase status. `token` is checked once per pivot; on expiry the
+  // current point is left intact (it is a basic solution of the phase's
+  // system) and kDeadline is returned — the caller decides what of it is
+  // reportable.
+  SolveStatus optimize(const double* costs, const CancellationToken& token) {
+    const std::size_t m = m_;
+    const double cost_scale = 1.0 + max_abs(costs, n_total_);
     const double dj_tol = opt_.tolerance * cost_scale;
     std::size_t degenerate_run = 0;
-    devex_weights_.assign(x_.size(), 1.0);  // fresh reference framework
+    reset_weights();  // fresh reference framework per phase
+
+    // Everything from here to the end of the loop must stay heap-silent:
+    // tests/lp/workspace_alloc_test.cpp counts allocations inside this
+    // scope on a warm re-solve and expects zero.
+    const internal::PivotLoopScope alloc_probe;
 
     for (; iterations_ < opt_.max_iterations; ++iterations_) {
       if (token.expired()) return SolveStatus::kDeadline;
       if (chaos::armed()) {
-        switch (chaos::probe("simplex", m, x_.size(), iterations_)) {
+        switch (chaos::probe("simplex", m, n_total_, iterations_)) {
           case chaos::Action::kNone:
             break;
           case chaos::Action::kStall:
@@ -160,20 +275,22 @@ class Tableau {
             // outside: the budget is gone.
             return SolveStatus::kDeadline;
           case chaos::Action::kPoisonNan:
-            if (m > 0) binv_(0, 0) = std::nan("");
+            if (use_lu_) {
+              lu_->poison();
+            } else {
+              dense_.poison();
+            }
             break;
           case chaos::Action::kError:
             throw SolverError("simplex: injected solver fault");
         }
       }
-      if (iterations_ > 0 && iterations_ % opt_.refactor_period == 0) {
-        refactorize();
-      }
+      if (refactor_due()) refactorize();
 
-      // Dual prices y = (B^-1)^T c_B.
-      std::vector<double> cb(m);
-      for (std::size_t r = 0; r < m; ++r) cb[r] = costs[basis_[r]];
-      const std::vector<double> y = binv_.multiply_transpose(cb);
+      // Dual prices y = B^-T c_B.
+      for (std::size_t r = 0; r < m; ++r) cb_[r] = costs[basis_[r]];
+      btran_vec(cb_);
+      const double* y = cb_;
 
       const bool bland = degenerate_run >= opt_.bland_trigger;
       const std::size_t entering = price(costs, y, dj_tol, bland);
@@ -181,8 +298,8 @@ class Tableau {
         // NaN reduced costs make every eligibility comparison false, so a
         // poisoned basis would otherwise masquerade as optimal (and phase 1
         // would then report a *wrong* infeasible). Refuse loudly instead.
-        for (double v : y) {
-          if (!std::isfinite(v)) {
+        for (std::size_t r = 0; r < m; ++r) {
+          if (!std::isfinite(y[r])) {
             throw SolverError(
                 "simplex: non-finite dual prices (numeric breakdown)");
           }
@@ -191,7 +308,8 @@ class Tableau {
       }
 
       // Column in the current basis frame: w = B^-1 A_entering.
-      const std::vector<double> w = ftran_column(entering);
+      column_scatter(entering, w_);
+      ftran_vec(w_);
 
       const double dir = state_[entering] == VarState::kAtLower ? 1.0 : -1.0;
 
@@ -201,7 +319,7 @@ class Tableau {
       std::size_t leave_row = kNone;
       bool leave_at_upper = false;
       for (std::size_t r = 0; r < m; ++r) {
-        const double rate = dir * w[r];
+        const double rate = dir * w_[r];
         const std::size_t bv = basis_[r];
         if (rate > opt_.tolerance) {  // basic value decreases toward lo
           const double t = (x_[bv] - lo_[bv]) / rate;
@@ -227,7 +345,7 @@ class Tableau {
 
       // Apply the step.
       x_[entering] += dir * t_max;
-      for (std::size_t r = 0; r < m; ++r) x_[basis_[r]] -= dir * w[r] * t_max;
+      for (std::size_t r = 0; r < m; ++r) x_[basis_[r]] -= dir * w_[r] * t_max;
 
       if (leave_row == kNone) {
         // Bound flip: entering variable crosses to its other bound; the
@@ -241,167 +359,203 @@ class Tableau {
       }
 
       if (opt_.pricing == PricingRule::kDevex) {
-        devex_update(entering, leave_row, w);
+        devex_update(entering, leave_row);
+      } else if (opt_.pricing == PricingRule::kSteepestEdge) {
+        steepest_update(entering, leave_row);
       }
       const std::size_t leaving = basis_[leave_row];
       state_[leaving] = leave_at_upper ? VarState::kAtUpper : VarState::kAtLower;
       x_[leaving] = leave_at_upper ? hi_[leaving] : lo_[leaving];
       state_[entering] = VarState::kBasic;
       basis_[leave_row] = entering;
-      pivot_update(w, leave_row);
+      if (use_lu_) {
+        if (lu_->push_eta(w_, leave_row, m)) {
+          ++eta_updates_;
+        } else {
+          // Accuracy trigger: the eta pivot is too small to apply safely.
+          // The basis is already updated, so a fresh factorization both
+          // absorbs the pivot and clears accumulated drift.
+          ++eta_rejections_;
+          refactorize();
+        }
+      } else {
+        dense_.update(w_, leave_row);
+      }
     }
     return SolveStatus::kIterationLimit;
   }
 
   // Magnitude of the right-hand side; scales the phase-1 feasibility test.
-  double rhs_scale() const { return 1.0 + max_abs(b_); }
+  double rhs_scale() const { return 1.0 + max_abs(b_, m_); }
 
   // Sum of artificial values (phase-1 objective at the current point).
   double artificial_infeasibility() const {
     double total = 0.0;
-    for (std::size_t v = art_begin_; v < x_.size(); ++v) total += x_[v];
+    for (std::size_t v = art_begin_; v < n_total_; ++v) total += x_[v];
     return total;
   }
 
-  std::vector<double> phase1_costs() const {
-    std::vector<double> c(x_.size(), 0.0);
-    for (std::size_t v = art_begin_; v < c.size(); ++v) c[v] = 1.0;
-    return c;
+  const double* phase1_costs() {
+    std::fill(costs_buf_, costs_buf_ + art_begin_, 0.0);
+    std::fill(costs_buf_ + art_begin_, costs_buf_ + n_total_, 1.0);
+    return costs_buf_;
   }
 
-  std::vector<double> phase2_costs() const {
-    std::vector<double> c(x_.size(), 0.0);
-    std::copy(cost_.begin(), cost_.begin() + static_cast<long>(n_struct_),
-              c.begin());
-    return c;
+  const double* phase2_costs() {
+    std::copy(cost_, cost_ + n_total_, costs_buf_);
+    return costs_buf_;
   }
 
   // Pins every artificial to zero so phase 2 cannot re-activate them.
   void pin_artificials() {
-    for (std::size_t v = art_begin_; v < x_.size(); ++v) {
+    for (std::size_t v = art_begin_; v < n_total_; ++v) {
       hi_[v] = 0.0;
       if (state_[v] != VarState::kBasic) x_[v] = 0.0;
     }
   }
 
   std::vector<double> structural_solution() const {
-    return {x_.begin(), x_.begin() + static_cast<long>(n_struct_)};
+    return {x_, x_ + n_struct_};
   }
 
-  // Dual prices y = (B^-1)^T c_B for the given objective. Rows of the
-  // tableau correspond one-to-one (in order) with Problem constraints.
-  std::vector<double> duals(const std::vector<double>& costs) const {
-    const std::size_t m = a_.rows();
-    std::vector<double> cb(m);
-    for (std::size_t r = 0; r < m; ++r) cb[r] = costs[basis_[r]];
-    return binv_.multiply_transpose(cb);
+  // Dual prices y = B^-T c_B for the given objective. Rows of the tableau
+  // correspond one-to-one (in order) with Problem constraints.
+  std::vector<double> duals(const double* costs) const {
+    std::vector<double> y(m_);
+    for (std::size_t r = 0; r < m_; ++r) y[r] = costs[basis_[r]];
+    if (!y.empty()) btran_vec(y.data());
+    return y;
   }
 
   std::size_t iterations() const { return iterations_; }
+  std::uint64_t refactorizations() const { return refactorizations_; }
+  std::uint64_t eta_updates() const { return eta_updates_; }
+  std::uint64_t eta_rejections() const { return eta_rejections_; }
 
  private:
   static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
 
-  static double max_abs(const std::vector<double>& v) {
+  static double max_abs(const double* v, std::size_t n) {
     double mx = 0.0;
-    for (double e : v) mx = std::max(mx, std::fabs(e));
+    for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, std::fabs(v[i]));
     return mx;
   }
 
-  // Builds the CSC column store for the pricing kernels when the dispatch
-  // policy picks the sparse path. Runs once, at the end of construction:
-  // the augmented matrix (including the artificial columns) never changes
-  // afterwards, only `binv_` does.
-  void build_columns() {
-    const std::size_t m = a_.rows();
-    const std::size_t n = x_.size();
-    std::size_t nnz = 0;
-    for (std::size_t r = 0; r < m; ++r) {
-      const double* row = a_.row(r);
-      for (std::size_t j = 0; j < n; ++j) nnz += row[j] != 0.0 ? 1 : 0;
-    }
-    sparse_pricing_ = use_sparse_kernels(m, n, nnz, opt_.sparse_pricing);
-    if (!sparse_pricing_) return;
-
-    acol_ptr_.assign(n + 1, 0);
-    for (std::size_t r = 0; r < m; ++r) {
-      const double* row = a_.row(r);
-      for (std::size_t j = 0; j < n; ++j) {
-        if (row[j] != 0.0) ++acol_ptr_[j + 1];
-      }
-    }
-    for (std::size_t j = 0; j < n; ++j) acol_ptr_[j + 1] += acol_ptr_[j];
-    acol_row_.resize(nnz);
-    acol_val_.resize(nnz);
-    std::vector<std::size_t> next(acol_ptr_.begin(), acol_ptr_.end() - 1);
-    for (std::size_t r = 0; r < m; ++r) {
-      const double* row = a_.row(r);
-      for (std::size_t j = 0; j < n; ++j) {
-        if (row[j] == 0.0) continue;
-        const std::size_t p = next[j]++;
-        acol_row_[p] = r;
-        acol_val_[p] = row[j];
-      }
+  void ftran_vec(double* v) const {
+    if (use_lu_) {
+      lu_->ftran(v);
+    } else {
+      dense_.ftran(v);
     }
   }
 
-  // Reduced cost c_j - y^T A_j. Both paths subtract the products in
-  // ascending row order (the sparse one merely skips exact-zero terms), so
-  // sparse pricing reproduces the dense reduced costs bit-for-bit and the
-  // pivot sequence is unchanged.
-  double reduced_cost(std::size_t j, const std::vector<double>& costs,
-                      const std::vector<double>& y) const {
+  void btran_vec(double* v) const {
+    if (use_lu_) {
+      lu_->btran(v);
+    } else {
+      dense_.btran(v);
+    }
+  }
+
+  // out := dense image of CSC column j (m entries).
+  void column_scatter(std::size_t j, double* out) const {
+    std::fill(out, out + m_, 0.0);
+    for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+      out[acol_row_[p]] = acol_val_[p];
+    }
+  }
+
+  // Σ_r v[r]·A_j[r] over the stored nonzeros, ascending row order.
+  double col_dot(std::size_t j, const double* v) const {
+    double acc = 0.0;
+    for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+      acc += v[acol_row_[p]] * acol_val_[p];
+    }
+    return acc;
+  }
+
+  bool refactor_due() const {
+    if (use_lu_) return lu_->needs_refactor();
+    return iterations_ > 0 && iterations_ % opt_.refactor_period == 0;
+  }
+
+  // Gathers the current basis columns (CSC, ascending rows preserved) and
+  // hands them to the active kernel.
+  void factorize_basis() {
+    if (bcol_ptr_ == nullptr) {
+      bcol_ptr_ = ws_.alloc<std::size_t>(m_ + 1);
+      bcol_row_ = ws_.alloc<std::size_t>(nnz_);
+      bcol_val_ = ws_.alloc<double>(nnz_);
+    }
+    std::size_t cursor = 0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      bcol_ptr_[r] = cursor;
+      const std::size_t j = basis_[r];
+      for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+        bcol_row_[cursor] = acol_row_[p];
+        bcol_val_[cursor] = acol_val_[p];
+        ++cursor;
+      }
+    }
+    bcol_ptr_[m_] = cursor;
+    if (use_lu_) {
+      lu_->factorize(m_, bcol_ptr_, bcol_row_, bcol_val_);
+    } else {
+      dense_.factorize(m_, bcol_ptr_, bcol_row_, bcol_val_);
+    }
+  }
+
+  // Recomputes the basis representation from scratch and refreshes the
+  // basic values from the nonbasic ones, clearing the accumulated
+  // floating-point drift of the incremental updates.
+  void refactorize() {
+    ++refactorizations_;
+    factorize_basis();
+
+    // x_B = B^-1 (b - N x_N)
+    std::copy(b_, b_ + m_, rhs_);
+    for (std::size_t v = 0; v < n_total_; ++v) {
+      if (state_[v] == VarState::kBasic || x_[v] == 0.0) continue;
+      for (std::size_t p = acol_ptr_[v]; p < acol_ptr_[v + 1]; ++p) {
+        rhs_[acol_row_[p]] -= acol_val_[p] * x_[v];
+      }
+    }
+    ftran_vec(rhs_);
+    for (std::size_t r = 0; r < m_; ++r) x_[basis_[r]] = rhs_[r];
+  }
+
+  // Reduced cost c_j - y^T A_j. Both storage paths subtract the products
+  // in ascending row order (the sparse one merely skips exact-zero terms),
+  // so sparse pricing reproduces the dense reduced costs bit-for-bit and
+  // the pivot sequence is unchanged.
+  double reduced_cost(std::size_t j, const double* costs,
+                      const double* y) const {
     double dj = costs[j];
     if (sparse_pricing_) {
-      for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
-        dj -= y[acol_row_[p]] * acol_val_[p];
-      }
-      return dj;
+      return dj - col_dot(j, y);
     }
-    const std::size_t m = a_.rows();
-    // Dense fallback under the dispatch threshold (lp/sparse_matrix.h).
-    // lint:allow-dense-scan-in-kernel -- deliberate dense pricing path.
-    for (std::size_t r = 0; r < m; ++r) dj -= y[r] * a_(r, j);
+    // Dense fallback under the dispatch threshold (lp/sparse_matrix.h):
+    // scan the column-major copy, zero terms included.
+    const double* col = dense_cols_ + j * m_;
+    for (std::size_t r = 0; r < m_; ++r) dj -= y[r] * col[r];
     return dj;
-  }
-
-  // w = B^-1 A_j for the entering column.
-  std::vector<double> ftran_column(std::size_t j) const {
-    const std::size_t m = a_.rows();
-    if (sparse_pricing_) {
-      std::vector<double> w(m, 0.0);
-      for (std::size_t r = 0; r < m; ++r) {
-        const double* br = binv_.row(r);
-        double acc = 0.0;
-        for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
-          acc += br[acol_row_[p]] * acol_val_[p];
-        }
-        w[r] = acc;
-      }
-      return w;
-    }
-    std::vector<double> col(m);
-    // lint:allow-dense-scan-in-kernel -- dense fallback gather.
-    for (std::size_t r = 0; r < m; ++r) col[r] = a_(r, j);
-    return binv_.multiply(col);
   }
 
   // Chooses the entering column: Dantzig (most negative effective reduced
   // cost) normally, Bland (lowest eligible index) when anti-cycling.
-  std::size_t price(const std::vector<double>& costs,
-                    const std::vector<double>& y, double dj_tol,
+  std::size_t price(const double* costs, const double* y, double dj_tol,
                     bool bland) const {
-    const bool devex = opt_.pricing == PricingRule::kDevex && !bland;
+    const bool weighted = opt_.pricing != PricingRule::kDantzig && !bland;
     std::size_t best = kNone;
-    double best_score = devex ? dj_tol * dj_tol : dj_tol;
-    for (std::size_t j = 0; j < x_.size(); ++j) {
+    double best_score = weighted ? dj_tol * dj_tol : dj_tol;
+    for (std::size_t j = 0; j < n_total_; ++j) {
       if (state_[j] == VarState::kBasic) continue;
       if (hi_[j] - lo_[j] <= opt_.tolerance) continue;  // fixed (artificials)
       const double dj = reduced_cost(j, costs, y);
       const double rate =
           state_[j] == VarState::kAtLower ? -dj : dj;  // improvement rate
       if (rate <= dj_tol) continue;                    // not eligible
-      const double score = devex ? rate * rate / devex_weights_[j] : rate;
+      const double score = weighted ? rate * rate / weights_[j] : rate;
       if (score > best_score) {
         best = j;
         best_score = score;
@@ -411,149 +565,134 @@ class Tableau {
     return best;
   }
 
+  // Fresh reference framework at the start of a phase: Devex weights reset
+  // to 1; steepest-edge weights to 1 + ‖A_j‖², which equals the exact
+  // 1 + ‖B⁻¹A_j‖² whenever the reference basis is the ±1-diagonal crash
+  // start (a signed permutation preserves norms).
+  void reset_weights() {
+    if (opt_.pricing == PricingRule::kSteepestEdge) {
+      for (std::size_t j = 0; j < n_total_; ++j) {
+        double sq = 0.0;
+        for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
+          sq += acol_val_[p] * acol_val_[p];
+        }
+        weights_[j] = 1.0 + sq;
+      }
+    } else {
+      std::fill(weights_, weights_ + n_total_, 1.0);
+    }
+  }
+
+  // rho_ := pivot row r of B^-1 (e_r^T B^-1), via the kernel.
+  void load_pivot_row(std::size_t r) {
+    if (use_lu_) {
+      std::fill(rho_, rho_ + m_, 0.0);
+      rho_[r] = 1.0;
+      lu_->btran(rho_);
+    } else {
+      dense_.pivot_row(r, rho_);
+    }
+  }
+
   // Forrest-Goldfarb devex weight update after pivoting entering column
-  // `q` on row `r` (w = B^-1 A_q already computed). The pivot row
+  // `q` on row `r` (w_ = B^-1 A_q already computed). The pivot row
   // e_r^T B^-1 A gives the alphas the update needs.
-  void devex_update(std::size_t q, std::size_t r,
-                    const std::vector<double>& w) {
-    const std::size_t m = a_.rows();
-    const double alpha_q = w[r];
+  void devex_update(std::size_t q, std::size_t r) {
+    const double alpha_q = w_[r];
     if (std::fabs(alpha_q) < 1e-12) return;
-    // pivot row of B^-1 (before the pivot update), then rho = row * A.
-    std::vector<double> binv_row(m);
-    // lint:allow-dense-scan-in-kernel -- O(m) gather of one B^-1 row.
-    for (std::size_t c = 0; c < m; ++c) binv_row[c] = binv_(r, c);
-    const double wq = devex_weights_[q];
-    for (std::size_t j = 0; j < x_.size(); ++j) {
+    load_pivot_row(r);
+    const double wq = weights_[q];
+    for (std::size_t j = 0; j < n_total_; ++j) {
       if (state_[j] == VarState::kBasic || j == q) continue;
       if (hi_[j] - lo_[j] <= opt_.tolerance) continue;
-      // rho = (pivot row of B^-1) . A_j — a reduced cost against -binv_row.
-      double rho = 0.0;
-      if (sparse_pricing_) {
-        for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
-          rho += binv_row[acol_row_[p]] * acol_val_[p];
-        }
-      } else {
-        // lint:allow-dense-scan-in-kernel -- dense fallback.
-        for (std::size_t c = 0; c < m; ++c) rho += binv_row[c] * a_(c, j);
-      }
-      const double cand = (rho / alpha_q) * (rho / alpha_q) * wq;
-      if (cand > devex_weights_[j]) devex_weights_[j] = cand;
+      // alpha_j = (pivot row of B^-1) . A_j
+      const double alpha_j = col_dot(j, rho_);
+      const double cand = (alpha_j / alpha_q) * (alpha_j / alpha_q) * wq;
+      if (cand > weights_[j]) weights_[j] = cand;
       // reset the framework if weights explode
-      if (devex_weights_[j] > 1e12) {
-        devex_weights_.assign(x_.size(), 1.0);
+      if (weights_[j] > 1e12) {
+        std::fill(weights_, weights_ + n_total_, 1.0);
         return;
       }
     }
-    devex_weights_[basis_[r]] = std::max(wq / (alpha_q * alpha_q), 1.0);
+    weights_[basis_[r]] = std::max(wq / (alpha_q * alpha_q), 1.0);
   }
 
-  // Rank-1 basis-inverse update after pivoting on row `r`.
-  void pivot_update(const std::vector<double>& w, std::size_t r) {
-    const std::size_t m = a_.rows();
-    const double piv = w[r];
-    if (std::fabs(piv) < 1e-12) {
-      throw SolverError("simplex: numerically singular pivot");
-    }
-    double* br = binv_.row(r);
-    for (std::size_t c = 0; c < m; ++c) br[c] /= piv;
-    for (std::size_t i = 0; i < m; ++i) {
-      if (i == r) continue;
-      const double f = w[i];
-      if (f == 0.0) continue;
-      double* bi = binv_.row(i);
-      for (std::size_t c = 0; c < m; ++c) bi[c] -= f * br[c];
-    }
-  }
-
-  // Recomputes B^-1 from scratch (Gauss-Jordan with partial pivoting) and
-  // refreshes the basic values from the nonbasic ones, clearing the
-  // accumulated floating-point drift of the rank-1 updates.
-  void refactorize() {
-    const std::size_t m = a_.rows();
-    // The refactorization is dense by design (m×m basis, period-amortized).
-    // lint:allow-dense-scan-in-kernel -- Gauss-Jordan work matrix.
-    Matrix bmat(m, m);
-    for (std::size_t r = 0; r < m; ++r) {
-      const std::size_t j = basis_[r];
-      if (sparse_pricing_) {
-        for (std::size_t p = acol_ptr_[j]; p < acol_ptr_[j + 1]; ++p) {
-          bmat(acol_row_[p], r) = acol_val_[p];
-        }
-      } else {
-        // lint:allow-dense-scan-in-kernel -- dense fallback gather.
-        for (std::size_t i = 0; i < m; ++i) bmat(i, r) = a_(i, j);
+  // Exact reference-framework steepest-edge update (Goldfarb–Reid) after
+  // pivoting entering column `q` on row `r`: with α_j = (B⁻¹A_j)_r taken
+  // from the pivot row ρ = B⁻ᵀe_r and v = B⁻ᵀw (both one extra BTRAN),
+  //   γ_j ← max(γ_j − 2(α_j/α_q)·A_jᵀv + (α_j/α_q)²γ_q, 1 + (α_j/α_q)²)
+  // and the leaving variable re-enters the nonbasic set with
+  //   γ_leave = max(γ_q/α_q², 1 + 1/α_q²).
+  void steepest_update(std::size_t q, std::size_t r) {
+    const double alpha_q = w_[r];
+    if (std::fabs(alpha_q) < 1e-12) return;
+    load_pivot_row(r);
+    std::copy(w_, w_ + m_, sev_);
+    btran_vec(sev_);
+    const double gamma_q = weights_[q];
+    for (std::size_t j = 0; j < n_total_; ++j) {
+      if (state_[j] == VarState::kBasic || j == q) continue;
+      if (hi_[j] - lo_[j] <= opt_.tolerance) continue;
+      const double alpha_j = col_dot(j, rho_);
+      if (alpha_j == 0.0) continue;
+      const double kappa = alpha_j / alpha_q;
+      const double cand =
+          weights_[j] - 2.0 * kappa * col_dot(j, sev_) + kappa * kappa * gamma_q;
+      weights_[j] = std::max(cand, 1.0 + kappa * kappa);
+      if (!std::isfinite(weights_[j])) {
+        reset_weights();  // numeric breakdown: restart the framework
+        return;
       }
     }
-    // lint:allow-dense-scan-in-kernel -- dense Gauss-Jordan companion.
-    Matrix inv = Matrix::identity(m);
-    for (std::size_t col = 0; col < m; ++col) {
-      std::size_t piv = col;
-      for (std::size_t r = col + 1; r < m; ++r) {
-        if (std::fabs(bmat(r, col)) > std::fabs(bmat(piv, col))) piv = r;
-      }
-      if (std::fabs(bmat(piv, col)) < 1e-12) {
-        throw SolverError("simplex: singular basis during refactorization");
-      }
-      if (piv != col) {
-        for (std::size_t c = 0; c < m; ++c) {
-          std::swap(bmat(piv, c), bmat(col, c));
-          std::swap(inv(piv, c), inv(col, c));
-        }
-      }
-      const double d = bmat(col, col);
-      for (std::size_t c = 0; c < m; ++c) {
-        bmat(col, c) /= d;
-        inv(col, c) /= d;
-      }
-      for (std::size_t r = 0; r < m; ++r) {
-        if (r == col) continue;
-        const double f = bmat(r, col);
-        if (f == 0.0) continue;
-        for (std::size_t c = 0; c < m; ++c) {
-          bmat(r, c) -= f * bmat(col, c);
-          inv(r, c) -= f * inv(col, c);
-        }
-      }
-    }
-    binv_ = std::move(inv);
-
-    // x_B = B^-1 (b - N x_N)
-    std::vector<double> rhs = b_;
-    for (std::size_t v = 0; v < x_.size(); ++v) {
-      if (state_[v] == VarState::kBasic || x_[v] == 0.0) continue;
-      if (sparse_pricing_) {
-        for (std::size_t p = acol_ptr_[v]; p < acol_ptr_[v + 1]; ++p) {
-          rhs[acol_row_[p]] -= acol_val_[p] * x_[v];
-        }
-      } else {
-        // lint:allow-dense-scan-in-kernel -- dense fallback.
-        for (std::size_t r = 0; r < m; ++r) rhs[r] -= a_(r, v) * x_[v];
-      }
-    }
-    const std::vector<double> xb = binv_.multiply(rhs);
-    for (std::size_t r = 0; r < m; ++r) x_[basis_[r]] = xb[r];
+    const double inv_sq = 1.0 / (alpha_q * alpha_q);
+    weights_[basis_[r]] = std::max(gamma_q * inv_sq, 1.0 + inv_sq);
   }
 
   SimplexOptions opt_;
-  Matrix a_;
-  Matrix binv_;
-  std::vector<double> b_;
-  std::vector<double> lo_, hi_, cost_;
-  std::vector<double> x_;
-  std::vector<VarState> state_;
-  std::vector<std::size_t> basis_;
-  std::vector<double> devex_weights_;
+  SimplexWorkspace& ws_;
+  const bool use_lu_;
+  BasisLu* lu_ = nullptr;  // workspace-owned; set when use_lu_
+  BasisDense dense_;       // engaged when !use_lu_
+
+  std::size_t m_ = 0;
   std::size_t n_struct_ = 0;
   std::size_t art_begin_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t nnz_ = 0;
   std::size_t iterations_ = 0;
+  std::uint64_t refactorizations_ = 0;
+  std::uint64_t eta_updates_ = 0;
+  std::uint64_t eta_rejections_ = 0;
 
-  // CSC copy of a_ for the pricing kernels (built only when the dispatch
-  // policy picks sparse; empty otherwise). a_ stays authoritative.
+  // Arena-backed solve state (see workspace.h); spans live until the next
+  // solve begins.
+  double* b_ = nullptr;
+  double* lo_ = nullptr;
+  double* hi_ = nullptr;
+  double* cost_ = nullptr;
+  double* x_ = nullptr;
+  VarState* state_ = nullptr;
+  std::size_t* basis_ = nullptr;
+  double* weights_ = nullptr;    // devex / steepest-edge reference weights
+  double* costs_buf_ = nullptr;  // phase objective
+  double* cb_ = nullptr;         // basic costs, then duals (BTRAN in place)
+  double* w_ = nullptr;          // FTRAN'd entering column
+  double* rho_ = nullptr;        // pivot row of B^-1
+  double* sev_ = nullptr;        // steepest-edge v = B^-T w
+  double* rhs_ = nullptr;        // refactorization right-hand side
+
+  // CSC column store of the augmented tableau (authoritative).
+  std::size_t* acol_ptr_ = nullptr;
+  std::size_t* acol_row_ = nullptr;
+  double* acol_val_ = nullptr;
+  // Basis-column gather buffers for factorization (lazily carved).
+  std::size_t* bcol_ptr_ = nullptr;
+  std::size_t* bcol_row_ = nullptr;
+  double* bcol_val_ = nullptr;
+  // Dense column-major copy, materialized only for force-dense pricing.
+  double* dense_cols_ = nullptr;
   bool sparse_pricing_ = false;
-  std::vector<std::size_t> acol_ptr_;
-  std::vector<std::size_t> acol_row_;
-  std::vector<double> acol_val_;
 };
 
 }  // namespace
@@ -644,10 +783,23 @@ Solution SimplexSolver::solve_impl(const Problem& problem,
   }
 
   const CancellationToken token = effective_solve_token(options_.cancel);
-  Tableau t(problem, options_, guess);
+  SimplexWorkspace& ws = SimplexWorkspace::tls();
+  const std::uint64_t ws_reuses = ws.reuses();
+  const std::uint64_t ws_grows = ws.grows();
+  Tableau t(problem, options_, guess, ws);
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("lp.simplex.workspace_reuses").add(ws.reuses() - ws_reuses);
+  reg.counter("lp.simplex.workspace_grows").add(ws.grows() - ws_grows);
   if (t.sparse_pricing()) {
-    obs::Registry::global().counter("lp.sparse.simplex_pricing_solves").add();
+    reg.counter("lp.sparse.simplex_pricing_solves").add();
   }
+  // Basis-kernel telemetry is flushed once per solve so the pivot loop
+  // itself stays free of registry lookups (they build map-key strings).
+  const auto report_kernel = [&] {
+    reg.counter("lp.simplex.refactorizations").add(t.refactorizations());
+    reg.counter("lp.simplex.eta_updates").add(t.eta_updates());
+    reg.counter("lp.simplex.eta_rejections").add(t.eta_rejections());
+  };
 
   // Phase 1: drive the artificials to zero. On expiry here there is no
   // feasible point to report yet: kDeadline with an empty x.
@@ -656,12 +808,14 @@ Solution SimplexSolver::solve_impl(const Problem& problem,
       phase1 == SolveStatus::kDeadline) {
     out.status = phase1;
     out.iterations = t.iterations();
+    report_kernel();
     return out;
   }
   // Phase 1 is bounded below by 0, so kUnbounded cannot occur here.
   if (t.artificial_infeasibility() > 1e-7 * t.rhs_scale()) {
     out.status = SolveStatus::kInfeasible;
     out.iterations = t.iterations();
+    report_kernel();
     return out;
   }
 
@@ -673,6 +827,7 @@ Solution SimplexSolver::solve_impl(const Problem& problem,
   const SolveStatus phase2 = t.optimize(t.phase2_costs(), token);
   out.status = phase2;
   out.iterations = t.iterations();
+  report_kernel();
   if (phase2 == SolveStatus::kOptimal || phase2 == SolveStatus::kDeadline) {
     out.x = t.structural_solution();
     out.objective = problem.objective_value(out.x);

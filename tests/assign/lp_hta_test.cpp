@@ -210,5 +210,43 @@ TEST(LpHtaTest, DegenerateWarmHintsAreHarmless) {
   }
 }
 
+// The basis kernel is an implementation detail of Step 1: the eta-file LU
+// default and the dense-inverse comparator must produce the *same
+// decisions* task for task (the rounding in Steps 2-6 is deterministic in
+// the LP vertex, and these cluster LPs have unique optima for generic
+// costs).
+TEST(LpHtaTest, BasisKernelsProduceIdenticalAssignments) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto s = small_scenario(seed, 40, 12, 3);
+    const HtaInstance inst(s.topology, s.tasks);
+
+    LpHtaOptions lu;
+    lu.basis = lp::BasisKernel::kEtaLu;
+    LpHtaOptions dense;
+    dense.basis = lp::BasisKernel::kDenseInverse;
+
+    const Assignment a = LpHta(lu).assign(inst);
+    const Assignment b = LpHta(dense).assign(inst);
+    EXPECT_EQ(a.decisions, b.decisions) << "seed " << seed;
+  }
+}
+
+// Pricing rules likewise: different pivot paths, same assignment.
+TEST(LpHtaTest, PricingRulesProduceIdenticalAssignments) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto s = small_scenario(seed, 36, 12, 3);
+    const HtaInstance inst(s.topology, s.tasks);
+    const Assignment base = LpHta().assign(inst);
+    for (const lp::PricingRule rule :
+         {lp::PricingRule::kDevex, lp::PricingRule::kSteepestEdge}) {
+      LpHtaOptions options;
+      options.pricing = rule;
+      const Assignment other = LpHta(options).assign(inst);
+      EXPECT_EQ(base.decisions, other.decisions)
+          << "seed " << seed << " rule " << static_cast<int>(rule);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mecsched::assign

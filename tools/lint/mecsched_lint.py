@@ -118,6 +118,7 @@ TSA_HOME = "src/common/thread_annotations.h"
 # Solver hot-path files watched by dense-scan-in-kernel.
 HOT_KERNEL_FILES = {
     "src/lp/simplex.cpp",
+    "src/lp/basis_lu.cpp",
     "src/lp/interior_point.cpp",
     "src/lp/sparse_matrix.cpp",
     "src/lp/sparse_cholesky.cpp",
